@@ -1,0 +1,226 @@
+package rapilog
+
+// One testing.B benchmark per reproduced table/figure (E1–E10, A1–A7).
+// Each iteration executes the experiment in quick mode and reports its
+// headline values as custom metrics, so `go test -bench=.` regenerates a
+// compact version of the whole evaluation. Run the full-size sweeps with
+// cmd/rapilog-bench.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func runExperimentBench(b *testing.B, id string, metric func(rep *ExperimentReport) map[string]float64) {
+	b.Helper()
+	exp := ExperimentByID(id)
+	if exp == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := exp.Run(ExperimentOptions{Quick: true, Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && metric != nil {
+			for name, v := range metric(rep) {
+				b.ReportMetric(v, name)
+			}
+		}
+	}
+}
+
+func tpsMetrics(keys ...string) func(rep *ExperimentReport) map[string]float64 {
+	return func(rep *ExperimentReport) map[string]float64 {
+		out := make(map[string]float64, len(keys))
+		for _, k := range keys {
+			out[k+"_tps"] = rep.Values[k]
+		}
+		return out
+	}
+}
+
+// BenchmarkE1 regenerates the PG-like TPC-C throughput-vs-clients figure.
+func BenchmarkE1ThroughputPG(b *testing.B) {
+	runExperimentBench(b, "e1", tpsMetrics("rapilog/c=8", "native-sync/c=8"))
+}
+
+// BenchmarkE2 regenerates the MY-like engine figure.
+func BenchmarkE2ThroughputMY(b *testing.B) {
+	runExperimentBench(b, "e2", tpsMetrics("rapilog/c=8", "native-sync/c=8"))
+}
+
+// BenchmarkE3 regenerates the CX-like (commercial) engine figure.
+func BenchmarkE3ThroughputCX(b *testing.B) {
+	runExperimentBench(b, "e3", tpsMetrics("rapilog/c=8", "native-sync/c=8"))
+}
+
+// BenchmarkE4 regenerates the virtualisation-overhead table.
+func BenchmarkE4VirtOverhead(b *testing.B) {
+	runExperimentBench(b, "e4", func(rep *ExperimentReport) map[string]float64 {
+		return map[string]float64{"overhead_%": rep.Values["overhead_pct"]}
+	})
+}
+
+// BenchmarkE5 regenerates the PSU hold-up / flush-budget table.
+func BenchmarkE5PSUHoldup(b *testing.B) {
+	runExperimentBench(b, "e5", func(rep *ExperimentReport) map[string]float64 {
+		return map[string]float64{"safe_MiB_measured_hdd": rep.Values["measured/hdd/safe_bytes"] / (1 << 20)}
+	})
+}
+
+// BenchmarkE6 regenerates the plug-pull trial table.
+func BenchmarkE6PowerFailTrials(b *testing.B) {
+	runExperimentBench(b, "e6", func(rep *ExperimentReport) map[string]float64 {
+		return map[string]float64{
+			"lost": rep.Values["rapilog/pg/lost"] + rep.Values["rapilog/my/lost"] + rep.Values["rapilog/cx/lost"],
+		}
+	})
+}
+
+// BenchmarkE7 regenerates the commit-latency distribution.
+func BenchmarkE7CommitLatency(b *testing.B) {
+	runExperimentBench(b, "e7", func(rep *ExperimentReport) map[string]float64 {
+		return map[string]float64{
+			"sync_p50_us":    rep.Values["native-sync/p50_us"],
+			"rapilog_p50_us": rep.Values["rapilog/p50_us"],
+		}
+	})
+}
+
+// BenchmarkE8 regenerates the buffer-bound sweep.
+func BenchmarkE8BufferSweep(b *testing.B) {
+	runExperimentBench(b, "e8", nil)
+}
+
+// BenchmarkE9 regenerates the guest-crash trial table.
+func BenchmarkE9GuestCrashTrials(b *testing.B) {
+	runExperimentBench(b, "e9", func(rep *ExperimentReport) map[string]float64 {
+		return map[string]float64{
+			"rapilog_lost": rep.Values["rapilog/lost"],
+			"async_lost":   rep.Values["native-async/lost"],
+		}
+	})
+}
+
+// BenchmarkE10 regenerates the raw-device microbenchmark.
+func BenchmarkE10RawDevice(b *testing.B) {
+	runExperimentBench(b, "e10", func(rep *ExperimentReport) map[string]float64 {
+		return map[string]float64{"hdd_rand_sync_iops": rep.Values["hdd/rand-sync-4k/iops"]}
+	})
+}
+
+// BenchmarkA1 regenerates the group-commit ablation.
+func BenchmarkA1GroupCommit(b *testing.B) {
+	runExperimentBench(b, "a1", tpsMetrics("rapilog/c=16", "native-sync+delay/c=16"))
+}
+
+// BenchmarkA2 regenerates the SSD-substrate ablation.
+func BenchmarkA2SSD(b *testing.B) {
+	runExperimentBench(b, "a2", tpsMetrics("rapilog/c=8"))
+}
+
+// BenchmarkA3 regenerates the sizing-rule-violation ablation.
+func BenchmarkA3UnsafeSizing(b *testing.B) {
+	runExperimentBench(b, "a3", func(rep *ExperimentReport) map[string]float64 {
+		return map[string]float64{
+			"safe_lost":   rep.Values["safe-bound/lost"],
+			"unsafe_lost": rep.Values["8MiB-unsafe/lost"] + rep.Values["32MiB-unsafe/lost"],
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Component micro-benchmarks: raw cost of the hot paths (real time, not
+// virtual): kernel event dispatch, a buffered log write, a sync commit.
+// ---------------------------------------------------------------------------
+
+// BenchmarkLoggerAck measures the simulation cost of one RapiLog buffered
+// write (the fast path every commit takes).
+func BenchmarkLoggerAck(b *testing.B) {
+	dep, err := New(Config{Seed: 1, Mode: ModeRapiLog, NoDaemons: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	blocks := dep.Logger.Sectors()/8 - 1 // stay inside the log partition at any b.N
+	n := 0
+	dep.S.Spawn(dep.Plat.Domain(), "w", func(p *Proc) {
+		for ; n < b.N; n++ {
+			if err := dep.Logger.Write(p, int64(n)%blocks*8, data, false); err != nil {
+				b.Errorf("write: %v", err)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := dep.S.RunFor(24 * time.Hour); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("completed %d/%d", n, b.N)
+	}
+}
+
+// BenchmarkCommitRapiLog measures a full engine commit through the RapiLog
+// path (WAL append + no-op force + apply).
+func BenchmarkCommitRapiLog(b *testing.B) {
+	benchmarkCommit(b, ModeRapiLog)
+}
+
+// BenchmarkCommitNativeSync measures a full engine commit with a real
+// synchronous force to the HDD — the baseline RapiLog removes.
+func BenchmarkCommitNativeSync(b *testing.B) {
+	benchmarkCommit(b, ModeNativeSync)
+}
+
+func benchmarkCommit(b *testing.B, mode Mode) {
+	dep, err := New(Config{Seed: 1, Mode: mode, NoDaemons: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 0
+	dep.S.Spawn(dep.Plat.Domain(), "db", func(p *Proc) {
+		e, err := dep.Boot(p)
+		if err != nil {
+			b.Errorf("boot: %v", err)
+			return
+		}
+		for ; n < b.N; n++ {
+			tx := e.Begin(p)
+			if err := tx.Put(fmt.Sprintf("k%d", n), []byte("v")); err != nil {
+				b.Errorf("put: %v", err)
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				b.Errorf("commit: %v", err)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := dep.S.RunFor(1000 * time.Hour); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("completed %d/%d", n, b.N)
+	}
+}
+
+// BenchmarkA5 regenerates the TPC-B sweep.
+func BenchmarkA5TPCB(b *testing.B) {
+	runExperimentBench(b, "a5", tpsMetrics("rapilog/c=16", "native-sync/c=16"))
+}
+
+// BenchmarkA6 regenerates the hardware-alternatives comparison.
+func BenchmarkA6HardwareAlternatives(b *testing.B) {
+	runExperimentBench(b, "a6", tpsMetrics("rapilog", "native-sync+nvram"))
+}
+
+// BenchmarkA7 regenerates the recovery-time table.
+func BenchmarkA7RecoveryCost(b *testing.B) {
+	runExperimentBench(b, "a7", func(rep *ExperimentReport) map[string]float64 {
+		return map[string]float64{"redo_never_ms": rep.Values["never/redo_ms"]}
+	})
+}

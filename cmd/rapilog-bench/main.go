@@ -1,0 +1,73 @@
+// Command rapilog-bench regenerates the paper's evaluation: every table
+// and figure (experiments e1–e10) plus this reproduction's ablations
+// (a1–a3). Each experiment prints an aligned table and notes describing
+// the expected shape.
+//
+// Usage:
+//
+//	rapilog-bench                 # run everything, full size
+//	rapilog-bench -exp e1,e6      # selected experiments
+//	rapilog-bench -quick          # small sweeps (seconds, not minutes)
+//	rapilog-bench -list           # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		expList = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		quick   = flag.Bool("quick", false, "shrink sweeps and durations")
+		seed    = flag.Int64("seed", 1, "base deterministic seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		verbose = flag.Bool("v", true, "print per-data-point progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, exp := range rapilog.Experiments {
+			fmt.Printf("%-4s %s\n", exp.ID, exp.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *expList == "all" {
+		for _, exp := range rapilog.Experiments {
+			ids = append(ids, exp.ID)
+		}
+	} else {
+		ids = strings.Split(*expList, ",")
+	}
+
+	opts := rapilog.ExperimentOptions{Quick: *quick, Seed: *seed}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	start := time.Now()
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		exp := rapilog.ExperimentByID(id)
+		if exp == nil {
+			fmt.Fprintf(os.Stderr, "rapilog-bench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		expStart := time.Now()
+		rep, err := exp.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rapilog-bench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		rep.Render(os.Stdout)
+		fmt.Fprintf(os.Stderr, "[%s took %v]\n", id, time.Since(expStart).Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "[total %v]\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,137 @@
+// Command rapilog-sim runs one deployment scenario and prints a full run
+// report: throughput, latency percentiles, engine counters, RapiLog buffer
+// statistics, and device activity. It is the tool for exploring a single
+// configuration in detail.
+//
+// Usage:
+//
+//	rapilog-sim -mode rapilog -engine pg -disk hdd -clients 8 -duration 10s
+//	rapilog-sim -mode native-sync -workload tpcb -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "rapilog", "native-sync | native-async | virt-sync | rapilog")
+		engine   = flag.String("engine", "pg", "engine personality: pg | my | cx")
+		diskKind = flag.String("disk", "hdd", "hdd | ssd | mem")
+		psu      = flag.String("psu", "measured", "atx-spec | typical | measured")
+		wl       = flag.String("workload", "tpcc", "tpcc | tpcb | stress")
+		clients  = flag.Int("clients", 8, "closed-loop client count")
+		duration = flag.Duration("duration", 10*time.Second, "measured virtual time")
+		warmup   = flag.Duration("warmup", time.Second, "virtual warmup excluded from stats")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		trace    = flag.Bool("trace", false, "print kernel trace events")
+	)
+	flag.Parse()
+
+	pers, ok := rapilog.Personalities[*engine]
+	if !ok {
+		fatalf("unknown engine %q", *engine)
+	}
+	var psuCfg rapilog.PSUConfig
+	switch *psu {
+	case "atx-spec":
+		psuCfg = rapilog.PSUATXSpec
+	case "typical":
+		psuCfg = rapilog.PSUTypical
+	case "measured":
+		psuCfg = rapilog.PSUMeasured
+	default:
+		fatalf("unknown psu %q", *psu)
+	}
+
+	dep, err := rapilog.New(rapilog.Config{
+		Seed:        *seed,
+		Mode:        rapilog.Mode(*mode),
+		Personality: pers,
+		Disk:        rapilog.DiskKind(*diskKind),
+		PSU:         psuCfg,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *trace {
+		dep.S.SetTrace(func(at sim.Time, format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[%12v] %s\n", at, fmt.Sprintf(format, args...))
+		})
+	}
+
+	var workload rapilog.Workload
+	switch *wl {
+	case "tpcc":
+		workload = &rapilog.TPCC{Warehouses: 4, Districts: 10, Customers: 30, Items: 400}
+	case "tpcb":
+		workload = &rapilog.TPCB{Branches: 2, Tellers: 10, Accounts: 1000}
+	case "stress":
+		workload = &rapilog.Stress{}
+	default:
+		fatalf("unknown workload %q", *wl)
+	}
+
+	var res rapilog.RunResult
+	var eng *rapilog.Engine
+	done := dep.S.NewEvent("done")
+	dep.S.Spawn(dep.Plat.Domain(), "bench", func(p *rapilog.Proc) {
+		defer done.Fire()
+		e, err := dep.Boot(p)
+		if err != nil {
+			fatalf("boot: %v", err)
+		}
+		eng = e
+		if err := workload.Load(p, e); err != nil {
+			fatalf("load: %v", err)
+		}
+		res = rapilog.RunClients(p, dep.Plat.Domain(), e, workload, rapilog.RunnerConfig{
+			Clients: *clients, Duration: *duration, Warmup: *warmup,
+		})
+	})
+	if err := dep.S.RunUntilEvent(done); err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("configuration:  mode=%s engine=%s disk=%s psu=%s clients=%d\n",
+		*mode, *engine, *diskKind, *psu, *clients)
+	fmt.Printf("measured:       %v (after %v warmup)\n", res.Duration, *warmup)
+	fmt.Printf("throughput:     %.0f tps (%d committed, %d aborted)\n", res.TPS(), res.Committed, res.Aborted)
+	fmt.Printf("txn latency:    p50=%v p95=%v p99=%v max=%v\n",
+		res.TxnLatency.Quantile(0.50).Round(time.Microsecond),
+		res.TxnLatency.Quantile(0.95).Round(time.Microsecond),
+		res.TxnLatency.Quantile(0.99).Round(time.Microsecond),
+		res.TxnLatency.Max().Round(time.Microsecond))
+	st := eng.Stats()
+	fmt.Printf("commit latency: p50=%v p99=%v\n",
+		st.CommitLatency.Quantile(0.50).Round(time.Microsecond),
+		st.CommitLatency.Quantile(0.99).Round(time.Microsecond))
+	fmt.Printf("engine:         %d commits, %d aborts, %d checkpoints\n",
+		st.Commits.Value(), st.Aborts.Value(), st.Checkpoints.Value())
+	ws := eng.Log().Stats()
+	fmt.Printf("wal:            %d appends, %d physical forces, %d piggybacked, %d blocks written\n",
+		ws.Appends.Value(), ws.Forces.Value(), ws.ForceWaits.Value(), ws.BlocksWritten.Value())
+	if dep.Logger != nil {
+		rs := dep.Logger.RapiStats()
+		fmt.Printf("rapilog:        %d writes (%d absorbed), %d no-op barriers, %d throttled,\n",
+			rs.Writes.Value(), rs.Absorbed.Value(), rs.Flushes.Value(), rs.Throttled.Value())
+		fmt.Printf("                buffer bound %d KiB, peak occupancy %d KiB, ack p99 %v\n",
+			dep.Logger.MaxBuffer()/1024, rs.Occupancy.Peak()/1024,
+			rs.AckLatency.Quantile(0.99).Round(time.Microsecond))
+	}
+	ds := dep.Disk.Stats()
+	fmt.Printf("disk:           %d reads, %d writes, %d flushes, write p99 %v\n",
+		ds.Reads.Value(), ds.Writes.Value(), ds.Flushes.Value(),
+		ds.WriteLatency.Quantile(0.99).Round(time.Microsecond))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rapilog-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

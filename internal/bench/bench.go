@@ -1,0 +1,233 @@
+// Package bench implements the experiment harness: one runner per table
+// and figure of the paper's evaluation (reconstructed — see DESIGN.md),
+// plus this reproduction's own ablations. Each experiment builds fresh
+// deterministic deployments, drives them on virtual time, and emits both a
+// human-readable table and named scalar values that tests and
+// EXPERIMENTS.md assertions consume.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/rig"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Quick shrinks sweeps and durations for tests and testing.B.
+	Quick bool
+	// Seed is the base deterministic seed; default 1.
+	Seed int64
+	// Progress, if non-nil, receives one line per completed data point.
+	Progress io.Writer
+}
+
+func (o *Options) applyDefaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+func (o Options) progressf(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// Report is an experiment's output.
+type Report struct {
+	ID     string
+	Title  string
+	Stands string // which paper table/figure this stands in for
+	Table  *metrics.Table
+	Notes  []string
+	// Values holds named scalars ("rapilog/c=8" → TPS) for programmatic
+	// shape checks.
+	Values map[string]float64
+}
+
+func newReport(id, title, stands string, table *metrics.Table) *Report {
+	return &Report{ID: id, Title: title, Stands: stands, Table: table, Values: make(map[string]float64)}
+}
+
+// Render writes the report in its human-readable form.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n", r.ID, r.Title)
+	fmt.Fprintf(w, "   (stands in for: %s)\n\n", r.Stands)
+	io.WriteString(w, r.Table.String())
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	io.WriteString(w, "\n")
+}
+
+// Experiment couples an id to its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opts Options) (*Report, error)
+}
+
+// All lists the experiments in evaluation order.
+var All = []Experiment{
+	{"e1", "TPC-C throughput vs clients, PG-like engine, HDD", runE1},
+	{"e2", "TPC-C throughput vs clients, MY-like engine, HDD", runE2},
+	{"e3", "TPC-C throughput vs clients, CX-like engine, HDD", runE3},
+	{"e4", "virtualisation overhead, CPU-bound TPC-C", runE4},
+	{"e5", "PSU hold-up vs emergency-flush requirement", runE5},
+	{"e6", "power-failure trials under load (plug pulls)", runE6},
+	{"e7", "commit latency distribution", runE7},
+	{"e8", "buffer bound sweep and throttling", runE8},
+	{"e9", "guest-OS crash trials under load", runE9},
+	{"e10", "raw device write microbenchmark", runE10},
+	{"a1", "ablation: group commit (commit_delay) vs RapiLog", runA1},
+	{"a2", "ablation: E1 on SSD substrate", runA2},
+	{"a3", "ablation: violating the buffer sizing rule", runA3},
+	{"a4", "ablation: dedicated log spindle vs RapiLog", runA4},
+	{"a5", "TPC-B (pgbench) throughput vs clients", runA5},
+	{"a6", "hardware alternatives: NVRAM log vs RapiLog", runA6},
+	{"a7", "recovery time vs checkpoint age", runA7},
+}
+
+// ByID returns the experiment with the given id, or nil.
+func ByID(id string) *Experiment {
+	for i := range All {
+		if All[i].ID == id {
+			return &All[i]
+		}
+	}
+	return nil
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	ids := make([]string, len(All))
+	for i, e := range All {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// drive steps the simulation until ev fires, without running idle daemon
+// ticks past the finish.
+func drive(s *sim.Sim, ev *sim.Event) error { return s.RunUntilEvent(ev) }
+
+// tpccResult is one measured throughput point.
+type tpccResult struct {
+	res workload.RunResult
+	err error
+}
+
+// measureTPCC boots a deployment, loads TPC-C, and measures saturation
+// throughput with the given client count.
+func measureTPCC(cfg rig.Config, wl *workload.TPCC, clients int, warmup, dur time.Duration) (workload.RunResult, error) {
+	r, err := rig.New(cfg)
+	if err != nil {
+		return workload.RunResult{}, err
+	}
+	var out tpccResult
+	done := r.S.NewEvent("bench.done")
+	r.S.Spawn(r.Plat.Domain(), "bench", func(p *sim.Proc) {
+		defer done.Fire()
+		e, err := r.Boot(p)
+		if err != nil {
+			out.err = fmt.Errorf("boot: %w", err)
+			return
+		}
+		if err := wl.Load(p, e); err != nil {
+			out.err = fmt.Errorf("load: %w", err)
+			return
+		}
+		out.res = workload.RunClients(p, r.Plat.Domain(), e, wl, workload.RunnerConfig{
+			Clients: clients, Duration: dur, Warmup: warmup,
+		})
+	})
+	if err := drive(r.S, done); err != nil {
+		return workload.RunResult{}, err
+	}
+	return out.res, out.err
+}
+
+// throughputSweep runs the E1/E2/E3/A2 shape: mode × client-count grid.
+func throughputSweep(id, title, stands string, pers engine.Personality, diskKind rig.DiskKind, opts Options) (*Report, error) {
+	opts.applyDefaults()
+	// Enough warehouses that row contention (especially Payment's
+	// warehouse-YTD update) does not mask the commit path under study.
+	clientCounts := []int{1, 2, 4, 8, 16, 32, 64}
+	warmup, dur := 2*time.Second, 10*time.Second
+	wlScale := func() *workload.TPCC { return &workload.TPCC{Warehouses: 8, Districts: 10, Customers: 30, Items: 400} }
+	if opts.Quick {
+		clientCounts = []int{1, 8, 32}
+		warmup, dur = 500*time.Millisecond, 2*time.Second
+		wlScale = func() *workload.TPCC { return &workload.TPCC{Warehouses: 4, Districts: 4, Customers: 10, Items: 100} }
+	}
+
+	header := []string{"clients"}
+	for _, m := range rig.Modes {
+		header = append(header, string(m))
+	}
+	table := metrics.NewTable(header...)
+	rep := newReport(id, title, stands, table)
+
+	for _, c := range clientCounts {
+		row := []string{fmt.Sprintf("%d", c)}
+		for _, mode := range rig.Modes {
+			cfg := rig.Config{
+				Seed:            opts.Seed + int64(c)*101,
+				Mode:            mode,
+				Personality:     pers,
+				Disk:            diskKind,
+				CheckpointEvery: 20 * time.Second,
+			}
+			res, err := measureTPCC(cfg, wlScale(), c, warmup, dur)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s c=%d: %w", id, mode, c, err)
+			}
+			row = append(row, fmt.Sprintf("%.0f", res.TPS()))
+			rep.Values[fmt.Sprintf("%s/c=%d", mode, c)] = res.TPS()
+			opts.progressf("%s: %-12s c=%-3d %8.0f tps", id, mode, c, res.TPS())
+		}
+		table.AddRow(row...)
+	}
+	rep.Notes = append(rep.Notes,
+		"expected shape: rapilog ≈ native-async ≫ native-sync at low client counts;",
+		"group commit narrows the gap as clients grow; rapilog never below virt-sync.")
+	return rep, nil
+}
+
+func runE1(opts Options) (*Report, error) {
+	return throughputSweep("e1", "TPC-C throughput vs clients, PG-like engine, HDD",
+		"per-engine throughput figure (PostgreSQL)", engine.PGLike, rig.DiskHDD, opts)
+}
+
+func runE2(opts Options) (*Report, error) {
+	return throughputSweep("e2", "TPC-C throughput vs clients, MY-like engine, HDD",
+		"per-engine throughput figure (MySQL/InnoDB)", engine.MYLike, rig.DiskHDD, opts)
+}
+
+func runE3(opts Options) (*Report, error) {
+	return throughputSweep("e3", "TPC-C throughput vs clients, CX-like engine, HDD",
+		"per-engine throughput figure (commercial engine)", engine.CXLike, rig.DiskHDD, opts)
+}
+
+func runA2(opts Options) (*Report, error) {
+	return throughputSweep("a2", "TPC-C throughput vs clients, PG-like engine, SSD",
+		"flash discussion (§ non-rotating media)", engine.PGLike, rig.DiskSSD, opts)
+}
+
+// sortedKeys returns map keys in stable order (for deterministic notes).
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

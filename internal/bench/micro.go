@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// runE10: the raw-device microbenchmark that motivates the paper. Small
+// synchronous writes to a rotating disk cost a rotation; sequential
+// streaming gets track bandwidth; a volatile write cache is fast but
+// (as every other experiment here shows) unsafe.
+func runE10(opts Options) (*Report, error) {
+	opts.applyDefaults()
+	ops := 400
+	if opts.Quick {
+		ops = 60
+	}
+	table := metrics.NewTable("device", "pattern", "mean latency", "IOPS", "MB/s")
+	rep := newReport("e10", "raw device write microbenchmark",
+		"motivation figure: why sync log writes are slow", table)
+
+	type devCase struct {
+		name string
+		mk   func(s *sim.Sim, hw *sim.Domain) disk.Device
+	}
+	cases := []devCase{
+		{"hdd", func(s *sim.Sim, hw *sim.Domain) disk.Device {
+			return disk.NewHDD(s, hw, disk.HDDConfig{})
+		}},
+		{"hdd+cache", func(s *sim.Sim, hw *sim.Domain) disk.Device {
+			return disk.NewHDD(s, hw, disk.HDDConfig{Name: "hddc", WriteCache: true})
+		}},
+		{"ssd", func(s *sim.Sim, hw *sim.Domain) disk.Device {
+			return disk.NewSSD(s, hw, disk.SSDConfig{})
+		}},
+	}
+	patterns := []string{"rand-sync-4k", "seq-sync-4k", "seq-stream-256k"}
+
+	for _, dc := range cases {
+		for _, pat := range patterns {
+			mean, iops, mbs, err := microRun(opts.Seed, dc.mk, pat, ops)
+			if err != nil {
+				return nil, fmt.Errorf("e10 %s/%s: %w", dc.name, pat, err)
+			}
+			table.AddRow(dc.name, pat,
+				fmt.Sprint(mean.Round(time.Microsecond)),
+				fmt.Sprintf("%.0f", iops),
+				fmt.Sprintf("%.1f", mbs))
+			rep.Values[dc.name+"/"+pat+"/iops"] = iops
+			rep.Values[dc.name+"/"+pat+"/mean_us"] = float64(mean.Microseconds())
+			opts.progressf("e10: %-10s %-16s %8.0f IOPS", dc.name, pat, iops)
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"expected shape: random sync 4k on HDD ≈ seek+half-rotation (≈100 IOPS);",
+		"sequential streaming ≈ track bandwidth; the cache hides latency — volatilely.")
+	return rep, nil
+}
+
+func microRun(seed int64, mk func(*sim.Sim, *sim.Domain) disk.Device, pattern string, ops int) (time.Duration, float64, float64, error) {
+	s := sim.New(seed)
+	m := power.NewMachine(s, "m", 2, power.PSUMeasured)
+	dev := mk(s, m.HardwareDomain())
+	m.AttachDevice(dev)
+
+	var mean time.Duration
+	var iops, mbs float64
+	var runErr error
+	done := s.NewEvent("done")
+	s.Spawn(nil, "io", func(p *sim.Proc) {
+		defer done.Fire()
+		hist := metrics.NewHistogram("lat")
+		var bytesWritten int64
+		start := p.Now()
+		switch pattern {
+		case "rand-sync-4k":
+			buf := make([]byte, 4096)
+			for i := 0; i < ops; i++ {
+				lba := int64(s.Rand().Int63n(dev.Sectors() - 8))
+				t0 := p.Now()
+				if err := dev.Write(p, lba, buf, false); err != nil {
+					runErr = err
+					return
+				}
+				if err := dev.Flush(p); err != nil {
+					runErr = err
+					return
+				}
+				hist.Observe(p.Now().Sub(t0))
+				bytesWritten += int64(len(buf))
+			}
+		case "seq-sync-4k":
+			buf := make([]byte, 4096)
+			for i := 0; i < ops; i++ {
+				t0 := p.Now()
+				if err := dev.Write(p, int64(i*8), buf, false); err != nil {
+					runErr = err
+					return
+				}
+				if err := dev.Flush(p); err != nil {
+					runErr = err
+					return
+				}
+				hist.Observe(p.Now().Sub(t0))
+				bytesWritten += int64(len(buf))
+			}
+		case "seq-stream-256k":
+			buf := make([]byte, 256<<10)
+			for i := 0; i < ops/8+1; i++ {
+				t0 := p.Now()
+				if err := dev.Write(p, int64(i)*int64(len(buf)/512), buf, false); err != nil {
+					runErr = err
+					return
+				}
+				hist.Observe(p.Now().Sub(t0))
+				bytesWritten += int64(len(buf))
+			}
+			if err := dev.Flush(p); err != nil {
+				runErr = err
+				return
+			}
+		default:
+			runErr = fmt.Errorf("unknown pattern %q", pattern)
+			return
+		}
+		elapsed := p.Now().Sub(start)
+		mean = hist.Mean()
+		if elapsed > 0 {
+			iops = float64(hist.Count()) / elapsed.Seconds()
+			mbs = float64(bytesWritten) / elapsed.Seconds() / 1e6
+		}
+	})
+	if err := drive(s, done); err != nil {
+		return 0, 0, 0, err
+	}
+	return mean, iops, mbs, runErr
+}

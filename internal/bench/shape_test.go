@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+// These tests run every experiment in quick mode and assert the paper's
+// qualitative results — the shapes EXPERIMENTS.md documents: who wins, by
+// roughly what factor, and where the safety line is. Absolute numbers are
+// simulator-scale and not asserted.
+
+func runExp(t *testing.T, id string) *Report {
+	t.Helper()
+	exp := ByID(id)
+	if exp == nil {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	rep, err := exp.Run(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	rep.Render(io.Discard)
+	return rep
+}
+
+func v(t *testing.T, rep *Report, key string) float64 {
+	t.Helper()
+	val, ok := rep.Values[key]
+	if !ok {
+		t.Fatalf("%s: missing value %q (have %v)", rep.ID, key, sortedKeys(rep.Values))
+	}
+	return val
+}
+
+// throughputShape asserts the E1/E2/E3/A2 ordering at every client count.
+func throughputShape(t *testing.T, rep *Report, clients []int, lowClientFactor float64) {
+	for _, c := range clients {
+		sync := v(t, rep, fmt.Sprintf("native-sync/c=%d", c))
+		async := v(t, rep, fmt.Sprintf("native-async/c=%d", c))
+		virt := v(t, rep, fmt.Sprintf("virt-sync/c=%d", c))
+		rapi := v(t, rep, fmt.Sprintf("rapilog/c=%d", c))
+
+		// RapiLog is never degraded beyond the virtualisation overhead:
+		// at minimum it matches the virtualised synchronous baseline.
+		if rapi < 0.95*virt {
+			t.Errorf("%s c=%d: rapilog %.0f below virt-sync %.0f", rep.ID, c, rapi, virt)
+		}
+		// RapiLog lands in async territory, not sync territory.
+		if rapi < 0.25*async {
+			t.Errorf("%s c=%d: rapilog %.0f far below native-async %.0f", rep.ID, c, rapi, async)
+		}
+		if rapi < sync {
+			t.Errorf("%s c=%d: rapilog %.0f below native-sync %.0f", rep.ID, c, rapi, sync)
+		}
+	}
+	// The headline: at one client (no group commit to hide behind), the
+	// sync-commit penalty is huge and RapiLog removes it.
+	c := clients[0]
+	sync := v(t, rep, fmt.Sprintf("native-sync/c=%d", c))
+	rapi := v(t, rep, fmt.Sprintf("rapilog/c=%d", c))
+	if rapi < lowClientFactor*sync {
+		t.Errorf("%s c=%d: rapilog %.0f not ≥ %.1f× native-sync %.0f", rep.ID, c, rapi, lowClientFactor, sync)
+	}
+}
+
+func TestShapeE1(t *testing.T) {
+	throughputShape(t, runExp(t, "e1"), []int{1, 8, 32}, 5)
+}
+
+func TestShapeE2(t *testing.T) {
+	throughputShape(t, runExp(t, "e2"), []int{1, 8, 32}, 5)
+}
+
+func TestShapeE3(t *testing.T) {
+	// The CPU-heavy engine commits less often per unit time, so the gain
+	// factor is smaller — the paper's point that gains shrink as the
+	// engine, not the log, becomes the bottleneck.
+	throughputShape(t, runExp(t, "e3"), []int{1, 8, 32}, 3)
+}
+
+func TestShapeE4VirtOverheadModest(t *testing.T) {
+	rep := runExp(t, "e4")
+	ov := v(t, rep, "overhead_pct")
+	if ov <= 0 || ov > 30 {
+		t.Errorf("virtualisation overhead %.1f%%, want (0, 30]", ov)
+	}
+}
+
+func TestShapeE5SizingRule(t *testing.T) {
+	rep := runExp(t, "e5")
+	// Safe bound monotone in hold-up for each device.
+	for _, dev := range []string{"hdd", "ssd"} {
+		spec := v(t, rep, "atx-spec/"+dev+"/safe_bytes")
+		typ := v(t, rep, "typical/"+dev+"/safe_bytes")
+		meas := v(t, rep, "measured/"+dev+"/safe_bytes")
+		if !(spec <= typ && typ < meas) {
+			t.Errorf("%s: safe bound not monotone in hold-up: %.0f, %.0f, %.0f", dev, spec, typ, meas)
+		}
+	}
+	// The ATX spec minimum supports no buffer on a rotating disk: the
+	// paper's argument for measuring real supplies.
+	if v(t, rep, "atx-spec/hdd/safe_bytes") != 0 {
+		t.Error("atx-spec HDD should have no safe buffer")
+	}
+	// Every live plug-pull with a safe bound kept all data.
+	for key, val := range rep.Values {
+		if len(key) > 8 && key[len(key)-8:] == "/live_ok" && val != 1 {
+			t.Errorf("live dump check failed for %s", key)
+		}
+	}
+}
+
+func TestShapeE6ZeroLoss(t *testing.T) {
+	rep := runExp(t, "e6")
+	for _, eng := range []string{"pg", "my", "cx"} {
+		if lost := v(t, rep, "rapilog/"+eng+"/lost"); lost != 0 {
+			t.Errorf("engine %s lost %.0f acked commits across plug pulls", eng, lost)
+		}
+		if acked := v(t, rep, "rapilog/"+eng+"/acked"); acked == 0 {
+			t.Errorf("engine %s acked nothing (experiment vacuous)", eng)
+		}
+	}
+}
+
+func TestShapeE7LatencyClasses(t *testing.T) {
+	rep := runExp(t, "e7")
+	syncP50 := v(t, rep, "native-sync/p50_us")
+	rapiP50 := v(t, rep, "rapilog/p50_us")
+	if syncP50 < 1000 {
+		t.Errorf("native-sync commit p50 %.0fµs, want milliseconds (rotational)", syncP50)
+	}
+	if rapiP50 > 200 {
+		t.Errorf("rapilog commit p50 %.0fµs, want tens of µs (memory copy)", rapiP50)
+	}
+	if syncP50/rapiP50 < 20 {
+		t.Errorf("sync/rapilog p50 ratio %.1f, want ≫ 20", syncP50/rapiP50)
+	}
+}
+
+func TestShapeE8BoundGovernsThrottling(t *testing.T) {
+	rep := runExp(t, "e8")
+	small := v(t, rep, "64 KiB/throttled")
+	large := v(t, rep, "16.0 MiB/throttled")
+	if small <= large {
+		t.Errorf("throttling did not decrease with the bound: 64KiB=%.0f, 16MiB=%.0f", small, large)
+	}
+}
+
+func TestShapeE9CrashAsymmetry(t *testing.T) {
+	rep := runExp(t, "e9")
+	if lost := v(t, rep, "rapilog/lost"); lost != 0 {
+		t.Errorf("rapilog lost %.0f commits across guest crashes", lost)
+	}
+	if lost := v(t, rep, "native-async/lost"); lost == 0 {
+		t.Error("native-async lost nothing: the unsafe baseline is not unsafe")
+	}
+}
+
+func TestShapeE10DeviceClasses(t *testing.T) {
+	rep := runExp(t, "e10")
+	randIOPS := v(t, rep, "hdd/rand-sync-4k/iops")
+	if randIOPS < 50 || randIOPS > 300 {
+		t.Errorf("HDD random sync IOPS %.0f, want ~100 (seek + half rotation)", randIOPS)
+	}
+	if ssd := v(t, rep, "ssd/rand-sync-4k/iops"); ssd < 5*randIOPS {
+		t.Errorf("SSD random IOPS %.0f not ≫ HDD %.0f", ssd, randIOPS)
+	}
+	hddRandMean := v(t, rep, "hdd/rand-sync-4k/mean_us")
+	if hddRandMean < 2000 {
+		t.Errorf("HDD random sync mean %.0fµs, want milliseconds", hddRandMean)
+	}
+}
+
+func TestShapeA1ComplexityReduction(t *testing.T) {
+	rep := runExp(t, "a1")
+	for _, c := range []int{1, 16} {
+		plain := v(t, rep, fmt.Sprintf("native-sync/c=%d", c))
+		delay := v(t, rep, fmt.Sprintf("native-sync+delay/c=%d", c))
+		rapi := v(t, rep, fmt.Sprintf("rapilog/c=%d", c))
+		if rapi <= plain || rapi <= delay {
+			t.Errorf("c=%d: rapilog %.0f not above sync %.0f and sync+delay %.0f", c, rapi, plain, delay)
+		}
+	}
+	// commit_delay's one benefit: wider batches at high concurrency.
+	if v(t, rep, "native-sync+delay/c=16") <= v(t, rep, "native-sync/c=16") {
+		t.Error("commit_delay did not help at 16 clients")
+	}
+}
+
+func TestShapeA2SSDGainsSurvive(t *testing.T) {
+	rep := runExp(t, "a2")
+	sync := v(t, rep, "native-sync/c=1")
+	rapi := v(t, rep, "rapilog/c=1")
+	if rapi < 1.5*sync {
+		t.Errorf("SSD: rapilog %.0f not ≥ 1.5× native-sync %.0f (gain should shrink, not vanish)", rapi, sync)
+	}
+	if rapi < v(t, rep, "virt-sync/c=1") {
+		t.Error("SSD: rapilog below virt-sync")
+	}
+}
+
+func TestShapeA3SizingRuleMatters(t *testing.T) {
+	rep := runExp(t, "a3")
+	if lost := v(t, rep, "safe-bound/lost"); lost != 0 {
+		t.Errorf("safe bound lost %.0f commits", lost)
+	}
+	unsafe := v(t, rep, "8MiB-unsafe/lost") + v(t, rep, "32MiB-unsafe/lost")
+	if unsafe == 0 {
+		t.Error("oversized buffers lost nothing: the sizing rule looks unnecessary (it is not)")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(All) != 17 {
+		t.Fatalf("experiment count %d", len(All))
+	}
+	seen := map[string]bool{}
+	for _, exp := range All {
+		if exp.ID == "" || exp.Title == "" || exp.Run == nil {
+			t.Errorf("experiment %+v incomplete", exp.ID)
+		}
+		if seen[exp.ID] {
+			t.Errorf("duplicate id %s", exp.ID)
+		}
+		seen[exp.ID] = true
+		if ByID(exp.ID) == nil {
+			t.Errorf("ByID(%s) = nil", exp.ID)
+		}
+	}
+	if ByID("zz") != nil {
+		t.Error("ByID(zz) found something")
+	}
+	if len(IDs()) != len(All) {
+		t.Error("IDs() length mismatch")
+	}
+}
+
+func TestShapeA4DedicatedSpindle(t *testing.T) {
+	rep := runExp(t, "a4")
+	syncShared := v(t, rep, "native-sync/shared")
+	syncDedicated := v(t, rep, "native-sync/dedicated")
+	rapiShared := v(t, rep, "rapilog/shared")
+	if syncDedicated < syncShared {
+		t.Errorf("dedicated log disk made native-sync slower: %.0f vs %.0f", syncDedicated, syncShared)
+	}
+	if rapiShared < 2*syncDedicated {
+		t.Errorf("rapilog on one disk (%.0f) not ≥ 2× two-disk native-sync (%.0f)", rapiShared, syncDedicated)
+	}
+}
+
+func TestShapeA5TPCB(t *testing.T) {
+	rep := runExp(t, "a5")
+	for _, c := range []int{1, 16} {
+		sync := v(t, rep, fmt.Sprintf("native-sync/c=%d", c))
+		rapi := v(t, rep, fmt.Sprintf("rapilog/c=%d", c))
+		virt := v(t, rep, fmt.Sprintf("virt-sync/c=%d", c))
+		if rapi < 10*sync {
+			t.Errorf("c=%d: TPC-B rapilog %.0f not ≥ 10× native-sync %.0f (pure commit path)", c, rapi, sync)
+		}
+		if rapi < virt {
+			t.Errorf("c=%d: rapilog below virt-sync", c)
+		}
+	}
+}
+
+func TestShapeA6HardwareAlternatives(t *testing.T) {
+	rep := runExp(t, "a6")
+	plain := v(t, rep, "native-sync")
+	nvram := v(t, rep, "native-sync+nvram")
+	ssdLog := v(t, rep, "native-sync+ssd-log")
+	rapi := v(t, rep, "rapilog")
+	if nvram < 10*plain {
+		t.Errorf("NVRAM log %.0f not ≫ plain disk %.0f", nvram, plain)
+	}
+	if rapi < ssdLog {
+		t.Errorf("rapilog %.0f below a dedicated flash log %.0f", rapi, ssdLog)
+	}
+	if rapi < nvram/2 {
+		t.Errorf("rapilog %.0f not in NVRAM's class (%.0f)", rapi, nvram)
+	}
+}
+
+func TestShapeA7RecoveryCost(t *testing.T) {
+	rep := runExp(t, "a7")
+	// Frequent checkpoints must shrink redo work (possibly to zero); never
+	// checkpointing must leave the most.
+	never := v(t, rep, "never/redone")
+	if never <= 0 {
+		t.Error("ckpt=never redid nothing (vacuous)")
+	}
+	if never < v(t, rep, "1s/redone") || never < v(t, rep, "5s/redone") {
+		t.Errorf("checkpointing did not reduce redo work: never=%.0f 5s=%.0f 1s=%.0f",
+			never, v(t, rep, "5s/redone"), v(t, rep, "1s/redone"))
+	}
+}

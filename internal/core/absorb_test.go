@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Write-absorption behaviour: repeated writes to the same block supersede
+// the buffered copy instead of queueing — the optimisation that keeps WAL
+// tail rewrites from drain-limiting throughput.
+
+func TestAbsorptionSupersedesPendingWrite(t *testing.T) {
+	r := newRig(t, 20, power.PSUMeasured, Config{})
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		_ = r.l.Write(p, 64, pattern(4096, 1), false)
+		_ = r.l.Write(p, 64, pattern(4096, 2), false) // absorbed
+		_ = r.l.Write(p, 64, pattern(4096, 3), false) // absorbed
+	})
+	var onMedia []byte
+	r.s.Spawn(nil, "check", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		onMedia, _ = r.logPart.Read(p, 64, 8)
+	})
+	if err := r.s.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := r.l.RapiStats()
+	// The first rewrite may race the drain (its target entry can already
+	// be in a drain batch), but at least one of the two must absorb.
+	if st.Absorbed.Value() < 1 {
+		t.Fatalf("absorbed = %d, want ≥ 1", st.Absorbed.Value())
+	}
+	if !bytes.Equal(onMedia, pattern(4096, 3)) {
+		t.Fatal("media does not hold the newest version")
+	}
+	// Never three separate copies in the buffer.
+	if st.Occupancy.Peak() > 2*4096 {
+		t.Fatalf("peak occupancy %d, want ≤ 8192", st.Occupancy.Peak())
+	}
+}
+
+func TestAbsorptionReadCoherence(t *testing.T) {
+	r := newRig(t, 21, power.PSUMeasured, Config{})
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		_ = r.l.Write(p, 8, pattern(4096, 1), false)
+		_ = r.l.Write(p, 8, pattern(4096, 9), false) // absorbed
+		got, err := r.l.Read(p, 8, 8)
+		if err != nil || !bytes.Equal(got, pattern(4096, 9)) {
+			t.Errorf("read after absorption: %v", err)
+		}
+	})
+	if err := r.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbsorptionSurvivesPowerCut(t *testing.T) {
+	// The absorbed (newest) version must be what the dump carries.
+	r := newRig(t, 22, power.PSUMeasured, Config{})
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		_ = r.l.Write(p, 16, pattern(4096, 1), false)
+		_ = r.l.Write(p, 16, pattern(4096, 7), false) // absorbed
+		r.m.CutPower()
+		p.Sleep(time.Hour)
+	})
+	var got []byte
+	r.s.Spawn(nil, "op", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		r.m.RestorePower()
+		boot := r.s.NewDomain("boot")
+		r.s.Spawn(boot, "recover", func(p *sim.Proc) {
+			if _, err := Recover(p, r.logPart, r.dump); err != nil {
+				t.Errorf("recover: %v", err)
+				return
+			}
+			got, _ = r.logPart.Read(p, 16, 8)
+		})
+	})
+	if err := r.s.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern(4096, 7)) {
+		t.Fatal("dump recovery did not restore the absorbed (newest) version")
+	}
+}
+
+func TestDifferentLengthWriteNotAbsorbedInPlace(t *testing.T) {
+	r := newRig(t, 23, power.PSUMeasured, Config{})
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		_ = r.l.Write(p, 32, pattern(4096, 1), false)
+		_ = r.l.Write(p, 32, pattern(8192, 2), false) // longer: new entry
+		got, _ := r.l.Read(p, 32, 16)
+		if !bytes.Equal(got, pattern(8192, 2)) {
+			t.Error("longer rewrite not visible")
+		}
+	})
+	if err := r.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.l.RapiStats().Absorbed.Value() != 0 {
+		t.Fatal("length-mismatched write was absorbed in place")
+	}
+}
+
+func TestDeviceAccessorsComplete(t *testing.T) {
+	r := newRig(t, 24, power.PSUMeasured, Config{})
+	if r.l.WorstCaseAccess() <= 0 {
+		t.Fatal("WorstCaseAccess")
+	}
+	if r.l.Stats() != r.logPart.Stats() {
+		t.Fatal("Stats should expose the backing device's counters")
+	}
+}
+
+func TestReadBeyondRangeFails(t *testing.T) {
+	r := newRig(t, 25, power.PSUMeasured, Config{})
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		if _, err := r.l.Read(p, r.l.Sectors(), 1); err == nil {
+			t.Error("out-of-range read accepted")
+		}
+	})
+	if err := r.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverOnCleanZoneIsNoop(t *testing.T) {
+	r := newRig(t, 26, power.PSUMeasured, Config{})
+	r.s.Spawn(nil, "recover", func(p *sim.Proc) {
+		rep, err := Recover(p, r.logPart, r.dump)
+		if err != nil || rep.HadDump || rep.Entries != 0 {
+			t.Errorf("clean-zone recover: %+v %v", rep, err)
+		}
+	})
+	if err := r.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

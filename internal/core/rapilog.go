@@ -1,0 +1,550 @@
+// Package core implements RapiLog itself: a log device, interposed by the
+// dependable hypervisor, that makes synchronous log writes asynchronous
+// without giving up durability.
+//
+// The contract, exactly as in the paper:
+//
+//  1. A write to the log device is acknowledged as soon as the data is
+//     copied into hypervisor memory — microseconds, not a disk rotation.
+//  2. Barriers (flushes) on the log device are no-ops: acknowledged data is
+//     already "as good as durable".
+//  3. A background drain streams buffered writes to the physical log
+//     partition, in order, with the volatile disk cache bypassed.
+//  4. If the guest OS or the DBMS crashes, the hypervisor — which is
+//     formally verified and therefore does not crash with it — keeps
+//     draining. Nothing acknowledged is lost.
+//  5. If mains power fails, the power-fail interrupt triggers an emergency
+//     dump: everything still buffered is written in one sequential burst to
+//     a reserved dump zone, inside the PSU's hold-up window. On the next
+//     boot, Recover replays the dump into the log partition before the
+//     DBMS runs its own recovery.
+//
+// The safety argument is quantitative: the buffer is bounded by
+// SafeBufferSize — what can provably be dumped within the guaranteed
+// hold-up budget — and writers are throttled when the bound is reached.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Errors returned by the RapiLog device.
+var (
+	ErrTooLarge  = errors.New("rapilog: write exceeds the buffer bound")
+	ErrBadDump   = errors.New("rapilog: dump zone contents invalid")
+	ErrZoneSmall = errors.New("rapilog: dump zone smaller than the buffer bound")
+)
+
+// Config parameterises a Logger.
+type Config struct {
+	Name string
+	// MaxBuffer bounds buffered-but-not-yet-on-disk bytes. Zero selects
+	// SafeBufferSize for the machine's PSU and the dump device.
+	MaxBuffer int64
+	// Unsafe skips the MaxBuffer ≤ SafeBufferSize check. Used by ablation
+	// A3 to demonstrate exactly why the bound matters.
+	Unsafe bool
+	// DrainBatch is the max entries coalesced per drain round; default 64.
+	DrainBatch int
+	// CopyBandwidth models the hypervisor's buffer copy, bytes/s; default
+	// 5 GB/s.
+	CopyBandwidth float64
+	// AckOverhead is the fixed cost of the buffered-write path (request
+	// validation, bookkeeping); default 2µs.
+	AckOverhead time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Name == "" {
+		c.Name = "rapilog"
+	}
+	if c.DrainBatch == 0 {
+		c.DrainBatch = 64
+	}
+	if c.CopyBandwidth == 0 {
+		c.CopyBandwidth = 5e9
+	}
+	if c.AckOverhead == 0 {
+		c.AckOverhead = 2 * time.Microsecond
+	}
+}
+
+// Stats exposes the Logger's own counters (distinct from the backing
+// device's disk.Stats).
+type Stats struct {
+	Writes        *metrics.Counter // buffered writes acknowledged
+	Absorbed      *metrics.Counter // writes absorbed into a pending entry
+	Flushes       *metrics.Counter // no-op barriers absorbed
+	Throttled     *metrics.Counter // writes that had to wait for space
+	DrainRounds   *metrics.Counter
+	DrainedBytes  *metrics.Counter
+	Occupancy     *metrics.Gauge     // buffered bytes (peak = high-water)
+	AckLatency    *metrics.Histogram // guest-visible write latency
+	EmergencyRuns *metrics.Counter
+	DumpedBytes   *metrics.Counter
+}
+
+func newStats(name string) *Stats {
+	return &Stats{
+		Writes:        metrics.NewCounter(name + ".writes"),
+		Absorbed:      metrics.NewCounter(name + ".absorbed"),
+		Flushes:       metrics.NewCounter(name + ".flushes"),
+		Throttled:     metrics.NewCounter(name + ".throttled"),
+		DrainRounds:   metrics.NewCounter(name + ".drain_rounds"),
+		DrainedBytes:  metrics.NewCounter(name + ".drained_bytes"),
+		Occupancy:     metrics.NewGauge(name + ".occupancy"),
+		AckLatency:    metrics.NewHistogram(name + ".ack_latency"),
+		EmergencyRuns: metrics.NewCounter(name + ".emergency_runs"),
+		DumpedBytes:   metrics.NewCounter(name + ".dumped_bytes"),
+	}
+}
+
+// entry is one buffered write.
+type entry struct {
+	lba  int64
+	data []byte
+	gen  uint64
+}
+
+type overlayEnt struct {
+	data []byte
+	gen  uint64
+}
+
+// Logger is the RapiLog device. It implements disk.Device so a guest can be
+// given one in place of its raw log partition; reads are coherent with
+// buffered writes.
+type Logger struct {
+	cfg     Config
+	s       *sim.Sim
+	backing disk.Device // physical log partition
+	dump    disk.Device // reserved emergency dump zone
+	stats   *Stats
+
+	space     *sim.Resource    // bytes of buffer budget
+	pending   []*entry         // FIFO, including the batch being drained
+	draining  int              // entries at the head currently being drained
+	absorb    map[int64]*entry // pending (not draining) entries by lba, for write absorption
+	overlay   map[int64]overlayEnt
+	gen       uint64
+	dirtySig  *sim.Signal
+	emergency bool
+	never     *sim.Event // parked on by writers after emergency starts
+}
+
+// SafeBufferSize computes the paper's sizing rule: the bytes that can
+// provably reach the dump zone within the guaranteed interrupt budget,
+//
+//	(hold-up_min − interrupt latency − 2 × worst-case positioning) × seq bandwidth,
+//
+// with a 10% engineering margin, additionally capped by the dump zone's
+// payload capacity. The positioning term is doubled because the emergency
+// write may have to wait out one in-flight disk operation before it can
+// even start seeking.
+func SafeBufferSize(m *power.Machine, dumpZone disk.Device) int64 {
+	budget := m.InterruptBudget() - 2*dumpZone.WorstCaseAccess()
+	if budget <= 0 {
+		return 0
+	}
+	byBudget := int64(0.9 * budget.Seconds() * dumpZone.SeqWriteBandwidth())
+	byZone := zonePayloadCapacity(dumpZone)
+	if byZone < byBudget {
+		return byZone
+	}
+	return byBudget
+}
+
+// zonePayloadCapacity is the dump zone's usable bytes after the header
+// sector and per-entry framing (estimated at 10%).
+func zonePayloadCapacity(zone disk.Device) int64 {
+	raw := (zone.Sectors() - 1) * int64(zone.SectorSize())
+	return raw * 9 / 10
+}
+
+// NewLogger creates a RapiLog device in front of backing, with emergency
+// dumps going to dumpZone, and starts its drain process in hvDom — the
+// domain that survives guest crashes. The machine's power-fail interrupt is
+// wired to the emergency dump.
+func NewLogger(m *power.Machine, hvDom *sim.Domain, backing, dumpZone disk.Device, cfg Config) (*Logger, error) {
+	cfg.applyDefaults()
+	safe := SafeBufferSize(m, dumpZone)
+	if cfg.MaxBuffer == 0 {
+		cfg.MaxBuffer = safe
+	}
+	if cfg.MaxBuffer <= 0 {
+		return nil, fmt.Errorf("rapilog: no safe buffer possible (hold-up budget %v)", m.InterruptBudget())
+	}
+	if !cfg.Unsafe {
+		if cfg.MaxBuffer > safe {
+			return nil, fmt.Errorf("rapilog: MaxBuffer %d exceeds safe bound %d", cfg.MaxBuffer, safe)
+		}
+	}
+	if cfg.MaxBuffer > zonePayloadCapacity(dumpZone) {
+		return nil, fmt.Errorf("%w: bound %d, zone payload %d", ErrZoneSmall, cfg.MaxBuffer, zonePayloadCapacity(dumpZone))
+	}
+	s := m.Sim()
+	l := &Logger{
+		cfg:      cfg,
+		s:        s,
+		backing:  backing,
+		dump:     dumpZone,
+		stats:    newStats(cfg.Name),
+		space:    s.NewResource(cfg.Name+".space", cfg.MaxBuffer),
+		absorb:   make(map[int64]*entry),
+		overlay:  make(map[int64]overlayEnt),
+		dirtySig: s.NewSignal(cfg.Name + ".dirty"),
+		never:    s.NewEvent(cfg.Name + ".halted"),
+	}
+	l.spawnDrainer(hvDom)
+	m.AddPowerFailHandler(func(p *sim.Proc) { l.EmergencyFlush(p) })
+	return l, nil
+}
+
+// Stats returns RapiLog's own counters.
+func (l *Logger) RapiStats() *Stats { return l.stats }
+
+// MaxBuffer returns the configured buffer bound in bytes.
+func (l *Logger) MaxBuffer() int64 { return l.cfg.MaxBuffer }
+
+// BufferedBytes returns the bytes currently buffered.
+func (l *Logger) BufferedBytes() int64 { return l.stats.Occupancy.Value() }
+
+// Name implements disk.Device.
+func (l *Logger) Name() string { return l.cfg.Name }
+
+// SectorSize implements disk.Device.
+func (l *Logger) SectorSize() int { return l.backing.SectorSize() }
+
+// Sectors implements disk.Device.
+func (l *Logger) Sectors() int64 { return l.backing.Sectors() }
+
+// SeqWriteBandwidth implements disk.Device: the guest-visible write
+// bandwidth is the copy bandwidth, not the disk's.
+func (l *Logger) SeqWriteBandwidth() float64 { return l.cfg.CopyBandwidth }
+
+// WorstCaseAccess implements disk.Device.
+func (l *Logger) WorstCaseAccess() time.Duration { return l.cfg.AckOverhead }
+
+// Stats implements disk.Device (the backing device's counters).
+func (l *Logger) Stats() *disk.Stats { return l.backing.Stats() }
+
+// Write implements disk.Device: copy into the buffer, acknowledge. Blocks
+// only when the buffer bound is reached (throttling) — and, after a
+// power-fail interrupt, forever: the device has stopped acknowledging, so
+// nothing the guest does in its last milliseconds can be half-promised.
+func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
+	if l.emergency {
+		l.never.Wait(p) // parks until the machine dies
+	}
+	nsec := len(data) / l.SectorSize()
+	if len(data)%l.SectorSize() != 0 {
+		return disk.ErrMisaligned
+	}
+	if lba < 0 || lba+int64(nsec) > l.Sectors() {
+		return fmt.Errorf("%w: lba=%d nsec=%d cap=%d", disk.ErrOutOfRange, lba, nsec, l.Sectors())
+	}
+	if int64(len(data)) > l.cfg.MaxBuffer {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(data), l.cfg.MaxBuffer)
+	}
+	start := p.Now()
+
+	// Write absorption: a buffered-but-not-draining write to the same
+	// block is superseded in place — the disk only ever needs the newest
+	// version. This is what keeps repeated log-tail rewrites from eating
+	// a disk rotation each in the drain.
+	if e, ok := l.absorb[lba]; ok && len(e.data) == len(data) {
+		copy(e.data, data)
+		l.stats.Absorbed.Inc()
+		p.Sleep(l.cfg.AckOverhead + time.Duration(float64(len(data))/l.cfg.CopyBandwidth*float64(time.Second)))
+		l.stats.Writes.Inc()
+		l.stats.AckLatency.Observe(p.Now().Sub(start))
+		return nil
+	}
+
+	if !l.space.TryAcquire(p, int64(len(data))) {
+		l.stats.Throttled.Inc()
+		l.space.Acquire(p, int64(len(data)))
+	}
+	if l.emergency {
+		l.never.Wait(p)
+	}
+	l.gen++
+	e := &entry{lba: lba, data: append([]byte(nil), data...), gen: l.gen}
+	l.pending = append(l.pending, e)
+	l.absorb[lba] = e
+	ss := int64(l.SectorSize())
+	for i := 0; i < nsec; i++ {
+		l.overlay[lba+int64(i)] = overlayEnt{data: e.data[int64(i)*ss : (int64(i)+1)*ss], gen: l.gen}
+	}
+	l.stats.Occupancy.Add(int64(len(data)))
+	l.dirtySig.Broadcast()
+
+	// The guest-visible cost: fixed overhead plus the memory copy.
+	p.Sleep(l.cfg.AckOverhead + time.Duration(float64(len(data))/l.cfg.CopyBandwidth*float64(time.Second)))
+	l.stats.Writes.Inc()
+	l.stats.AckLatency.Observe(p.Now().Sub(start))
+	return nil
+}
+
+// Flush implements disk.Device: a no-op. Acknowledged log data is already
+// as good as durable — this is where the paper's performance win lives.
+func (l *Logger) Flush(p *sim.Proc) error {
+	if l.emergency {
+		l.never.Wait(p)
+	}
+	l.stats.Flushes.Inc()
+	return nil
+}
+
+// Read implements disk.Device: backing contents with buffered sectors
+// overlaid, so the guest always reads what it last wrote.
+func (l *Logger) Read(p *sim.Proc, lba int64, nsec int) ([]byte, error) {
+	out, err := l.backing.Read(p, lba, nsec)
+	if err != nil {
+		return nil, err
+	}
+	ss := l.SectorSize()
+	for i := 0; i < nsec; i++ {
+		if e, ok := l.overlay[lba+int64(i)]; ok {
+			copy(out[i*ss:(i+1)*ss], e.data)
+		}
+	}
+	return out, nil
+}
+
+// spawnDrainer starts the asynchronous writeback in the dependable domain.
+// Entries are drained strictly in arrival order; contiguous runs coalesce
+// into streaming writes. FUA bypasses the physical disk's volatile cache —
+// RapiLog's durability promise must not silently rest on another volatile
+// buffer.
+func (l *Logger) spawnDrainer(hvDom *sim.Domain) {
+	l.s.Spawn(hvDom, l.cfg.Name+".drain", func(p *sim.Proc) {
+		p.SetDaemon(true)
+		for {
+			if l.emergency {
+				return // the emergency dump owns the buffer now
+			}
+			if len(l.pending) == 0 {
+				l.dirtySig.Wait(p)
+				continue
+			}
+			batch := len(l.pending)
+			if batch > l.cfg.DrainBatch {
+				batch = l.cfg.DrainBatch
+			}
+			l.draining = batch
+			// Entries entering the drain can no longer be absorbed into.
+			for _, e := range l.pending[:batch] {
+				if l.absorb[e.lba] == e {
+					delete(l.absorb, e.lba)
+				}
+			}
+			drained := int64(0)
+			i := 0
+			for i < batch {
+				// Coalesce the contiguous run starting at i.
+				run := []*entry{l.pending[i]}
+				next := l.pending[i].lba + int64(len(l.pending[i].data))/int64(l.SectorSize())
+				j := i + 1
+				for j < batch && l.pending[j].lba == next {
+					run = append(run, l.pending[j])
+					next += int64(len(l.pending[j].data)) / int64(l.SectorSize())
+					j++
+				}
+				data := make([]byte, 0)
+				for _, e := range run {
+					data = append(data, e.data...)
+				}
+				if err := l.backing.Write(p, run[0].lba, data, true); err != nil {
+					// Backing failure (power dying): stop; the emergency
+					// path or the dump recovery owns what remains.
+					l.draining = 0
+					return
+				}
+				for _, e := range run {
+					drained += int64(len(e.data))
+				}
+				i = j
+			}
+			// Retire the batch: clear overlay sectors that were not
+			// overwritten meanwhile, release space, update stats.
+			ss := int64(l.SectorSize())
+			for _, e := range l.pending[:batch] {
+				nsec := int64(len(e.data)) / ss
+				for k := int64(0); k < nsec; k++ {
+					if o, ok := l.overlay[e.lba+k]; ok && o.gen == e.gen {
+						delete(l.overlay, e.lba+k)
+					}
+				}
+			}
+			l.pending = l.pending[batch:]
+			l.draining = 0
+			l.space.Release(drained)
+			l.stats.Occupancy.Add(-drained)
+			l.stats.DrainRounds.Inc()
+			l.stats.DrainedBytes.Add(drained)
+		}
+	})
+}
+
+// Dump-zone on-disk format. Everything is written as one sequential burst:
+//
+//	sector 0:  header  = magic(8) version(4) count(4) payloadLen(8) crc(4)
+//	sectors 1+: entries packed back to back, each
+//	           entMagic(4) lba(8) len(4) dataCRC(4) data...
+//
+// and the whole image padded to a sector boundary. Per-entry CRCs make a
+// torn dump recover cleanly to a prefix.
+const (
+	dumpMagic   = "RAPILOG\x00"
+	entMagic    = 0x52504c45 // "RPLE"
+	dumpVersion = 1
+	entHeadLen  = 20
+)
+
+// EmergencyFlush is the power-fail interrupt handler: snapshot everything
+// still buffered (including any batch mid-drain — its backing write may be
+// torn) and stream it to the dump zone in a single sequential FUA write.
+// It races the hold-up deadline; SafeBufferSize is what makes it win.
+func (l *Logger) EmergencyFlush(p *sim.Proc) {
+	if l.emergency {
+		return
+	}
+	l.emergency = true
+	l.stats.EmergencyRuns.Inc()
+	snapshot := l.pending // includes the draining head: replay is idempotent
+	if len(snapshot) == 0 {
+		l.s.Tracef("%s: emergency flush: buffer empty", l.cfg.Name)
+		return
+	}
+
+	ss := l.dump.SectorSize()
+	payload := make([]byte, 0, 1<<16)
+	for _, e := range snapshot {
+		var h [entHeadLen]byte
+		binary.LittleEndian.PutUint32(h[0:], entMagic)
+		binary.LittleEndian.PutUint64(h[4:], uint64(e.lba))
+		binary.LittleEndian.PutUint32(h[12:], uint32(len(e.data)))
+		binary.LittleEndian.PutUint32(h[16:], crc32.ChecksumIEEE(e.data))
+		payload = append(payload, h[:]...)
+		payload = append(payload, e.data...)
+	}
+	header := make([]byte, ss)
+	copy(header, dumpMagic)
+	binary.LittleEndian.PutUint32(header[8:], dumpVersion)
+	binary.LittleEndian.PutUint32(header[12:], uint32(len(snapshot)))
+	binary.LittleEndian.PutUint64(header[16:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(header[24:], crc32.ChecksumIEEE(header[:24]))
+
+	image := append(header, payload...)
+	if pad := len(image) % ss; pad != 0 {
+		image = append(image, make([]byte, ss-pad)...)
+	}
+	l.s.Tracef("%s: emergency flush: dumping %d entries (%d bytes)", l.cfg.Name, len(snapshot), len(payload))
+	if err := l.dump.Write(p, 0, image, true); err != nil {
+		l.s.Tracef("%s: emergency dump failed: %v", l.cfg.Name, err)
+		return
+	}
+	l.stats.DumpedBytes.Add(int64(len(payload)))
+	l.s.Tracef("%s: emergency flush complete at %v", l.cfg.Name, p.Now())
+}
+
+// RecoveryReport summarises what Recover replayed.
+type RecoveryReport struct {
+	Entries int
+	Bytes   int64
+	Torn    bool // the dump ended mid-entry (deadline hit mid-dump)
+	HadDump bool
+}
+
+// Recover runs at boot, before the DBMS's own log recovery: if the dump
+// zone holds a valid dump, replay every intact entry into the log
+// partition (FUA), then invalidate the zone. Replaying is idempotent —
+// entries rewrite the same sectors the drain would have.
+func Recover(p *sim.Proc, logPartition, dumpZone disk.Device) (RecoveryReport, error) {
+	var rep RecoveryReport
+	ss := dumpZone.SectorSize()
+	header, err := dumpZone.Read(p, 0, 1)
+	if err != nil {
+		return rep, err
+	}
+	if string(header[:8]) != dumpMagic {
+		return rep, nil // no dump: clean shutdown or nothing buffered
+	}
+	if crc32.ChecksumIEEE(header[:24]) != binary.LittleEndian.Uint32(header[24:28]) {
+		return rep, fmt.Errorf("%w: header CRC mismatch", ErrBadDump)
+	}
+	if v := binary.LittleEndian.Uint32(header[8:12]); v != dumpVersion {
+		return rep, fmt.Errorf("%w: version %d", ErrBadDump, v)
+	}
+	rep.HadDump = true
+	count := int(binary.LittleEndian.Uint32(header[12:16]))
+	payloadLen := int64(binary.LittleEndian.Uint64(header[16:24]))
+	payloadSectors := int((payloadLen + int64(ss) - 1) / int64(ss))
+	if int64(payloadSectors) > dumpZone.Sectors()-1 {
+		return rep, fmt.Errorf("%w: payload length %d exceeds zone", ErrBadDump, payloadLen)
+	}
+	payload := []byte{}
+	if payloadSectors > 0 {
+		payload, err = dumpZone.Read(p, 1, payloadSectors)
+		if err != nil {
+			return rep, err
+		}
+		payload = payload[:min64(payloadLen, int64(len(payload)))]
+	}
+
+	off := 0
+	for i := 0; i < count; i++ {
+		if off+entHeadLen > len(payload) {
+			rep.Torn = true
+			break
+		}
+		h := payload[off : off+entHeadLen]
+		if binary.LittleEndian.Uint32(h[0:4]) != entMagic {
+			rep.Torn = true
+			break
+		}
+		lba := int64(binary.LittleEndian.Uint64(h[4:12]))
+		dlen := int(binary.LittleEndian.Uint32(h[12:16]))
+		wantCRC := binary.LittleEndian.Uint32(h[16:20])
+		off += entHeadLen
+		if off+dlen > len(payload) {
+			rep.Torn = true
+			break
+		}
+		data := payload[off : off+dlen]
+		off += dlen
+		if crc32.ChecksumIEEE(data) != wantCRC {
+			rep.Torn = true
+			break
+		}
+		if err := logPartition.Write(p, lba, data, true); err != nil {
+			return rep, fmt.Errorf("rapilog: replaying dump entry %d: %v", i, err)
+		}
+		rep.Entries++
+		rep.Bytes += int64(dlen)
+	}
+
+	// Invalidate the dump so a second boot does not replay it over a log
+	// that has moved on.
+	if err := dumpZone.Write(p, 0, make([]byte, ss), true); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

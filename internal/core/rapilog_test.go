@@ -1,0 +1,549 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// rig builds machine + HDD with a log partition and dump zone + logger.
+type rig struct {
+	s       *sim.Sim
+	m       *power.Machine
+	hdd     *disk.HDD
+	logPart *disk.Partition
+	dump    *disk.Partition
+	hvDom   *sim.Domain
+	guest   *sim.Domain
+	l       *Logger
+}
+
+func newRig(t *testing.T, seed int64, psu power.PSUConfig, cfg Config) *rig {
+	t.Helper()
+	s := sim.New(seed)
+	m := power.NewMachine(s, "m0", 4, psu)
+	hdd := disk.NewHDD(s, m.HardwareDomain(), disk.HDDConfig{})
+	m.AttachDevice(hdd)
+	logPart, err := disk.NewPartition(hdd, "log", 0, 262144) // 128 MiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, err := disk.NewPartition(hdd, "dump", 262144, 262144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hvDom := m.NewDomain("hv")
+	guest := m.NewDomain("guest")
+	l, err := NewLogger(m, hvDom, logPart, dump, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{s: s, m: m, hdd: hdd, logPart: logPart, dump: dump, hvDom: hvDom, guest: guest, l: l}
+}
+
+func pattern(n int, seed byte) []byte {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = seed + byte(i%13)
+	}
+	return d
+}
+
+func TestAckLatencyIsMicroseconds(t *testing.T) {
+	r := newRig(t, 1, power.PSUMeasured, Config{})
+	var ack time.Duration
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		start := p.Now()
+		if err := r.l.Write(p, 0, pattern(4096, 1), false); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		ack = p.Now().Sub(start)
+	})
+	if err := r.s.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ack > 50*time.Microsecond {
+		t.Fatalf("buffered write acked in %v, want microseconds", ack)
+	}
+	if r.l.RapiStats().Writes.Value() != 1 {
+		t.Fatal("write not counted")
+	}
+}
+
+func TestFlushIsNoop(t *testing.T) {
+	r := newRig(t, 1, power.PSUMeasured, Config{})
+	var flushTime time.Duration
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		_ = r.l.Write(p, 0, pattern(4096, 1), false)
+		start := p.Now()
+		if err := r.l.Flush(p); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+		flushTime = p.Now().Sub(start)
+	})
+	if err := r.s.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if flushTime != 0 {
+		t.Fatalf("flush took %v, want 0 (no-op barrier)", flushTime)
+	}
+	if r.l.RapiStats().Flushes.Value() != 1 {
+		t.Fatal("flush not counted")
+	}
+}
+
+func TestReadSeesBufferedWrite(t *testing.T) {
+	r := newRig(t, 1, power.PSUMeasured, Config{})
+	var got []byte
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		_ = r.l.Write(p, 10, pattern(512, 9), false)
+		got, _ = r.l.Read(p, 10, 1) // immediately, before any drain
+	})
+	if err := r.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern(512, 9)) {
+		t.Fatal("read did not observe buffered write")
+	}
+}
+
+func TestDrainReachesBackingInOrder(t *testing.T) {
+	r := newRig(t, 1, power.PSUMeasured, Config{})
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			_ = r.l.Write(p, int64(i*8), pattern(4096, byte(i)), false)
+		}
+	})
+	var onMedia [][]byte
+	r.s.Spawn(nil, "check", func(p *sim.Proc) {
+		p.Sleep(500 * time.Millisecond) // plenty for the drain
+		for i := 0; i < 8; i++ {
+			d, err := r.logPart.Read(p, int64(i*8), 8)
+			if err != nil {
+				t.Errorf("read: %v", err)
+			}
+			onMedia = append(onMedia, d)
+		}
+	})
+	if err := r.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range onMedia {
+		if !bytes.Equal(d, pattern(4096, byte(i))) {
+			t.Fatalf("drained data %d mismatch", i)
+		}
+	}
+	if r.l.BufferedBytes() != 0 {
+		t.Fatalf("buffer not empty after drain: %d bytes", r.l.BufferedBytes())
+	}
+}
+
+func TestBufferBoundNeverExceeded(t *testing.T) {
+	r := newRig(t, 2, power.PSUMeasured, Config{MaxBuffer: 64 * 1024})
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			_ = r.l.Write(p, int64(i*8), pattern(4096, byte(i)), false)
+		}
+	})
+	if err := r.s.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if peak := r.l.RapiStats().Occupancy.Peak(); peak > 64*1024 {
+		t.Fatalf("buffer peaked at %d, bound 65536", peak)
+	}
+	if r.l.RapiStats().Throttled.Value() == 0 {
+		t.Fatal("200×4KiB against a 64KiB bound never throttled")
+	}
+	if r.l.RapiStats().Writes.Value() != 200 {
+		t.Fatalf("only %d/200 writes completed (throttled writer starved?)", r.l.RapiStats().Writes.Value())
+	}
+}
+
+func TestGuestCrashDoesNotLoseBufferedData(t *testing.T) {
+	r := newRig(t, 3, power.PSUMeasured, Config{})
+	payload := pattern(8192, 0x42)
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		if err := r.l.Write(p, 100, payload, false); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		r.guest.Kill() // the guest OS dies right after the ack
+	})
+	var got []byte
+	r.s.Spawn(nil, "check", func(p *sim.Proc) {
+		p.Sleep(500 * time.Millisecond)
+		got, _ = r.logPart.Read(p, 100, 16)
+	})
+	if err := r.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("acknowledged write lost after guest crash (hypervisor drain failed)")
+	}
+}
+
+func TestPowerFailureDumpAndRecover(t *testing.T) {
+	r := newRig(t, 4, power.PSUMeasured, Config{})
+	var acked [][2]interface{} // lba, data
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			lba := int64(i * 16)
+			data := pattern(8192, byte(i+1))
+			if err := r.l.Write(p, lba, data, false); err != nil {
+				return
+			}
+			acked = append(acked, [2]interface{}{lba, data})
+		}
+		r.m.CutPower() // plug pulled right after the 20th ack
+		p.Sleep(time.Hour)
+	})
+	var rep RecoveryReport
+	var verified bool
+	r.s.Spawn(nil, "operator", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		r.m.RestorePower()
+		boot := r.s.NewDomain("boot")
+		r.s.Spawn(boot, "recover", func(p *sim.Proc) {
+			var err error
+			rep, err = Recover(p, r.logPart, r.dump)
+			if err != nil {
+				t.Errorf("recover: %v", err)
+				return
+			}
+			for _, a := range acked {
+				lba, data := a[0].(int64), a[1].([]byte)
+				got, err := r.logPart.Read(p, lba, len(data)/512)
+				if err != nil || !bytes.Equal(got, data) {
+					t.Errorf("acked write at lba %d not durable after recovery", lba)
+					return
+				}
+			}
+			verified = true
+		})
+	})
+	if err := r.s.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(acked) != 20 {
+		t.Fatalf("only %d writes acked before power cut", len(acked))
+	}
+	if !verified {
+		t.Fatal("verification did not complete")
+	}
+	if !rep.HadDump {
+		t.Fatal("no dump found (everything drained already? timing too generous)")
+	}
+	if rep.Torn {
+		t.Fatal("dump was torn despite safe buffer bound")
+	}
+	if r.l.RapiStats().EmergencyRuns.Value() != 1 {
+		t.Fatal("emergency flush did not run")
+	}
+}
+
+func TestRecoverIsIdempotent(t *testing.T) {
+	r := newRig(t, 5, power.PSUMeasured, Config{})
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		_ = r.l.Write(p, 0, pattern(4096, 7), false)
+		r.m.CutPower()
+		p.Sleep(time.Hour)
+	})
+	r.s.Spawn(nil, "operator", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		r.m.RestorePower()
+		boot := r.s.NewDomain("boot")
+		r.s.Spawn(boot, "recover", func(p *sim.Proc) {
+			rep1, err := Recover(p, r.logPart, r.dump)
+			if err != nil {
+				t.Errorf("first recover: %v", err)
+			}
+			rep2, err := Recover(p, r.logPart, r.dump)
+			if err != nil {
+				t.Errorf("second recover: %v", err)
+			}
+			if rep1.HadDump && rep2.HadDump {
+				t.Error("second Recover replayed an already-consumed dump")
+			}
+		})
+	})
+	if err := r.s.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmergencyWithEmptyBufferLeavesNoDump(t *testing.T) {
+	r := newRig(t, 6, power.PSUMeasured, Config{})
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		_ = r.l.Write(p, 0, pattern(4096, 1), false)
+		p.Sleep(time.Second) // drain completes
+		r.m.CutPower()
+		p.Sleep(time.Hour)
+	})
+	r.s.Spawn(nil, "operator", func(p *sim.Proc) {
+		p.Sleep(3 * time.Second)
+		r.m.RestorePower()
+		boot := r.s.NewDomain("boot")
+		r.s.Spawn(boot, "recover", func(p *sim.Proc) {
+			rep, err := Recover(p, r.logPart, r.dump)
+			if err != nil {
+				t.Errorf("recover: %v", err)
+			}
+			if rep.HadDump {
+				t.Error("dump written despite empty buffer")
+			}
+		})
+	})
+	if err := r.s.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsafeOversizedBufferTearsOnTightPSU(t *testing.T) {
+	// ATX-spec hold-up is too short to dump megabytes: the deadline lands
+	// mid-dump and recovery sees a torn prefix. This is ablation A3's
+	// mechanism and exactly why SafeBufferSize exists.
+	s := sim.New(7)
+	m := power.NewMachine(s, "m0", 4, power.PSUATXSpec)
+	hdd := disk.NewHDD(s, m.HardwareDomain(), disk.HDDConfig{})
+	m.AttachDevice(hdd)
+	logPart, _ := disk.NewPartition(hdd, "log", 0, 262144)
+	dump, _ := disk.NewPartition(hdd, "dump", 262144, 262144)
+	hvDom := m.NewDomain("hv")
+	guest := m.NewDomain("guest")
+	l, err := NewLogger(m, hvDom, logPart, dump, Config{MaxBuffer: 8 << 20, Unsafe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked int
+	s.Spawn(guest, "db", func(p *sim.Proc) {
+		for i := 0; i < 1500; i++ {
+			if err := l.Write(p, int64(i*8), pattern(4096, byte(i)), false); err != nil {
+				return
+			}
+			acked++
+		}
+		m.CutPower()
+		p.Sleep(time.Hour)
+	})
+	var rep RecoveryReport
+	s.Spawn(nil, "operator", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		m.RestorePower()
+		boot := s.NewDomain("boot")
+		s.Spawn(boot, "recover", func(p *sim.Proc) {
+			rep, _ = Recover(p, logPart, dump)
+		})
+	})
+	if err := s.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HadDump {
+		t.Fatal("no dump header on media at all")
+	}
+	if !rep.Torn {
+		t.Fatalf("dump not torn (%d entries recovered) — expected the ATX deadline to cut it off", rep.Entries)
+	}
+	if rep.Entries >= acked {
+		t.Fatalf("recovered %d >= acked %d, expected losses", rep.Entries, acked)
+	}
+}
+
+func TestNewLoggerRejectsUnsafeBound(t *testing.T) {
+	s := sim.New(8)
+	m := power.NewMachine(s, "m0", 4, power.PSUMeasured)
+	hdd := disk.NewHDD(s, m.HardwareDomain(), disk.HDDConfig{})
+	m.AttachDevice(hdd)
+	logPart, _ := disk.NewPartition(hdd, "log", 0, 262144)
+	dump, _ := disk.NewPartition(hdd, "dump", 262144, 262144)
+	safe := SafeBufferSize(m, dump)
+	if safe <= 0 {
+		t.Fatal("no safe buffer for the measured PSU (model broken)")
+	}
+	if _, err := NewLogger(m, m.NewDomain("hv"), logPart, dump, Config{MaxBuffer: safe * 2}); err == nil {
+		t.Fatal("oversized MaxBuffer accepted without Unsafe")
+	}
+	if _, err := NewLogger(m, m.NewDomain("hv2"), logPart, dump, Config{MaxBuffer: safe * 2, Unsafe: true}); err != nil {
+		// Still subject to the zone capacity check, which 2×safe passes here.
+		t.Fatalf("Unsafe oversize rejected: %v", err)
+	}
+}
+
+func TestNewLoggerRejectsHopelessPSU(t *testing.T) {
+	s := sim.New(9)
+	// Hold-up shorter than the interrupt latency: no budget at all.
+	m := power.NewMachine(s, "m0", 4, power.PSUConfig{
+		Name: "hopeless", HoldupMin: time.Millisecond, HoldupMax: time.Millisecond,
+		InterruptLatency: 2 * time.Millisecond,
+	})
+	hdd := disk.NewHDD(s, m.HardwareDomain(), disk.HDDConfig{})
+	m.AttachDevice(hdd)
+	logPart, _ := disk.NewPartition(hdd, "log", 0, 262144)
+	dump, _ := disk.NewPartition(hdd, "dump", 262144, 262144)
+	if _, err := NewLogger(m, m.NewDomain("hv"), logPart, dump, Config{}); err == nil {
+		t.Fatal("logger created with zero flush budget")
+	}
+}
+
+func TestOversizedSingleWriteRejected(t *testing.T) {
+	r := newRig(t, 10, power.PSUMeasured, Config{MaxBuffer: 4096})
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		err := r.l.Write(p, 0, pattern(8192, 1), false)
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("oversized write: %v", err)
+		}
+	})
+	if err := r.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSafeBufferSizeScalesWithHoldup(t *testing.T) {
+	s := sim.New(11)
+	mk := func(psu power.PSUConfig) int64 {
+		m := power.NewMachine(s, "m-"+psu.Name, 4, psu)
+		hdd := disk.NewHDD(s, m.HardwareDomain(), disk.HDDConfig{})
+		dump, _ := disk.NewPartition(hdd, "dump", 0, 1<<20)
+		return SafeBufferSize(m, dump)
+	}
+	spec := mk(power.PSUATXSpec)
+	typ := mk(power.PSUTypical)
+	meas := mk(power.PSUMeasured)
+	if !(spec < typ && typ < meas) {
+		t.Fatalf("SafeBufferSize not monotone in hold-up: %d, %d, %d", spec, typ, meas)
+	}
+	if meas <= 0 {
+		t.Fatal("measured PSU gives no budget")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	r := newRig(t, 12, power.PSUMeasured, Config{})
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		if err := r.l.Write(p, 0, pattern(100, 1), false); !errors.Is(err, disk.ErrMisaligned) {
+			t.Errorf("misaligned: %v", err)
+		}
+		if err := r.l.Write(p, r.l.Sectors(), pattern(512, 1), false); !errors.Is(err, disk.ErrOutOfRange) {
+			t.Errorf("out of range: %v", err)
+		}
+	})
+	if err := r.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The central durability property, randomised: under random write sequences
+// and a power cut at a random moment, every write acknowledged before the
+// cut is present in the log partition after dump recovery.
+func TestDurabilityUnderRandomPowerCutProperty(t *testing.T) {
+	prop := func(seed int64, cutAfterWrites uint8) bool {
+		r := newRig(t, seed, power.PSUMeasured, Config{})
+		cut := int(cutAfterWrites%40) + 1
+		type ackRec struct {
+			lba  int64
+			data []byte
+		}
+		var acked []ackRec
+		r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+			lba := int64(0)
+			for i := 0; ; i++ {
+				n := (1 + r.s.Rand().Intn(16)) * 512
+				data := pattern(n, byte(i+1))
+				if err := r.l.Write(p, lba, data, false); err != nil {
+					return
+				}
+				acked = append(acked, ackRec{lba, data})
+				lba += int64(n / 512)
+				if len(acked) >= cut {
+					r.m.CutPower()
+					p.Sleep(time.Hour)
+				}
+				if r.s.Rand().Intn(3) == 0 {
+					p.Sleep(time.Duration(r.s.Rand().Intn(2000)) * time.Microsecond)
+				}
+			}
+		})
+		ok := true
+		r.s.Spawn(nil, "operator", func(p *sim.Proc) {
+			p.Sleep(3 * time.Second)
+			r.m.RestorePower()
+			boot := r.s.NewDomain("boot")
+			r.s.Spawn(boot, "recover", func(p *sim.Proc) {
+				if _, err := Recover(p, r.logPart, r.dump); err != nil {
+					ok = false
+					return
+				}
+				for _, a := range acked {
+					got, err := r.logPart.Read(p, a.lba, len(a.data)/512)
+					if err != nil || !bytes.Equal(got, a.data) {
+						ok = false
+						return
+					}
+				}
+			})
+		})
+		if err := r.s.RunFor(10 * time.Second); err != nil {
+			t.Logf("seed=%d: %v", seed, err)
+			return false
+		}
+		if !ok {
+			t.Logf("seed=%d cut=%d: acked write lost", seed, cut)
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainCoalescesContiguousWrites(t *testing.T) {
+	r := newRig(t, 13, power.PSUMeasured, Config{})
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		// 16 back-to-back 4KiB appends: classic log tail behaviour.
+		for i := 0; i < 16; i++ {
+			_ = r.l.Write(p, int64(i*8), pattern(4096, byte(i)), false)
+		}
+	})
+	if err := r.s.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// All 16 appends should drain in very few physical writes.
+	w := r.hdd.Stats().Writes.Value()
+	if w > 4 {
+		t.Fatalf("drain used %d physical writes for 16 contiguous appends, want coalescing", w)
+	}
+	if r.l.RapiStats().DrainedBytes.Value() != 16*4096 {
+		t.Fatalf("drained bytes = %d", r.l.RapiStats().DrainedBytes.Value())
+	}
+}
+
+func TestLoggerDeviceAccessors(t *testing.T) {
+	r := newRig(t, 14, power.PSUMeasured, Config{})
+	if r.l.SectorSize() != r.logPart.SectorSize() || r.l.Sectors() != r.logPart.Sectors() {
+		t.Fatal("geometry not delegated")
+	}
+	if r.l.Name() == "" || r.l.MaxBuffer() <= 0 {
+		t.Fatal("accessor defaults wrong")
+	}
+	if fmt.Sprint(r.l.SeqWriteBandwidth()) == "0" {
+		t.Fatal("zero copy bandwidth")
+	}
+}
+
+func TestUPSHoldupIsZoneCapped(t *testing.T) {
+	// With a UPS-class hold-up, the budget term is enormous and the dump
+	// zone's payload capacity becomes the binding constraint.
+	s := sim.New(15)
+	m := power.NewMachine(s, "m0", 4, power.PSUWithUPS)
+	hdd := disk.NewHDD(s, m.HardwareDomain(), disk.HDDConfig{})
+	dump, _ := disk.NewPartition(hdd, "dump", 0, 131072) // 64 MiB
+	safe := SafeBufferSize(m, dump)
+	if want := zonePayloadCapacity(dump); safe != want {
+		t.Fatalf("UPS safe bound %d, want zone cap %d", safe, want)
+	}
+}

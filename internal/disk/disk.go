@@ -1,0 +1,200 @@
+// Package disk models block storage devices on the simulation's virtual
+// clock: a mechanically modelled rotating disk (HDD), a flash device (SSD),
+// and a RAM-backed device, plus Partition views over sub-ranges.
+//
+// The models capture exactly the properties the RapiLog argument depends on:
+//
+//   - a synchronous small write to a rotating disk costs a seek plus about
+//     half a rotation — milliseconds;
+//   - sequential streaming achieves track bandwidth — tens of MB/s;
+//   - volatile write caches make writes fast and unsafe: their contents are
+//     lost on power failure;
+//   - a write in flight when power dies is torn at sector granularity — the
+//     prefix is on the platter, the rest is gone.
+//
+// All methods that perform I/O take a *sim.Proc and block the calling
+// process for the modelled service time. Media contents survive power
+// failure; caches and in-flight requests do not.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Common device errors.
+var (
+	ErrOutOfRange = errors.New("disk: access beyond device extent")
+	ErrMisaligned = errors.New("disk: length not a multiple of the sector size")
+	ErrNoPower    = errors.New("disk: device is powered off")
+)
+
+// Device is a block device on virtual time. Offsets and lengths are in
+// sectors; data lengths must be multiples of the sector size.
+type Device interface {
+	// Name identifies the device in traces and stats.
+	Name() string
+	// SectorSize returns the sector size in bytes.
+	SectorSize() int
+	// Sectors returns the device capacity in sectors.
+	Sectors() int64
+	// Read fills and returns a buffer of nsec sectors starting at lba,
+	// blocking p for the modelled service time.
+	Read(p *sim.Proc, lba int64, nsec int) ([]byte, error)
+	// Write stores data at lba, blocking p for the modelled service time.
+	// With fua set, the write bypasses any volatile cache and is on media
+	// when Write returns; otherwise it may be cached.
+	Write(p *sim.Proc, lba int64, data []byte, fua bool) error
+	// Flush blocks p until all cached writes are on media.
+	Flush(p *sim.Proc) error
+	// SeqWriteBandwidth returns the sustained sequential write bandwidth in
+	// bytes per second — the figure RapiLog's buffer-sizing rule uses.
+	SeqWriteBandwidth() float64
+	// WorstCaseAccess returns the worst-case positioning delay before a
+	// sequential stream starts (full seek plus a rotation for an HDD).
+	WorstCaseAccess() time.Duration
+	// Stats returns the device's counters (live; not a copy).
+	Stats() *Stats
+}
+
+// PowerAware devices react to machine power transitions. PowerFail drops
+// volatile state immediately; PowerOn restores service, spawning any
+// background machinery into dom.
+type PowerAware interface {
+	PowerFail()
+	PowerOn(dom *sim.Domain)
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	Reads          *metrics.Counter
+	Writes         *metrics.Counter
+	SectorsRead    *metrics.Counter
+	SectorsWritten *metrics.Counter
+	Flushes        *metrics.Counter
+	CacheHits      *metrics.Counter // writes absorbed by the volatile cache
+	ReadLatency    *metrics.Histogram
+	WriteLatency   *metrics.Histogram
+	TornWrites     *metrics.Counter // requests only partially on media at power fail
+}
+
+func newStats(name string) *Stats {
+	return &Stats{
+		Reads:          metrics.NewCounter(name + ".reads"),
+		Writes:         metrics.NewCounter(name + ".writes"),
+		SectorsRead:    metrics.NewCounter(name + ".sectors_read"),
+		SectorsWritten: metrics.NewCounter(name + ".sectors_written"),
+		Flushes:        metrics.NewCounter(name + ".flushes"),
+		CacheHits:      metrics.NewCounter(name + ".cache_hits"),
+		ReadLatency:    metrics.NewHistogram(name + ".read_latency"),
+		WriteLatency:   metrics.NewHistogram(name + ".write_latency"),
+		TornWrites:     metrics.NewCounter(name + ".torn_writes"),
+	}
+}
+
+// checkRange validates an access against a device extent.
+func checkRange(lba int64, nsec int, sectors int64, sectorSize, dataLen int) error {
+	if dataLen >= 0 && dataLen%sectorSize != 0 {
+		return ErrMisaligned
+	}
+	if lba < 0 || nsec < 0 || lba+int64(nsec) > sectors {
+		return fmt.Errorf("%w: lba=%d nsec=%d cap=%d", ErrOutOfRange, lba, nsec, sectors)
+	}
+	return nil
+}
+
+// media is sparse sector storage representing the platter/flash array.
+// Contents survive power failure.
+type media struct {
+	sectorSize int
+	sectors    map[int64][]byte
+}
+
+func newMedia(sectorSize int) *media {
+	return &media{sectorSize: sectorSize, sectors: make(map[int64][]byte)}
+}
+
+// writeSectors persists data (len multiple of sectorSize) starting at lba.
+func (m *media) writeSectors(lba int64, data []byte) {
+	for off := 0; off < len(data); off += m.sectorSize {
+		sec := make([]byte, m.sectorSize)
+		copy(sec, data[off:off+m.sectorSize])
+		m.sectors[lba+int64(off/m.sectorSize)] = sec
+	}
+}
+
+// readSectors returns nsec sectors from lba; unwritten sectors read as zero.
+func (m *media) readSectors(lba int64, nsec int) []byte {
+	out := make([]byte, nsec*m.sectorSize)
+	for i := 0; i < nsec; i++ {
+		if sec, ok := m.sectors[lba+int64(i)]; ok {
+			copy(out[i*m.sectorSize:], sec)
+		}
+	}
+	return out
+}
+
+// Partition exposes a contiguous sector range of a parent device as a
+// Device. Flushes pass through to the whole parent.
+type Partition struct {
+	parent Device
+	name   string
+	start  int64
+	count  int64
+}
+
+// NewPartition creates a view of count sectors starting at start.
+func NewPartition(parent Device, name string, start, count int64) (*Partition, error) {
+	if start < 0 || count < 0 || start+count > parent.Sectors() {
+		return nil, fmt.Errorf("%w: partition %q [%d,+%d) on %d-sector device",
+			ErrOutOfRange, name, start, count, parent.Sectors())
+	}
+	return &Partition{parent: parent, name: name, start: start, count: count}, nil
+}
+
+// Name returns the partition name.
+func (pt *Partition) Name() string { return pt.name }
+
+// SectorSize returns the parent's sector size.
+func (pt *Partition) SectorSize() int { return pt.parent.SectorSize() }
+
+// Sectors returns the partition length in sectors.
+func (pt *Partition) Sectors() int64 { return pt.count }
+
+// Start returns the partition's first sector on the parent device.
+func (pt *Partition) Start() int64 { return pt.start }
+
+// Parent returns the underlying device.
+func (pt *Partition) Parent() Device { return pt.parent }
+
+// Read implements Device.
+func (pt *Partition) Read(p *sim.Proc, lba int64, nsec int) ([]byte, error) {
+	if err := checkRange(lba, nsec, pt.count, pt.SectorSize(), -1); err != nil {
+		return nil, err
+	}
+	return pt.parent.Read(p, pt.start+lba, nsec)
+}
+
+// Write implements Device.
+func (pt *Partition) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
+	if err := checkRange(lba, len(data)/pt.SectorSize(), pt.count, pt.SectorSize(), len(data)); err != nil {
+		return err
+	}
+	return pt.parent.Write(p, pt.start+lba, data, fua)
+}
+
+// Flush implements Device.
+func (pt *Partition) Flush(p *sim.Proc) error { return pt.parent.Flush(p) }
+
+// SeqWriteBandwidth implements Device.
+func (pt *Partition) SeqWriteBandwidth() float64 { return pt.parent.SeqWriteBandwidth() }
+
+// WorstCaseAccess implements Device.
+func (pt *Partition) WorstCaseAccess() time.Duration { return pt.parent.WorstCaseAccess() }
+
+// Stats implements Device (shared with the parent).
+func (pt *Partition) Stats() *Stats { return pt.parent.Stats() }

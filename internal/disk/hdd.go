@@ -1,0 +1,472 @@
+package disk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// HDDConfig parameterises the rotating-disk model.
+type HDDConfig struct {
+	Name            string
+	SectorSize      int           // bytes; default 512
+	Cylinders       int           // default 8192
+	Heads           int           // tracks per cylinder; default 4
+	SectorsPerTrack int           // default 500
+	RPM             int           // default 7200
+	SeekMin         time.Duration // track-to-track; default 500µs
+	SeekMax         time.Duration // full stroke; default 8ms
+	// WriteCache enables the volatile on-drive cache: non-FUA writes are
+	// absorbed at bus speed and drained to media in the background. The
+	// cache is lost on power failure — this is the unsafe fast path real
+	// drives ship with and databases must defeat with FUA/flush.
+	WriteCache   bool
+	CacheSectors int     // cache capacity; default 16384 (8 MiB at 512 B)
+	ChunkSectors int     // media commit granularity; default 8 (4 KiB)
+	BusBandwidth float64 // bytes/s host<->drive; default 300 MB/s
+}
+
+func (c *HDDConfig) applyDefaults() {
+	if c.Name == "" {
+		c.Name = "hdd"
+	}
+	if c.SectorSize == 0 {
+		c.SectorSize = 512
+	}
+	if c.Cylinders == 0 {
+		c.Cylinders = 8192
+	}
+	if c.Heads == 0 {
+		c.Heads = 4
+	}
+	if c.SectorsPerTrack == 0 {
+		c.SectorsPerTrack = 500
+	}
+	if c.RPM == 0 {
+		c.RPM = 7200
+	}
+	if c.SeekMin == 0 {
+		c.SeekMin = 500 * time.Microsecond
+	}
+	if c.SeekMax == 0 {
+		c.SeekMax = 8 * time.Millisecond
+	}
+	if c.CacheSectors == 0 {
+		c.CacheSectors = 16384
+	}
+	if c.ChunkSectors == 0 {
+		c.ChunkSectors = 8
+	}
+	if c.BusBandwidth == 0 {
+		c.BusBandwidth = 300e6
+	}
+}
+
+// HDD is a mechanically modelled rotating disk: seek time scales with the
+// square root of cylinder distance, rotational delay follows a continuously
+// spinning platter, and transfers stream at track bandwidth. Media commits
+// happen in ChunkSectors units, so a process killed mid-write (guest crash,
+// power loss) leaves a torn request: the committed prefix survives.
+type HDD struct {
+	cfg     HDDConfig
+	s       *sim.Sim
+	med     *media
+	stats   *Stats
+	powered bool
+
+	arm       *sim.Mutex // serialises head usage
+	curCyl    int
+	rotPeriod time.Duration
+	perSector time.Duration
+
+	// Volatile write cache.
+	cache      map[int64]*cacheEntry
+	cacheGen   uint64
+	epoch      int // bumped on power failure; stale drainers retire
+	cacheSpace *sim.Resource
+	dirtySig   *sim.Signal // new dirty data for the drainer
+	drainedSig *sim.Signal // batch reached media, for Flush waiters
+	drainPos   int64       // elevator sweep position
+}
+
+type cacheEntry struct {
+	data []byte
+	gen  uint64
+}
+
+// NewHDD creates a powered-on HDD and spawns its cache drainer (if the
+// write cache is enabled) into dom.
+func NewHDD(s *sim.Sim, dom *sim.Domain, cfg HDDConfig) *HDD {
+	cfg.applyDefaults()
+	d := &HDD{
+		cfg:       cfg,
+		s:         s,
+		med:       newMedia(cfg.SectorSize),
+		stats:     newStats(cfg.Name),
+		powered:   true,
+		arm:       s.NewMutex(cfg.Name + ".arm"),
+		rotPeriod: time.Duration(float64(time.Minute) / float64(cfg.RPM)),
+	}
+	d.perSector = d.rotPeriod / time.Duration(cfg.SectorsPerTrack)
+	d.resetCache()
+	if cfg.WriteCache {
+		d.spawnDrainer(dom)
+	}
+	return d
+}
+
+func (d *HDD) resetCache() {
+	d.cache = make(map[int64]*cacheEntry)
+	d.cacheSpace = d.s.NewResource(d.cfg.Name+".cache", int64(d.cfg.CacheSectors))
+	d.dirtySig = d.s.NewSignal(d.cfg.Name + ".dirty")
+	d.drainedSig = d.s.NewSignal(d.cfg.Name + ".drained")
+}
+
+// Name implements Device.
+func (d *HDD) Name() string { return d.cfg.Name }
+
+// SectorSize implements Device.
+func (d *HDD) SectorSize() int { return d.cfg.SectorSize }
+
+// Sectors implements Device.
+func (d *HDD) Sectors() int64 {
+	return int64(d.cfg.Cylinders) * int64(d.cfg.Heads) * int64(d.cfg.SectorsPerTrack)
+}
+
+// Stats implements Device.
+func (d *HDD) Stats() *Stats { return d.stats }
+
+// SeqWriteBandwidth implements Device: one track per rotation.
+func (d *HDD) SeqWriteBandwidth() float64 {
+	trackBytes := float64(d.cfg.SectorsPerTrack * d.cfg.SectorSize)
+	return trackBytes / d.rotPeriod.Seconds()
+}
+
+// WorstCaseAccess implements Device: full-stroke seek plus one rotation.
+func (d *HDD) WorstCaseAccess() time.Duration { return d.cfg.SeekMax + d.rotPeriod }
+
+// RotationPeriod returns the platter's rotation period.
+func (d *HDD) RotationPeriod() time.Duration { return d.rotPeriod }
+
+// CacheDirtySectors returns the number of sectors waiting in the volatile
+// cache.
+func (d *HDD) CacheDirtySectors() int { return len(d.cache) }
+
+func (d *HDD) sectorsPerCyl() int64 { return int64(d.cfg.Heads) * int64(d.cfg.SectorsPerTrack) }
+
+func (d *HDD) cylOf(lba int64) int { return int(lba / d.sectorsPerCyl()) }
+
+// seekTime models seek latency as min + (max-min)·sqrt(distance/full).
+func (d *HDD) seekTime(from, to int) time.Duration {
+	if from == to {
+		return 0
+	}
+	dist := math.Abs(float64(to - from))
+	frac := math.Sqrt(dist / float64(d.cfg.Cylinders-1))
+	return d.cfg.SeekMin + time.Duration(frac*float64(d.cfg.SeekMax-d.cfg.SeekMin))
+}
+
+// rotationalDelay returns the wait for the target in-track sector to pass
+// under the head, given the continuously spinning platter.
+func (d *HDD) rotationalDelay(lba int64) time.Duration {
+	target := float64(lba%int64(d.cfg.SectorsPerTrack)) / float64(d.cfg.SectorsPerTrack)
+	phase := float64(d.s.Now()%sim.Time(d.rotPeriod)) / float64(d.rotPeriod)
+	frac := target - phase
+	if frac < 0 {
+		frac++
+	}
+	return time.Duration(frac * float64(d.rotPeriod))
+}
+
+// mechanicalIO performs a media access with the arm held: position, then
+// stream chunk by chunk, committing each chunk (for writes) as it passes
+// under the head. A kill mid-stream leaves the committed prefix: a torn
+// write.
+func (d *HDD) mechanicalIO(p *sim.Proc, lba int64, nsec int, data []byte) []byte {
+	epoch := d.epoch
+	done := false
+	if data != nil {
+		defer func() {
+			if !done {
+				d.stats.TornWrites.Inc()
+			}
+		}()
+	}
+
+	if cyl := d.cylOf(lba); cyl != d.curCyl {
+		p.Sleep(d.seekTime(d.curCyl, cyl))
+		d.curCyl = cyl
+	}
+	p.Sleep(d.rotationalDelay(lba))
+
+	var out []byte
+	if data == nil {
+		out = make([]byte, 0, nsec*d.cfg.SectorSize)
+	}
+	for off := 0; off < nsec; {
+		if !d.powered || d.epoch != epoch {
+			return out // power died mid-transfer: the prefix is all there is
+		}
+		chunk := d.cfg.ChunkSectors
+		if off+chunk > nsec {
+			chunk = nsec - off
+		}
+		start := lba + int64(off)
+		// Crossing into a new cylinder costs a track-to-track seek.
+		if cyl := d.cylOf(start); cyl != d.curCyl {
+			p.Sleep(d.cfg.SeekMin)
+			d.curCyl = cyl
+		}
+		p.Sleep(time.Duration(chunk) * d.perSector)
+		if data != nil {
+			d.med.writeSectors(start, data[off*d.cfg.SectorSize:(off+chunk)*d.cfg.SectorSize])
+			d.stats.SectorsWritten.Add(int64(chunk))
+		} else {
+			out = append(out, d.med.readSectors(start, chunk)...)
+			d.stats.SectorsRead.Add(int64(chunk))
+		}
+		off += chunk
+	}
+	done = true
+	return out
+}
+
+// Read implements Device: cached sectors overlay media contents.
+func (d *HDD) Read(p *sim.Proc, lba int64, nsec int) ([]byte, error) {
+	if !d.powered {
+		return nil, ErrNoPower
+	}
+	if err := checkRange(lba, nsec, d.Sectors(), d.cfg.SectorSize, -1); err != nil {
+		return nil, err
+	}
+	start := p.Now()
+	d.stats.Reads.Inc()
+
+	// Fast path: every sector is in the cache — bus transfer only.
+	allCached := d.cfg.WriteCache
+	if allCached {
+		for i := 0; i < nsec; i++ {
+			if _, ok := d.cache[lba+int64(i)]; !ok {
+				allCached = false
+				break
+			}
+		}
+	}
+	var out []byte
+	if allCached && nsec > 0 {
+		p.Sleep(d.busTime(nsec))
+		out = make([]byte, 0, nsec*d.cfg.SectorSize)
+		for i := 0; i < nsec; i++ {
+			out = append(out, d.cache[lba+int64(i)].data...)
+		}
+	} else {
+		d.arm.Lock(p)
+		func() {
+			defer d.arm.Unlock(p)
+			out = d.mechanicalIO(p, lba, nsec, nil)
+		}()
+		// Overlay any sectors that are newer in the cache.
+		for i := 0; i < nsec; i++ {
+			if e, ok := d.cache[lba+int64(i)]; ok {
+				copy(out[i*d.cfg.SectorSize:], e.data)
+			}
+		}
+	}
+	d.stats.ReadLatency.Observe(p.Now().Sub(start))
+	return out, nil
+}
+
+func (d *HDD) busTime(nsec int) time.Duration {
+	bytes := float64(nsec * d.cfg.SectorSize)
+	return 10*time.Microsecond + time.Duration(bytes/d.cfg.BusBandwidth*float64(time.Second))
+}
+
+// Write implements Device.
+func (d *HDD) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
+	if !d.powered {
+		return ErrNoPower
+	}
+	nsec := len(data) / d.cfg.SectorSize
+	if err := checkRange(lba, nsec, d.Sectors(), d.cfg.SectorSize, len(data)); err != nil {
+		return err
+	}
+	start := p.Now()
+	d.stats.Writes.Inc()
+
+	// Requests larger than the whole cache bypass it (no admission could
+	// ever succeed); they take the direct media path below.
+	if d.cfg.WriteCache && !fua && nsec <= d.cfg.CacheSectors {
+		// Absorb into the volatile cache at bus speed. Admission must be
+		// atomic with the occupancy count: counting, then blocking in
+		// Acquire, would let the drainer retire overlapping sectors in
+		// between and corrupt the accounting — so recount after every
+		// wait until the claim succeeds in one step.
+		for {
+			newSectors := int64(0)
+			for i := 0; i < nsec; i++ {
+				if _, ok := d.cache[lba+int64(i)]; !ok {
+					newSectors++
+				}
+			}
+			if d.cacheSpace.TryAcquire(p, newSectors) {
+				break
+			}
+			d.dirtySig.Broadcast() // nudge the drainer
+			d.drainedSig.Wait(p)
+		}
+		d.cacheGen++
+		for i := 0; i < nsec; i++ {
+			sec := make([]byte, d.cfg.SectorSize)
+			copy(sec, data[i*d.cfg.SectorSize:(i+1)*d.cfg.SectorSize])
+			d.cache[lba+int64(i)] = &cacheEntry{data: sec, gen: d.cacheGen}
+		}
+		p.Sleep(d.busTime(nsec))
+		d.stats.CacheHits.Inc()
+		d.dirtySig.Broadcast()
+		d.stats.WriteLatency.Observe(p.Now().Sub(start))
+		return nil
+	}
+
+	// Direct media path. Supersede any cached copies of these sectors so a
+	// later drain cannot overwrite this (newer) data.
+	if d.cfg.WriteCache {
+		released := int64(0)
+		for i := 0; i < nsec; i++ {
+			if _, ok := d.cache[lba+int64(i)]; ok {
+				delete(d.cache, lba+int64(i))
+				released++
+			}
+		}
+		d.cacheSpace.Release(released)
+	}
+	d.arm.Lock(p)
+	func() {
+		defer d.arm.Unlock(p)
+		d.mechanicalIO(p, lba, nsec, data)
+	}()
+	d.stats.WriteLatency.Observe(p.Now().Sub(start))
+	return nil
+}
+
+// Flush implements Device: block until the volatile cache is empty.
+func (d *HDD) Flush(p *sim.Proc) error {
+	if !d.powered {
+		return ErrNoPower
+	}
+	d.stats.Flushes.Inc()
+	if !d.cfg.WriteCache {
+		return nil
+	}
+	d.dirtySig.Broadcast() // nudge the drainer
+	for len(d.cache) > 0 {
+		d.drainedSig.Wait(p)
+	}
+	return nil
+}
+
+// spawnDrainer starts the background cache writeback process: an elevator
+// sweep that coalesces contiguous dirty runs into streaming media writes.
+func (d *HDD) spawnDrainer(dom *sim.Domain) {
+	epoch := d.epoch
+	d.s.Spawn(dom, d.cfg.Name+".drain", func(p *sim.Proc) {
+		p.SetDaemon(true)
+		for {
+			if d.epoch != epoch {
+				return // a power cycle happened; a fresh drainer owns the cache
+			}
+			if len(d.cache) == 0 {
+				d.dirtySig.Wait(p)
+				continue
+			}
+			lbas, snap := d.nextDrainRun()
+			if len(lbas) == 0 {
+				continue
+			}
+			data := make([]byte, 0, len(lbas)*d.cfg.SectorSize)
+			for _, lba := range lbas {
+				data = append(data, snap[lba].data...)
+			}
+			d.arm.Lock(p)
+			func() {
+				defer d.arm.Unlock(p)
+				d.mechanicalIO(p, lbas[0], len(lbas), data)
+			}()
+			// Retire sectors not rewritten while we were draining.
+			released := int64(0)
+			for _, lba := range lbas {
+				if cur, ok := d.cache[lba]; ok && cur.gen == snap[lba].gen {
+					delete(d.cache, lba)
+					released++
+				}
+			}
+			d.cacheSpace.Release(released)
+			d.drainedSig.Broadcast()
+		}
+	})
+}
+
+// nextDrainRun picks the next contiguous run of dirty sectors in elevator
+// order (ascending LBA, wrapping) and snapshots their entries.
+func (d *HDD) nextDrainRun() ([]int64, map[int64]*cacheEntry) {
+	if len(d.cache) == 0 {
+		return nil, nil
+	}
+	all := make([]int64, 0, len(d.cache))
+	for lba := range d.cache {
+		all = append(all, lba)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	// First dirty LBA at or after the sweep position, else wrap to lowest.
+	idx := sort.Search(len(all), func(i int) bool { return all[i] >= d.drainPos })
+	if idx == len(all) {
+		idx = 0
+	}
+	run := []int64{all[idx]}
+	const maxRun = 256 // bound a single arm hold
+	for i := idx + 1; i < len(all) && len(run) < maxRun; i++ {
+		if all[i] != run[len(run)-1]+1 {
+			break
+		}
+		run = append(run, all[i])
+	}
+	snap := make(map[int64]*cacheEntry, len(run))
+	for _, lba := range run {
+		snap[lba] = d.cache[lba]
+	}
+	d.drainPos = run[len(run)-1] + 1
+	return run, snap
+}
+
+// PowerFail implements PowerAware: the volatile cache vanishes.
+func (d *HDD) PowerFail() {
+	d.powered = false
+	if n := len(d.cache); n > 0 {
+		d.s.Tracef("%s: power fail: %d cached sectors lost", d.cfg.Name, n)
+	}
+	d.cache = nil
+	d.epoch++
+}
+
+// PowerOn implements PowerAware: restore service with an empty cache and a
+// fresh drainer in dom.
+func (d *HDD) PowerOn(dom *sim.Domain) {
+	if d.powered {
+		return
+	}
+	d.powered = true
+	d.curCyl = 0
+	d.resetCache()
+	if d.cfg.WriteCache {
+		d.spawnDrainer(dom)
+	}
+}
+
+// String describes the drive.
+func (d *HDD) String() string {
+	return fmt.Sprintf("%s: %d RPM, %.1f MB/s seq, %s..%s seek, cache=%v",
+		d.cfg.Name, d.cfg.RPM, d.SeqWriteBandwidth()/1e6, d.cfg.SeekMin, d.cfg.SeekMax, d.cfg.WriteCache)
+}

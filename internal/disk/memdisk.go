@@ -1,0 +1,134 @@
+package disk
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// MemConfig parameterises the memory-backed device.
+type MemConfig struct {
+	Name       string
+	SectorSize int   // default 512
+	Capacity   int64 // sectors; default 2^20
+	// Latency is the fixed per-request service time; default 5µs.
+	Latency time.Duration
+	// Bandwidth in bytes/s; default 2 GB/s.
+	Bandwidth float64
+	// Persistent selects NVRAM semantics (contents survive power failure);
+	// false models a plain RAM disk that loses everything.
+	Persistent bool
+}
+
+func (c *MemConfig) applyDefaults() {
+	if c.Name == "" {
+		c.Name = "mem"
+	}
+	if c.SectorSize == 0 {
+		c.SectorSize = 512
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 1 << 20
+	}
+	if c.Latency == 0 {
+		c.Latency = 5 * time.Microsecond
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 2e9
+	}
+}
+
+// Mem is a memory-backed block device: a RAM disk (volatile) or NVRAM
+// (persistent). It is the "specialised hardware" alternative the paper
+// positions RapiLog against, and a convenient fast substrate in tests.
+type Mem struct {
+	cfg     MemConfig
+	s       *sim.Sim
+	med     *media
+	stats   *Stats
+	powered bool
+}
+
+// NewMem creates a powered-on memory device.
+func NewMem(s *sim.Sim, cfg MemConfig) *Mem {
+	cfg.applyDefaults()
+	return &Mem{cfg: cfg, s: s, med: newMedia(cfg.SectorSize), stats: newStats(cfg.Name), powered: true}
+}
+
+// Name implements Device.
+func (d *Mem) Name() string { return d.cfg.Name }
+
+// SectorSize implements Device.
+func (d *Mem) SectorSize() int { return d.cfg.SectorSize }
+
+// Sectors implements Device.
+func (d *Mem) Sectors() int64 { return d.cfg.Capacity }
+
+// Stats implements Device.
+func (d *Mem) Stats() *Stats { return d.stats }
+
+// SeqWriteBandwidth implements Device.
+func (d *Mem) SeqWriteBandwidth() float64 { return d.cfg.Bandwidth }
+
+// WorstCaseAccess implements Device.
+func (d *Mem) WorstCaseAccess() time.Duration { return d.cfg.Latency }
+
+func (d *Mem) xferTime(nsec int) time.Duration {
+	bytes := float64(nsec * d.cfg.SectorSize)
+	return d.cfg.Latency + time.Duration(bytes/d.cfg.Bandwidth*float64(time.Second))
+}
+
+// Read implements Device.
+func (d *Mem) Read(p *sim.Proc, lba int64, nsec int) ([]byte, error) {
+	if !d.powered {
+		return nil, ErrNoPower
+	}
+	if err := checkRange(lba, nsec, d.Sectors(), d.cfg.SectorSize, -1); err != nil {
+		return nil, err
+	}
+	start := p.Now()
+	d.stats.Reads.Inc()
+	p.Sleep(d.xferTime(nsec))
+	d.stats.SectorsRead.Add(int64(nsec))
+	d.stats.ReadLatency.Observe(p.Now().Sub(start))
+	return d.med.readSectors(lba, nsec), nil
+}
+
+// Write implements Device. Memory writes are atomic per request (no
+// tearing): the transfer completes before the contents become visible.
+func (d *Mem) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
+	if !d.powered {
+		return ErrNoPower
+	}
+	nsec := len(data) / d.cfg.SectorSize
+	if err := checkRange(lba, nsec, d.Sectors(), d.cfg.SectorSize, len(data)); err != nil {
+		return err
+	}
+	start := p.Now()
+	d.stats.Writes.Inc()
+	p.Sleep(d.xferTime(nsec))
+	d.med.writeSectors(lba, data)
+	d.stats.SectorsWritten.Add(int64(nsec))
+	d.stats.WriteLatency.Observe(p.Now().Sub(start))
+	return nil
+}
+
+// Flush implements Device (no volatile cache; a no-op).
+func (d *Mem) Flush(p *sim.Proc) error {
+	if !d.powered {
+		return ErrNoPower
+	}
+	d.stats.Flushes.Inc()
+	return nil
+}
+
+// PowerFail implements PowerAware: a volatile RAM disk loses its contents.
+func (d *Mem) PowerFail() {
+	d.powered = false
+	if !d.cfg.Persistent {
+		d.med = newMedia(d.cfg.SectorSize)
+	}
+}
+
+// PowerOn implements PowerAware.
+func (d *Mem) PowerOn(_ *sim.Domain) { d.powered = true }

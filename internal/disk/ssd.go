@@ -1,0 +1,369 @@
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SSDConfig parameterises the flash-device model.
+type SSDConfig struct {
+	Name       string
+	SectorSize int   // default 512
+	Capacity   int64 // sectors; default 2^22 (2 GiB at 512 B)
+	// PageSectors is the program/read unit; default 8 (4 KiB pages).
+	PageSectors int
+	// ReadLatency / ProgramLatency are per-page; defaults 60µs / 250µs
+	// (2013-era MLC SATA flash).
+	ReadLatency    time.Duration
+	ProgramLatency time.Duration
+	// Channels bounds internal parallelism; default 4.
+	Channels int
+	// Bandwidth caps the bus in bytes/s; default 250 MB/s.
+	Bandwidth float64
+	// VolatileBuffer, if set, makes non-FUA writes complete after only the
+	// bus transfer, with the page program happening in the background —
+	// contents are lost on power failure. Off by default ("enterprise"
+	// flash with power-loss capacitors).
+	VolatileBuffer bool
+	BufferPages    int // default 256
+}
+
+func (c *SSDConfig) applyDefaults() {
+	if c.Name == "" {
+		c.Name = "ssd"
+	}
+	if c.SectorSize == 0 {
+		c.SectorSize = 512
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 1 << 22
+	}
+	if c.PageSectors == 0 {
+		c.PageSectors = 8
+	}
+	if c.ReadLatency == 0 {
+		c.ReadLatency = 60 * time.Microsecond
+	}
+	if c.ProgramLatency == 0 {
+		c.ProgramLatency = 250 * time.Microsecond
+	}
+	if c.Channels == 0 {
+		c.Channels = 4
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 250e6
+	}
+	if c.BufferPages == 0 {
+		c.BufferPages = 256
+	}
+}
+
+// SSD models a flash device: per-page program/read latency, channel
+// parallelism, and an optional volatile write buffer. There is no seek or
+// rotation; the RapiLog gains shrink on flash but the buffer-ack path is
+// still faster than a page program, so the effect survives (ablation A2).
+type SSD struct {
+	cfg      SSDConfig
+	s        *sim.Sim
+	med      *media
+	stats    *Stats
+	powered  bool
+	channels *sim.Resource
+
+	buf      map[int64]*cacheEntry // volatile buffer, by page index
+	bufGen   uint64
+	epoch    int // bumped on power failure; stale drainers retire
+	bufSpace *sim.Resource
+	dirtySig *sim.Signal
+	drainSig *sim.Signal
+}
+
+// NewSSD creates a powered-on SSD; background buffer drain (if enabled)
+// runs in dom.
+func NewSSD(s *sim.Sim, dom *sim.Domain, cfg SSDConfig) *SSD {
+	cfg.applyDefaults()
+	d := &SSD{
+		cfg:      cfg,
+		s:        s,
+		med:      newMedia(cfg.SectorSize),
+		stats:    newStats(cfg.Name),
+		powered:  true,
+		channels: s.NewResource(cfg.Name+".chan", int64(cfg.Channels)),
+	}
+	d.resetBuffer()
+	if cfg.VolatileBuffer {
+		d.spawnDrainer(dom)
+	}
+	return d
+}
+
+func (d *SSD) resetBuffer() {
+	d.buf = make(map[int64]*cacheEntry)
+	d.bufSpace = d.s.NewResource(d.cfg.Name+".buf", int64(d.cfg.BufferPages))
+	d.dirtySig = d.s.NewSignal(d.cfg.Name + ".dirty")
+	d.drainSig = d.s.NewSignal(d.cfg.Name + ".drained")
+}
+
+// Name implements Device.
+func (d *SSD) Name() string { return d.cfg.Name }
+
+// SectorSize implements Device.
+func (d *SSD) SectorSize() int { return d.cfg.SectorSize }
+
+// Sectors implements Device.
+func (d *SSD) Sectors() int64 { return d.cfg.Capacity }
+
+// Stats implements Device.
+func (d *SSD) Stats() *Stats { return d.stats }
+
+// SeqWriteBandwidth implements Device: channel-parallel page programs,
+// capped by the bus.
+func (d *SSD) SeqWriteBandwidth() float64 {
+	pageBytes := float64(d.cfg.PageSectors * d.cfg.SectorSize)
+	perChannel := pageBytes / d.cfg.ProgramLatency.Seconds()
+	bw := perChannel * float64(d.cfg.Channels)
+	if bw > d.cfg.Bandwidth {
+		return d.cfg.Bandwidth
+	}
+	return bw
+}
+
+// WorstCaseAccess implements Device.
+func (d *SSD) WorstCaseAccess() time.Duration { return d.cfg.ProgramLatency }
+
+func (d *SSD) pageOf(lba int64) int64 { return lba / int64(d.cfg.PageSectors) }
+
+func (d *SSD) pages(lba int64, nsec int) int {
+	if nsec == 0 {
+		return 0
+	}
+	first := d.pageOf(lba)
+	last := d.pageOf(lba + int64(nsec) - 1)
+	return int(last - first + 1)
+}
+
+func (d *SSD) busTime(nsec int) time.Duration {
+	bytes := float64(nsec * d.cfg.SectorSize)
+	return 8*time.Microsecond + time.Duration(bytes/d.cfg.Bandwidth*float64(time.Second))
+}
+
+// Read implements Device.
+func (d *SSD) Read(p *sim.Proc, lba int64, nsec int) ([]byte, error) {
+	if !d.powered {
+		return nil, ErrNoPower
+	}
+	if err := checkRange(lba, nsec, d.Sectors(), d.cfg.SectorSize, -1); err != nil {
+		return nil, err
+	}
+	start := p.Now()
+	d.stats.Reads.Inc()
+	d.channels.Acquire(p, 1)
+	func() {
+		defer d.channels.Release(1)
+		p.Sleep(time.Duration(d.pages(lba, nsec))*d.cfg.ReadLatency + d.busTime(nsec))
+	}()
+	out := d.med.readSectors(lba, nsec)
+	// Overlay buffered pages.
+	for i := 0; i < nsec; i++ {
+		page := d.pageOf(lba + int64(i))
+		if e, ok := d.buf[page]; ok {
+			off := (lba + int64(i)) - page*int64(d.cfg.PageSectors)
+			copy(out[i*d.cfg.SectorSize:(i+1)*d.cfg.SectorSize], e.data[off*int64(d.cfg.SectorSize):])
+		}
+	}
+	d.stats.SectorsRead.Add(int64(nsec))
+	d.stats.ReadLatency.Observe(p.Now().Sub(start))
+	return out, nil
+}
+
+// Write implements Device. Writes are torn at page granularity on kill.
+func (d *SSD) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
+	if !d.powered {
+		return ErrNoPower
+	}
+	nsec := len(data) / d.cfg.SectorSize
+	if err := checkRange(lba, nsec, d.Sectors(), d.cfg.SectorSize, len(data)); err != nil {
+		return err
+	}
+	start := p.Now()
+	d.stats.Writes.Inc()
+
+	if d.cfg.VolatileBuffer && !fua && d.pages(lba, nsec) <= d.cfg.BufferPages {
+		d.writeToBuffer(p, lba, data, nsec)
+		d.stats.CacheHits.Inc()
+		d.stats.WriteLatency.Observe(p.Now().Sub(start))
+		return nil
+	}
+
+	d.programPages(p, lba, data, nsec)
+	d.stats.WriteLatency.Observe(p.Now().Sub(start))
+	return nil
+}
+
+// writeToBuffer absorbs a write into the volatile buffer at bus speed,
+// read-modify-writing partial pages from media.
+func (d *SSD) writeToBuffer(p *sim.Proc, lba int64, data []byte, nsec int) {
+	firstPage := d.pageOf(lba)
+	lastPage := d.pageOf(lba + int64(nsec) - 1)
+	// Atomic count-and-claim: blocking between the count and the claim
+	// would let the drainer retire overlapping pages and skew the
+	// accounting (see the HDD cache for the same pattern).
+	for {
+		newPages := int64(0)
+		for pg := firstPage; pg <= lastPage; pg++ {
+			if _, ok := d.buf[pg]; !ok {
+				newPages++
+			}
+		}
+		if d.bufSpace.TryAcquire(p, newPages) {
+			break
+		}
+		d.dirtySig.Broadcast()
+		d.drainSig.Wait(p)
+	}
+	d.bufGen++
+	ps := int64(d.cfg.PageSectors)
+	ss := int64(d.cfg.SectorSize)
+	for pg := firstPage; pg <= lastPage; pg++ {
+		e, ok := d.buf[pg]
+		if !ok {
+			e = &cacheEntry{data: d.med.readSectors(pg*ps, int(ps))}
+			d.buf[pg] = e
+		}
+		e.gen = d.bufGen
+		// Copy the overlapping sectors of this write into the page image.
+		pageStart := pg * ps
+		for i := 0; i < nsec; i++ {
+			sec := lba + int64(i)
+			if sec >= pageStart && sec < pageStart+ps {
+				copy(e.data[(sec-pageStart)*ss:], data[int64(i)*ss:(int64(i)+1)*ss])
+			}
+		}
+	}
+	p.Sleep(d.busTime(nsec))
+	d.dirtySig.Broadcast()
+}
+
+// programPages streams data to flash. Large requests stripe across the
+// device's channels: up to Channels pages program concurrently per
+// ProgramLatency, which is what lets a single sequential stream (like the
+// RapiLog emergency dump) reach the advertised bandwidth. Each page commit
+// is atomic, so a kill tears the request at a page-group boundary.
+func (d *SSD) programPages(p *sim.Proc, lba int64, data []byte, nsec int) {
+	epoch := d.epoch
+	done := false
+	defer func() {
+		if !done {
+			d.stats.TornWrites.Inc()
+		}
+	}()
+	d.channels.Acquire(p, 1)
+	defer d.channels.Release(1)
+	p.Sleep(d.busTime(nsec))
+	ss := d.cfg.SectorSize
+	for off := 0; off < nsec; {
+		if !d.powered || d.epoch != epoch {
+			return // power died mid-program: the prefix is all there is
+		}
+		// One program round: up to Channels pages in parallel. The first
+		// chunk may be a partial page (unaligned start).
+		group := 0
+		start := off
+		for ch := 0; ch < d.cfg.Channels && off < nsec; ch++ {
+			chunk := d.cfg.PageSectors - int((lba+int64(off))%int64(d.cfg.PageSectors))
+			if off+chunk > nsec {
+				chunk = nsec - off
+			}
+			off += chunk
+			group += chunk
+		}
+		p.Sleep(d.cfg.ProgramLatency)
+		if !d.powered || d.epoch != epoch {
+			return
+		}
+		d.med.writeSectors(lba+int64(start), data[start*ss:(start+group)*ss])
+		d.stats.SectorsWritten.Add(int64(group))
+	}
+	done = true
+}
+
+// Flush implements Device.
+func (d *SSD) Flush(p *sim.Proc) error {
+	if !d.powered {
+		return ErrNoPower
+	}
+	d.stats.Flushes.Inc()
+	if !d.cfg.VolatileBuffer {
+		return nil
+	}
+	d.dirtySig.Broadcast()
+	for len(d.buf) > 0 {
+		d.drainSig.Wait(p)
+	}
+	return nil
+}
+
+func (d *SSD) spawnDrainer(dom *sim.Domain) {
+	epoch := d.epoch
+	d.s.Spawn(dom, d.cfg.Name+".drain", func(p *sim.Proc) {
+		p.SetDaemon(true)
+		ps := int64(d.cfg.PageSectors)
+		for {
+			if d.epoch != epoch {
+				return
+			}
+			if len(d.buf) == 0 {
+				d.dirtySig.Wait(p)
+				continue
+			}
+			// Drain the lowest-indexed buffered page.
+			var page int64 = -1
+			for pg := range d.buf {
+				if page < 0 || pg < page {
+					page = pg
+				}
+			}
+			e := d.buf[page]
+			snapGen := e.gen
+			snap := make([]byte, len(e.data))
+			copy(snap, e.data)
+			d.programPages(p, page*ps, snap, int(ps))
+			if cur, ok := d.buf[page]; ok && cur.gen == snapGen {
+				delete(d.buf, page)
+				d.bufSpace.Release(1)
+			}
+			d.drainSig.Broadcast()
+		}
+	})
+}
+
+// PowerFail implements PowerAware.
+func (d *SSD) PowerFail() {
+	d.powered = false
+	if n := len(d.buf); n > 0 {
+		d.s.Tracef("%s: power fail: %d buffered pages lost", d.cfg.Name, n)
+	}
+	d.buf = nil
+	d.epoch++
+}
+
+// PowerOn implements PowerAware.
+func (d *SSD) PowerOn(dom *sim.Domain) {
+	if d.powered {
+		return
+	}
+	d.powered = true
+	d.channels = d.s.NewResource(d.cfg.Name+".chan", int64(d.cfg.Channels))
+	d.resetBuffer()
+	if d.cfg.VolatileBuffer {
+		d.spawnDrainer(dom)
+	}
+}
+
+// String describes the device.
+func (d *SSD) String() string {
+	return fmt.Sprintf("%s: %.0f MB/s seq, %s program, %d channels, volatile-buffer=%v",
+		d.cfg.Name, d.SeqWriteBandwidth()/1e6, d.cfg.ProgramLatency, d.cfg.Channels, d.cfg.VolatileBuffer)
+}

@@ -1,0 +1,419 @@
+// Package engine implements the transactional key-value storage engine the
+// RapiLog evaluation drives: write-ahead logging with group commit, strict
+// two-phase locking, a no-steal buffer pool with double-write-protected
+// fuzzy checkpoints, and full crash recovery.
+//
+// Architecture (deferred update / no-steal / redo-only):
+//
+//   - A transaction buffers its writes privately. Pages never contain
+//     uncommitted data, so recovery needs no undo pass.
+//   - Commit appends logical redo records plus a commit record to the WAL,
+//     forces the log according to the commit mode (the knob the whole
+//     paper turns), then applies the writes to the heap pages while still
+//     holding its locks.
+//   - A checkpoint flushes dirty pages (torn-write-safe) and advances the
+//     WAL horizon to the oldest LSN a crash would still need: the minimum
+//     first-LSN across transactions whose page application is incomplete.
+//   - Recovery restores interrupted page writes, rebuilds the in-memory
+//     index from the heap, then replays committed transactions found in
+//     the WAL after the checkpoint horizon. Updates are whole-row puts, so
+//     replay is idempotent.
+//
+// Engine personalities (PG-, MY-, CX-like) vary the commit batching window
+// and CPU cost per operation — the parameters that shape the paper's
+// per-engine throughput curves.
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/hv"
+	"repro/internal/metrics"
+	"repro/internal/pagestore"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// CommitMode selects the durability policy at commit.
+type CommitMode int
+
+// Commit modes.
+const (
+	// CommitSync forces the WAL before acknowledging: the safe default and
+	// the expensive path RapiLog attacks.
+	CommitSync CommitMode = iota
+	// CommitAsync acknowledges without forcing; a background WAL writer
+	// forces periodically. Fast and unsafe: the paper's "throw away
+	// durability" baseline.
+	CommitAsync
+)
+
+func (m CommitMode) String() string {
+	if m == CommitSync {
+		return "sync"
+	}
+	return "async"
+}
+
+// Personality bundles the parameters that make the simulated engine behave
+// like a particular DBMS family.
+type Personality struct {
+	Name string
+	// CommitDelay widens the group-commit window (wal.Config.CommitDelay).
+	CommitDelay time.Duration
+	// CPUPerOp is charged for each Get/Put/Delete.
+	CPUPerOp time.Duration
+	// CPUPerTxn is charged once per transaction (parse/plan/etc.).
+	CPUPerTxn time.Duration
+	// PageSize for the data partition.
+	PageSize int
+	// WalBlockSize for the log.
+	WalBlockSize int
+}
+
+// The three personalities used in the evaluation. The parameters are not
+// calibrated to any vendor; they span the design space the paper's engines
+// covered: a lean engine with no commit delay (PG-like), one with a wider
+// explicit batching window (MY-like), and a heavier, CPU-richer commercial
+// style engine (CX-like).
+var (
+	PGLike = Personality{Name: "pg", CommitDelay: 0, CPUPerOp: 3 * time.Microsecond, CPUPerTxn: 60 * time.Microsecond, PageSize: 8192, WalBlockSize: 8192}
+	MYLike = Personality{Name: "my", CommitDelay: 300 * time.Microsecond, CPUPerOp: 4 * time.Microsecond, CPUPerTxn: 80 * time.Microsecond, PageSize: 16384, WalBlockSize: 4096}
+	CXLike = Personality{Name: "cx", CommitDelay: 100 * time.Microsecond, CPUPerOp: 9 * time.Microsecond, CPUPerTxn: 150 * time.Microsecond, PageSize: 8192, WalBlockSize: 4096}
+)
+
+// Personalities maps names to presets for CLI tools.
+var Personalities = map[string]Personality{
+	"pg": PGLike,
+	"my": MYLike,
+	"cx": CXLike,
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	Personality
+	CommitMode      CommitMode
+	WalWriterEvery  time.Duration // async-mode background force period; default 10ms
+	CheckpointEvery time.Duration // background checkpoint period; default 10s
+	LockTimeout     time.Duration // deadlock bound; default 200ms
+	// NoDaemons disables the background WAL writer and checkpointer;
+	// tests drive those paths explicitly.
+	NoDaemons bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Name == "" {
+		c.Personality = PGLike
+	}
+	if c.WalWriterEvery == 0 {
+		c.WalWriterEvery = 10 * time.Millisecond
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 10 * time.Second
+	}
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	Commits       *metrics.Counter
+	Aborts        *metrics.Counter
+	Reads         *metrics.Counter
+	Writes        *metrics.Counter
+	CommitLatency *metrics.Histogram
+	TxnLatency    *metrics.Histogram
+	Checkpoints   *metrics.Counter
+	RedoneTxns    *metrics.Counter // transactions replayed during recovery
+}
+
+func newStats() *Stats {
+	return &Stats{
+		Commits:       metrics.NewCounter("engine.commits"),
+		Aborts:        metrics.NewCounter("engine.aborts"),
+		Reads:         metrics.NewCounter("engine.reads"),
+		Writes:        metrics.NewCounter("engine.writes"),
+		CommitLatency: metrics.NewHistogram("engine.commit_latency"),
+		TxnLatency:    metrics.NewHistogram("engine.txn_latency"),
+		Checkpoints:   metrics.NewCounter("engine.checkpoints"),
+		RedoneTxns:    metrics.NewCounter("engine.redone_txns"),
+	}
+}
+
+// Engine is one database instance bound to a Platform. It lives in the
+// platform's crash domain: killing the domain abandons the instance, and
+// Open on a fresh Engine performs recovery from the devices.
+type Engine struct {
+	cfg   Config
+	plat  hv.Platform
+	s     *sim.Sim
+	log   *wal.Log
+	store *pagestore.Store
+	heap  *heap
+	locks *lockTable
+	stats *Stats
+
+	nextTxID uint64
+	ckptLSN  uint64
+	// applying tracks transactions between their first WAL append and the
+	// completion of their page application; the checkpoint horizon must
+	// not pass their first LSN.
+	applying map[uint64]uint64 // txid → first LSN
+	ckptBusy bool
+	ckptDone *sim.Signal
+}
+
+// updatePayload frames a logical redo record: delete flag, key, value.
+func updatePayload(key string, val []byte, del bool) []byte {
+	buf := make([]byte, 3+len(key)+len(val))
+	flag := byte(0)
+	if del {
+		flag = 1
+	}
+	buf[0] = flag
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(key)))
+	copy(buf[3:], key)
+	copy(buf[3+len(key):], val)
+	return buf
+}
+
+func parseUpdatePayload(payload []byte) (key string, val []byte, del bool, err error) {
+	if len(payload) < 3 {
+		return "", nil, false, errors.New("engine: short update payload")
+	}
+	del = payload[0] == 1
+	kl := int(binary.LittleEndian.Uint16(payload[1:3]))
+	if 3+kl > len(payload) {
+		return "", nil, false, errors.New("engine: update payload key overrun")
+	}
+	return string(payload[3 : 3+kl]), payload[3+kl:], del, nil
+}
+
+// Open boots an engine on plat: double-write restore, index rebuild, WAL
+// redo, then normal service. It must run in the platform's domain.
+func Open(p *sim.Proc, plat hv.Platform, cfg Config) (*Engine, error) {
+	cfg.applyDefaults()
+	s := plat.Sim()
+	store, err := pagestore.Open(s, plat.DataDisk(), pagestore.Config{PageSize: cfg.PageSize})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		plat:     plat,
+		s:        s,
+		store:    store,
+		heap:     newHeap(store),
+		locks:    newLockTable(s, cfg.LockTimeout),
+		stats:    newStats(),
+		applying: make(map[uint64]uint64),
+		ckptDone: s.NewSignal("engine.ckpt_done"),
+	}
+
+	// 1. Torn checkpoint repair.
+	if _, err := store.RecoverDoubleWrite(p); err != nil {
+		return nil, err
+	}
+
+	// 2. Recovery metadata. A missing control block proves no checkpoint
+	// ever started, hence no page was ever flushed (phase 1 writes the
+	// control before any page), so every page is known fresh.
+	walCfg := wal.Config{BlockSize: cfg.WalBlockSize, CommitDelay: cfg.CommitDelay}
+	startLSN := wal.FirstLSN(walCfg)
+	nextPage := int64(1)
+	if blob, err := store.ReadControl(p); err != nil {
+		return nil, err
+	} else if blob == nil {
+		store.SetWrittenThrough(-1)
+	} else {
+		if len(blob) < 24 {
+			return nil, errors.New("engine: short control block")
+		}
+		e.ckptLSN = binary.LittleEndian.Uint64(blob[0:8])
+		nextPage = int64(binary.LittleEndian.Uint64(blob[8:16]))
+		e.nextTxID = binary.LittleEndian.Uint64(blob[16:24])
+		startLSN = e.ckptLSN
+		store.SetWrittenThrough(nextPage - 1)
+	}
+
+	// 3. Rebuild the in-memory index from the heap pages.
+	if err := e.heap.rebuild(p, nextPage); err != nil {
+		return nil, err
+	}
+
+	// 4. Redo committed transactions from the WAL.
+	scan, err := wal.Scan(p, plat.LogDisk(), walCfg, startLSN)
+	if err != nil {
+		return nil, err
+	}
+	updates := make(map[uint64][]wal.Record)
+	for _, rec := range scan.Records {
+		switch rec.Type {
+		case wal.RecUpdate:
+			updates[rec.TxID] = append(updates[rec.TxID], rec)
+		case wal.RecCommit:
+			for _, u := range updates[rec.TxID] {
+				key, val, del, err := parseUpdatePayload(u.Payload)
+				if err != nil {
+					return nil, err
+				}
+				if del {
+					if err := e.heap.del(p, key); err != nil {
+						return nil, err
+					}
+				} else if err := e.heap.put(p, key, val); err != nil {
+					return nil, err
+				}
+			}
+			delete(updates, rec.TxID)
+			e.stats.RedoneTxns.Inc()
+		case wal.RecAbort:
+			delete(updates, rec.TxID)
+		}
+		if rec.TxID >= e.nextTxID {
+			e.nextTxID = rec.TxID + 1
+		}
+	}
+
+	// 5. Resume the log at its tail and fold recovered state into a fresh
+	// checkpoint so the next crash recovers from here.
+	e.log, err = wal.OpenAt(p, s, plat.LogDisk(), walCfg, scan.EndLSN)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Checkpoint(p); err != nil {
+		return nil, err
+	}
+
+	if !cfg.NoDaemons {
+		e.spawnDaemons()
+	}
+	return e, nil
+}
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() *Stats { return e.stats }
+
+// Log exposes the WAL (for experiment harnesses).
+func (e *Engine) Log() *wal.Log { return e.log }
+
+// Store exposes the page store (for experiment harnesses).
+func (e *Engine) Store() *pagestore.Store { return e.store }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// checkRowSize rejects rows that could not be stored in a heap page or
+// framed in a single WAL record, before any lock is taken.
+func (e *Engine) checkRowSize(key string, val []byte) error {
+	if recSize(len(key), valCapFor(len(val))) > e.store.UsableSize()-pageUsedHdr {
+		return fmt.Errorf("%w: key %d + val %d bytes vs page", ErrValueTooLarge, len(key), len(val))
+	}
+	walCfg := wal.Config{BlockSize: e.cfg.WalBlockSize}
+	if 3+len(key)+len(val) > walCfg.MaxPayload() {
+		return fmt.Errorf("%w: key %d + val %d bytes vs WAL block", ErrValueTooLarge, len(key), len(val))
+	}
+	return nil
+}
+
+// burn models CPU consumption: hold a core for the scaled burst.
+func (e *Engine) burn(p *sim.Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	cpu := e.plat.CPU()
+	cpu.Acquire(p, 1)
+	defer cpu.Release(1)
+	p.Sleep(e.plat.CPUTime(d))
+}
+
+// Checkpoint flushes dirty pages and advances the WAL horizon. Concurrent
+// callers coalesce onto the in-flight checkpoint.
+func (e *Engine) Checkpoint(p *sim.Proc) error {
+	if e.ckptBusy {
+		e.ckptDone.Wait(p)
+		return nil
+	}
+	e.ckptBusy = true
+	defer func() {
+		e.ckptBusy = false
+		e.ckptDone.Broadcast()
+	}()
+
+	// The horizon: nothing below it will be rescanned, so every commit
+	// below it must be fully in the pages we are about to flush.
+	horizon := e.log.AppendedLSN()
+	for _, first := range e.applying {
+		if first < horizon {
+			horizon = first
+		}
+	}
+	// Phase 1: extend the control block's page-scan range to cover every
+	// page this checkpoint might flush, keeping the old LSN horizon. A
+	// crash mid-flush then still rebuilds over all flushed pages, and redo
+	// from the old horizon makes their contents consistent. The loop
+	// absorbs pages allocated while the control write itself was in
+	// flight.
+	for {
+		n := e.heap.nextPage
+		if err := e.store.WriteControl(p, e.controlBlob(e.ckptLSN, n)); err != nil {
+			return err
+		}
+		if e.heap.nextPage == n {
+			break
+		}
+	}
+	if err := e.store.Checkpoint(p); err != nil {
+		return err
+	}
+	// Phase 2: publish the new horizon now that the pages are durable.
+	if err := e.store.WriteControl(p, e.controlBlob(horizon, e.heap.nextPage)); err != nil {
+		return err
+	}
+	e.ckptLSN = horizon
+	e.log.SetOldestNeeded(horizon)
+	e.stats.Checkpoints.Inc()
+	return nil
+}
+
+// spawnDaemons starts the background WAL writer (async mode) and the
+// periodic checkpointer in the platform's domain.
+func (e *Engine) spawnDaemons() {
+	dom := e.plat.Domain()
+	if e.cfg.CommitMode == CommitAsync {
+		e.s.Spawn(dom, e.cfg.Name+".walwriter", func(p *sim.Proc) {
+			p.SetDaemon(true)
+			for {
+				p.Sleep(e.cfg.WalWriterEvery)
+				_ = e.log.Force(p, e.log.AppendedLSN())
+			}
+		})
+	}
+	e.s.Spawn(dom, e.cfg.Name+".checkpointer", func(p *sim.Proc) {
+		p.SetDaemon(true)
+		for {
+			p.Sleep(e.cfg.CheckpointEvery)
+			_ = e.Checkpoint(p)
+		}
+	})
+}
+
+func (e *Engine) controlBlob(horizon uint64, nextPage int64) []byte {
+	blob := make([]byte, 24)
+	binary.LittleEndian.PutUint64(blob[0:8], horizon)
+	binary.LittleEndian.PutUint64(blob[8:16], uint64(nextPage))
+	binary.LittleEndian.PutUint64(blob[16:24], e.nextTxID)
+	return blob
+}
+
+// maybeCheckpointForSpace handles ErrLogFull by forcing a checkpoint.
+func (e *Engine) maybeCheckpointForSpace(p *sim.Proc, err error) error {
+	if !errors.Is(err, wal.ErrLogFull) {
+		return err
+	}
+	if cerr := e.Checkpoint(p); cerr != nil {
+		return fmt.Errorf("engine: checkpoint for log space: %v (after %v)", cerr, err)
+	}
+	return nil
+}

@@ -1,0 +1,582 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/hv"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// testRig wires a native platform over fast persistent memory devices.
+type testRig struct {
+	s    *sim.Sim
+	m    *power.Machine
+	plat *hv.Native
+}
+
+func newTestRig(seed int64) *testRig {
+	s := sim.New(seed)
+	m := power.NewMachine(s, "m0", 4, power.PSUMeasured)
+	logd := disk.NewMem(s, disk.MemConfig{Name: "log", Persistent: true, Capacity: 1 << 17})
+	datad := disk.NewMem(s, disk.MemConfig{Name: "data", Persistent: true, Capacity: 1 << 18})
+	m.AttachDevice(logd)
+	m.AttachDevice(datad)
+	return &testRig{s: s, m: m, plat: hv.NewNative(m, logd, datad)}
+}
+
+func (r *testRig) run(t *testing.T, name string, fn func(p *sim.Proc, e *Engine)) {
+	t.Helper()
+	r.runCfg(t, name, Config{NoDaemons: true}, fn)
+}
+
+func (r *testRig) runCfg(t *testing.T, name string, cfg Config, fn func(p *sim.Proc, e *Engine)) {
+	t.Helper()
+	r.s.Spawn(r.plat.Domain(), name, func(p *sim.Proc) {
+		e, err := Open(p, r.plat, cfg)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		fn(p, e)
+	})
+	if err := r.s.RunFor(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicPutGetCommit(t *testing.T) {
+	r := newTestRig(1)
+	r.run(t, "t", func(p *sim.Proc, e *Engine) {
+		tx := e.Begin(p)
+		if err := tx.Put("alpha", []byte("one")); err != nil {
+			t.Errorf("put: %v", err)
+		}
+		if v, ok, _ := tx.Get("alpha"); !ok || string(v) != "one" {
+			t.Error("read-your-own-write failed")
+		}
+		if err := tx.Commit(); err != nil {
+			t.Errorf("commit: %v", err)
+		}
+		tx2 := e.Begin(p)
+		v, ok, err := tx2.Get("alpha")
+		if err != nil || !ok || string(v) != "one" {
+			t.Errorf("post-commit read: %q %v %v", v, ok, err)
+		}
+		_ = tx2.Commit()
+	})
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	r := newTestRig(1)
+	r.run(t, "t", func(p *sim.Proc, e *Engine) {
+		tx := e.Begin(p)
+		_ = tx.Put("k", []byte("committed"))
+		_ = tx.Commit()
+
+		tx2 := e.Begin(p)
+		_ = tx2.Put("k", []byte("doomed"))
+		_ = tx2.Delete("k2")
+		tx2.Abort()
+
+		tx3 := e.Begin(p)
+		v, ok, _ := tx3.Get("k")
+		if !ok || string(v) != "committed" {
+			t.Errorf("aborted write leaked: %q %v", v, ok)
+		}
+		_ = tx3.Commit()
+	})
+}
+
+func TestDeleteCommit(t *testing.T) {
+	r := newTestRig(1)
+	r.run(t, "t", func(p *sim.Proc, e *Engine) {
+		tx := e.Begin(p)
+		_ = tx.Put("gone", []byte("x"))
+		_ = tx.Commit()
+		tx2 := e.Begin(p)
+		_ = tx2.Delete("gone")
+		_ = tx2.Commit()
+		tx3 := e.Begin(p)
+		if _, ok, _ := tx3.Get("gone"); ok {
+			t.Error("deleted key still visible")
+		}
+		_ = tx3.Commit()
+	})
+}
+
+func TestTxDoneGuards(t *testing.T) {
+	r := newTestRig(1)
+	r.run(t, "t", func(p *sim.Proc, e *Engine) {
+		tx := e.Begin(p)
+		_ = tx.Commit()
+		if err := tx.Put("k", nil); !errors.Is(err, ErrTxDone) {
+			t.Errorf("put after commit: %v", err)
+		}
+		if _, _, err := tx.Get("k"); !errors.Is(err, ErrTxDone) {
+			t.Errorf("get after commit: %v", err)
+		}
+		if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+			t.Errorf("double commit: %v", err)
+		}
+	})
+}
+
+func TestLargeValueRelocation(t *testing.T) {
+	r := newTestRig(1)
+	r.run(t, "t", func(p *sim.Proc, e *Engine) {
+		small := bytes.Repeat([]byte{1}, 10)
+		big := bytes.Repeat([]byte{2}, 500)
+		tx := e.Begin(p)
+		_ = tx.Put("grow", small)
+		_ = tx.Commit()
+		tx2 := e.Begin(p)
+		_ = tx2.Put("grow", big)
+		_ = tx2.Commit()
+		tx3 := e.Begin(p)
+		v, ok, _ := tx3.Get("grow")
+		if !ok || !bytes.Equal(v, big) {
+			t.Error("relocated row wrong")
+		}
+		_ = tx3.Commit()
+		tx4 := e.Begin(p)
+		if err := tx4.Put("huge", bytes.Repeat([]byte{3}, 20000)); !errors.Is(err, ErrValueTooLarge) {
+			t.Errorf("oversized row: %v", err)
+		}
+		tx4.Abort()
+	})
+}
+
+func TestIsolationWriteBlocksReader(t *testing.T) {
+	r := newTestRig(1)
+	var readerSawUncommitted bool
+	var order []string
+	r.s.Spawn(r.plat.Domain(), "main", func(p *sim.Proc) {
+		e, err := Open(p, r.plat, Config{NoDaemons: true})
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		seed := e.Begin(p)
+		_ = seed.Put("acct", []byte("100"))
+		_ = seed.Commit()
+
+		r.s.Spawn(r.plat.Domain(), "writer", func(p *sim.Proc) {
+			tx := e.Begin(p)
+			_ = tx.Put("acct", []byte("200"))
+			order = append(order, "writer-staged")
+			p.Sleep(5 * time.Millisecond) // hold the X lock
+			_ = tx.Commit()
+			order = append(order, "writer-committed")
+		})
+		r.s.Spawn(r.plat.Domain(), "reader", func(p *sim.Proc) {
+			p.Sleep(time.Millisecond) // let the writer stage first
+			tx := e.Begin(p)
+			v, _, err := tx.Get("acct")
+			if err != nil {
+				t.Errorf("reader: %v", err)
+				return
+			}
+			order = append(order, "reader-read")
+			if string(v) == "200" {
+				// Fine: blocked until commit. But it must never be a dirty
+				// read of the staged value before the commit completed.
+				for _, o := range order {
+					if o == "writer-committed" {
+						_ = tx.Commit()
+						return
+					}
+				}
+				readerSawUncommitted = true
+			}
+			_ = tx.Commit()
+		})
+	})
+	if err := r.s.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if readerSawUncommitted {
+		t.Fatal("dirty read: reader saw uncommitted value")
+	}
+}
+
+func TestLockTimeoutResolvesDeadlock(t *testing.T) {
+	r := newTestRig(1)
+	var timeouts int
+	r.s.Spawn(r.plat.Domain(), "main", func(p *sim.Proc) {
+		e, err := Open(p, r.plat, Config{NoDaemons: true, LockTimeout: 10 * time.Millisecond})
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		seed := e.Begin(p)
+		_ = seed.Put("a", []byte("1"))
+		_ = seed.Put("b", []byte("2"))
+		_ = seed.Commit()
+
+		// Classic AB/BA deadlock.
+		for i := 0; i < 2; i++ {
+			first, second := "a", "b"
+			if i == 1 {
+				first, second = "b", "a"
+			}
+			r.s.Spawn(r.plat.Domain(), fmt.Sprintf("tx%d", i), func(p *sim.Proc) {
+				tx := e.Begin(p)
+				if err := tx.Put(first, []byte("x")); err != nil {
+					tx.Abort()
+					return
+				}
+				p.Sleep(time.Millisecond)
+				if err := tx.Put(second, []byte("y")); err != nil {
+					if errors.Is(err, ErrLockTimeout) || errors.Is(err, ErrDeadlock) {
+						timeouts++
+					}
+					tx.Abort()
+					return
+				}
+				_ = tx.Commit()
+			})
+		}
+	})
+	if err := r.s.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if timeouts == 0 {
+		t.Fatal("AB/BA deadlock never resolved by timeout")
+	}
+}
+
+func TestSharedReadersRunConcurrently(t *testing.T) {
+	r := newTestRig(1)
+	var concurrent, peak int
+	r.s.Spawn(r.plat.Domain(), "main", func(p *sim.Proc) {
+		e, err := Open(p, r.plat, Config{NoDaemons: true})
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		seed := e.Begin(p)
+		_ = seed.Put("hot", []byte("v"))
+		_ = seed.Commit()
+		for i := 0; i < 4; i++ {
+			r.s.Spawn(r.plat.Domain(), fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+				tx := e.Begin(p)
+				if _, _, err := tx.Get("hot"); err != nil {
+					t.Errorf("get: %v", err)
+				}
+				concurrent++
+				if concurrent > peak {
+					peak = concurrent
+				}
+				p.Sleep(2 * time.Millisecond) // hold S lock
+				concurrent--
+				_ = tx.Commit()
+			})
+		}
+	})
+	if err := r.s.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if peak < 2 {
+		t.Fatalf("peak concurrent S holders = %d, shared locks not shared", peak)
+	}
+}
+
+// crashRecoverRig puts the engine on HDDs under a real machine so we can
+// crash and power-cycle it.
+type crashRig struct {
+	s        *sim.Sim
+	m        *power.Machine
+	hdd      *disk.HDD
+	logPart  *disk.Partition
+	dataPart *disk.Partition
+	plat     *hv.Native
+}
+
+func newCrashRig(seed int64) *crashRig {
+	s := sim.New(seed)
+	m := power.NewMachine(s, "m0", 4, power.PSUMeasured)
+	hdd := disk.NewHDD(s, m.HardwareDomain(), disk.HDDConfig{})
+	m.AttachDevice(hdd)
+	logPart, _ := disk.NewPartition(hdd, "log", 0, 1<<17)
+	dataPart, _ := disk.NewPartition(hdd, "data", 1<<17, 1<<19)
+	return &crashRig{s: s, m: m, hdd: hdd, logPart: logPart, dataPart: dataPart,
+		plat: hv.NewNative(m, logPart, dataPart)}
+}
+
+func TestRecoveryAfterCleanRun(t *testing.T) {
+	r := newCrashRig(1)
+	r.s.Spawn(r.plat.Domain(), "life1", func(p *sim.Proc) {
+		e, err := Open(p, r.plat, Config{NoDaemons: true})
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		for i := 0; i < 20; i++ {
+			tx := e.Begin(p)
+			_ = tx.Put(fmt.Sprintf("key-%02d", i), []byte(fmt.Sprintf("val-%02d", i)))
+			if err := tx.Commit(); err != nil {
+				t.Errorf("commit %d: %v", i, err)
+			}
+		}
+	})
+	if err := r.s.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Crash (kill the domain), reboot, verify everything.
+	r.plat.Crash()
+	r.plat.Reboot()
+	r.s.Spawn(r.plat.Domain(), "life2", func(p *sim.Proc) {
+		e, err := Open(p, r.plat, Config{NoDaemons: true})
+		if err != nil {
+			t.Errorf("reopen: %v", err)
+			return
+		}
+		for i := 0; i < 20; i++ {
+			tx := e.Begin(p)
+			v, ok, err := tx.Get(fmt.Sprintf("key-%02d", i))
+			if err != nil || !ok || string(v) != fmt.Sprintf("val-%02d", i) {
+				t.Errorf("key-%02d lost after crash: %q %v %v", i, v, ok, err)
+				return
+			}
+			_ = tx.Commit()
+		}
+	})
+	if err := r.s.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryLosesUncommittedKeepsCommitted(t *testing.T) {
+	r := newCrashRig(2)
+	crashed := r.s.NewEvent("crashed")
+	r.s.Spawn(r.plat.Domain(), "life1", func(p *sim.Proc) {
+		e, err := Open(p, r.plat, Config{NoDaemons: true})
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		tx := e.Begin(p)
+		_ = tx.Put("committed", []byte("yes"))
+		if err := tx.Commit(); err != nil {
+			t.Errorf("commit: %v", err)
+		}
+		tx2 := e.Begin(p)
+		_ = tx2.Put("uncommitted", []byte("no"))
+		// Crash with tx2 staged but not committed.
+		crashed.Fire()
+		r.plat.Crash()
+	})
+	r.s.Spawn(nil, "op", func(p *sim.Proc) {
+		crashed.Wait(p)
+		p.Sleep(time.Millisecond)
+		r.plat.Reboot()
+		r.s.Spawn(r.plat.Domain(), "life2", func(p *sim.Proc) {
+			e, err := Open(p, r.plat, Config{NoDaemons: true})
+			if err != nil {
+				t.Errorf("reopen: %v", err)
+				return
+			}
+			tx := e.Begin(p)
+			if v, ok, _ := tx.Get("committed"); !ok || string(v) != "yes" {
+				t.Error("committed transaction lost")
+			}
+			if _, ok, _ := tx.Get("uncommitted"); ok {
+				t.Error("uncommitted write survived crash")
+			}
+			_ = tx.Commit()
+		})
+	})
+	if err := r.s.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncCommitLosesRecentAcks(t *testing.T) {
+	// The unsafe baseline: commits acked without forcing can vanish on a
+	// crash. This asymmetry versus CommitSync is the paper's entire
+	// motivation.
+	r := newCrashRig(3)
+	var ackedKeys []string
+	crashed := r.s.NewEvent("crashed")
+	r.s.Spawn(r.plat.Domain(), "life1", func(p *sim.Proc) {
+		e, err := Open(p, r.plat, Config{NoDaemons: true, CommitMode: CommitAsync})
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		for i := 0; i < 10; i++ {
+			tx := e.Begin(p)
+			k := fmt.Sprintf("k%d", i)
+			_ = tx.Put(k, []byte("v"))
+			if err := tx.Commit(); err == nil {
+				ackedKeys = append(ackedKeys, k)
+			}
+		}
+		crashed.Fire()
+		r.plat.Crash()
+	})
+	lost := 0
+	r.s.Spawn(nil, "op", func(p *sim.Proc) {
+		crashed.Wait(p)
+		p.Sleep(time.Millisecond)
+		r.plat.Reboot()
+		r.s.Spawn(r.plat.Domain(), "life2", func(p *sim.Proc) {
+			e, err := Open(p, r.plat, Config{NoDaemons: true})
+			if err != nil {
+				t.Errorf("reopen: %v", err)
+				return
+			}
+			tx := e.Begin(p)
+			for _, k := range ackedKeys {
+				if _, ok, _ := tx.Get(k); !ok {
+					lost++
+				}
+			}
+			_ = tx.Commit()
+		})
+	})
+	if err := r.s.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(ackedKeys) != 10 {
+		t.Fatalf("only %d acks", len(ackedKeys))
+	}
+	if lost == 0 {
+		t.Fatal("async commit lost nothing across a crash — unsafe baseline not unsafe")
+	}
+}
+
+func TestCheckpointTruncatesRedoWork(t *testing.T) {
+	r := newCrashRig(4)
+	r.s.Spawn(r.plat.Domain(), "life1", func(p *sim.Proc) {
+		e, err := Open(p, r.plat, Config{NoDaemons: true})
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		for i := 0; i < 30; i++ {
+			tx := e.Begin(p)
+			_ = tx.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte(i)}, 100))
+			_ = tx.Commit()
+		}
+		if err := e.Checkpoint(p); err != nil {
+			t.Errorf("checkpoint: %v", err)
+		}
+		// A few more commits after the checkpoint.
+		for i := 30; i < 35; i++ {
+			tx := e.Begin(p)
+			_ = tx.Put(fmt.Sprintf("k%d", i), []byte("post"))
+			_ = tx.Commit()
+		}
+	})
+	if err := r.s.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	r.plat.Crash()
+	r.plat.Reboot()
+	r.s.Spawn(r.plat.Domain(), "life2", func(p *sim.Proc) {
+		e, err := Open(p, r.plat, Config{NoDaemons: true})
+		if err != nil {
+			t.Errorf("reopen: %v", err)
+			return
+		}
+		// Only the 5 post-checkpoint transactions need replay.
+		if n := e.Stats().RedoneTxns.Value(); n > 6 {
+			t.Errorf("redone %d txns; checkpoint did not truncate redo", n)
+		}
+		tx := e.Begin(p)
+		for i := 0; i < 35; i++ {
+			if _, ok, _ := tx.Get(fmt.Sprintf("k%d", i)); !ok {
+				t.Errorf("k%d missing after recovery", i)
+			}
+		}
+		_ = tx.Commit()
+	})
+	if err := r.s.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerFailureDuringLoadSyncEngine(t *testing.T) {
+	// Full-machine power cut during a synchronous-commit workload: every
+	// acked commit must survive.
+	r := newCrashRig(5)
+	var acked []string
+	r.s.Spawn(r.plat.Domain(), "life1", func(p *sim.Proc) {
+		e, err := Open(p, r.plat, Config{NoDaemons: true})
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		for i := 0; ; i++ {
+			tx := e.Begin(p)
+			k := fmt.Sprintf("k%04d", i)
+			if err := tx.Put(k, bytes.Repeat([]byte{byte(i)}, 200)); err != nil {
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				return
+			}
+			acked = append(acked, k)
+			if i == 25 {
+				r.m.CutPower()
+			}
+		}
+	})
+	verified := false
+	r.s.Spawn(nil, "op", func(p *sim.Proc) {
+		p.Sleep(30 * time.Second)
+		r.m.RestorePower()
+		r.plat.Reboot()
+		r.s.Spawn(r.plat.Domain(), "life2", func(p *sim.Proc) {
+			e, err := Open(p, r.plat, Config{NoDaemons: true})
+			if err != nil {
+				t.Errorf("reopen: %v", err)
+				return
+			}
+			tx := e.Begin(p)
+			for _, k := range acked {
+				if _, ok, _ := tx.Get(k); !ok {
+					t.Errorf("acked key %s lost after power failure", k)
+				}
+			}
+			_ = tx.Commit()
+			verified = true
+		})
+	})
+	if err := r.s.RunFor(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(acked) < 26 {
+		t.Fatalf("only %d acks before cut", len(acked))
+	}
+	if !verified {
+		t.Fatal("verification never ran")
+	}
+}
+
+func TestPersonalityPresets(t *testing.T) {
+	for name, p := range Personalities {
+		if p.Name != name {
+			t.Errorf("personality %q has Name %q", name, p.Name)
+		}
+		if p.CPUPerOp <= 0 || p.CPUPerTxn <= 0 || p.PageSize <= 0 {
+			t.Errorf("personality %q has zero costs", name)
+		}
+	}
+	if CXLike.CPUPerOp <= PGLike.CPUPerOp {
+		t.Error("CX should be more CPU-hungry than PG")
+	}
+}
+
+func TestCommitModeString(t *testing.T) {
+	if CommitSync.String() != "sync" || CommitAsync.String() != "async" {
+		t.Fatal("commit mode strings wrong")
+	}
+}

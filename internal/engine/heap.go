@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/pagestore"
+	"repro/internal/sim"
+)
+
+// ErrValueTooLarge rejects rows that cannot fit in a page.
+var ErrValueTooLarge = errors.New("engine: row too large for a page")
+
+// Heap record layout, inside a page's usable area:
+//
+//	page[0:4]   used — bytes consumed, starting at 4
+//	records     keyLen(2) valCap(2) valLen(2) flags(1) key... val[valCap]...
+//
+// valCap reserves slack so same-key updates of similar size happen in
+// place; a larger value tombstones the old record and inserts a new one.
+// Deleted records are tombstoned and their space is not reused (no
+// compactor; see DESIGN.md non-goals).
+const (
+	recFixedHdr   = 7
+	flagTombstone = 1
+	pageUsedHdr   = 4
+)
+
+// rowLoc addresses a live record.
+type rowLoc struct {
+	pageID int64
+	off    int32
+}
+
+// heap manages record placement over a pagestore and the in-memory index.
+type heap struct {
+	store      *pagestore.Store
+	index      map[string]rowLoc
+	insertPage int64 // current append target
+	nextPage   int64 // first never-used page
+}
+
+func newHeap(store *pagestore.Store) *heap {
+	return &heap{store: store, index: make(map[string]rowLoc), insertPage: 0, nextPage: 1}
+}
+
+func valCapFor(n int) int { return n + n/4 }
+
+func recSize(keyLen, valCap int) int { return recFixedHdr + keyLen + valCap }
+
+// usable returns the record area capacity of a page.
+func (h *heap) usable() int { return h.store.UsableSize() }
+
+func used(data []byte) int       { return int(binary.LittleEndian.Uint32(data[0:4])) }
+func setUsed(data []byte, n int) { binary.LittleEndian.PutUint32(data[0:4], uint32(n)) }
+
+// put inserts or updates a row. It may block p on page I/O. The caller must
+// hold the X lock on key.
+func (h *heap) put(p *sim.Proc, key string, val []byte) error {
+	if recSize(len(key), valCapFor(len(val))) > h.usable()-pageUsedHdr {
+		return fmt.Errorf("%w: key %d + val %d bytes", ErrValueTooLarge, len(key), len(val))
+	}
+	if loc, ok := h.index[key]; ok {
+		pg, err := h.store.Get(p, loc.pageID)
+		if err != nil {
+			return err
+		}
+		data := pg.Data()
+		valCap := int(binary.LittleEndian.Uint16(data[loc.off+2 : loc.off+4]))
+		if valCap >= len(val) {
+			// In-place update.
+			binary.LittleEndian.PutUint16(data[loc.off+4:], uint16(len(val)))
+			keyLen := int(binary.LittleEndian.Uint16(data[loc.off : loc.off+2]))
+			copy(data[int(loc.off)+recFixedHdr+keyLen:], val)
+			h.store.MarkDirty(loc.pageID)
+			return nil
+		}
+		// Relocate: tombstone the old record first.
+		data[loc.off+6] |= flagTombstone
+		h.store.MarkDirty(loc.pageID)
+		delete(h.index, key)
+	}
+	return h.insert(p, key, val)
+}
+
+// insert appends a fresh record; the key must not be live in the index.
+func (h *heap) insert(p *sim.Proc, key string, val []byte) error {
+	valCap := valCapFor(len(val))
+	need := recSize(len(key), valCap)
+	for {
+		pg, err := h.store.Get(p, h.insertPage)
+		if err != nil {
+			return err
+		}
+		data := pg.Data()
+		u := used(data)
+		if u == 0 {
+			u = pageUsedHdr
+		}
+		if u+need <= len(data) {
+			off := int32(u)
+			binary.LittleEndian.PutUint16(data[off:], uint16(len(key)))
+			binary.LittleEndian.PutUint16(data[off+2:], uint16(valCap))
+			binary.LittleEndian.PutUint16(data[off+4:], uint16(len(val)))
+			data[off+6] = 0
+			copy(data[int(off)+recFixedHdr:], key)
+			copy(data[int(off)+recFixedHdr+len(key):], val)
+			setUsed(data, u+need)
+			h.store.MarkDirty(h.insertPage)
+			h.index[key] = rowLoc{pageID: h.insertPage, off: off}
+			return nil
+		}
+		// Page full: move the insert cursor to a fresh page.
+		if h.nextPage >= h.store.NumPages() {
+			return fmt.Errorf("engine: data partition full (%d pages)", h.store.NumPages())
+		}
+		h.insertPage = h.nextPage
+		h.nextPage++
+	}
+}
+
+// get returns the value for key, or ok=false. The caller must hold at least
+// the S lock.
+func (h *heap) get(p *sim.Proc, key string) ([]byte, bool, error) {
+	loc, ok := h.index[key]
+	if !ok {
+		return nil, false, nil
+	}
+	pg, err := h.store.Get(p, loc.pageID)
+	if err != nil {
+		return nil, false, err
+	}
+	data := pg.Data()
+	keyLen := int(binary.LittleEndian.Uint16(data[loc.off : loc.off+2]))
+	valLen := int(binary.LittleEndian.Uint16(data[loc.off+4 : loc.off+6]))
+	if data[loc.off+6]&flagTombstone != 0 {
+		return nil, false, nil
+	}
+	start := int(loc.off) + recFixedHdr + keyLen
+	return append([]byte(nil), data[start:start+valLen]...), true, nil
+}
+
+// del tombstones key's record. The caller must hold the X lock.
+func (h *heap) del(p *sim.Proc, key string) error {
+	loc, ok := h.index[key]
+	if !ok {
+		return nil
+	}
+	pg, err := h.store.Get(p, loc.pageID)
+	if err != nil {
+		return err
+	}
+	pg.Data()[loc.off+6] |= flagTombstone
+	h.store.MarkDirty(loc.pageID)
+	delete(h.index, key)
+	return nil
+}
+
+// rebuild scans pages [0, nextPage) and reconstructs the index and insert
+// cursor. Used at recovery, before WAL redo.
+func (h *heap) rebuild(p *sim.Proc, nextPage int64) error {
+	h.index = make(map[string]rowLoc)
+	h.nextPage = nextPage
+	h.insertPage = 0
+	lastNonEmpty := int64(0)
+	for id := int64(0); id < nextPage; id++ {
+		pg, err := h.store.Get(p, id)
+		if err != nil {
+			return fmt.Errorf("engine: rebuilding index at page %d: %v", id, err)
+		}
+		data := pg.Data()
+		u := used(data)
+		if u > len(data) {
+			return fmt.Errorf("engine: page %d used=%d exceeds capacity", id, u)
+		}
+		off := pageUsedHdr
+		for off+recFixedHdr <= u {
+			keyLen := int(binary.LittleEndian.Uint16(data[off : off+2]))
+			valCap := int(binary.LittleEndian.Uint16(data[off+2 : off+4]))
+			size := recSize(keyLen, valCap)
+			if off+size > u {
+				return fmt.Errorf("engine: page %d record at %d overruns used area", id, off)
+			}
+			if data[off+6]&flagTombstone == 0 {
+				key := string(data[off+recFixedHdr : off+recFixedHdr+keyLen])
+				h.index[key] = rowLoc{pageID: id, off: int32(off)}
+			}
+			off += size
+		}
+		if u > pageUsedHdr {
+			lastNonEmpty = id
+		}
+	}
+	if nextPage > 0 {
+		h.insertPage = lastNonEmpty
+	}
+	return nil
+}

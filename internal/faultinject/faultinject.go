@@ -1,0 +1,242 @@
+// Package faultinject runs the paper's destructive experiments: repeated
+// guest crashes and plug-pulls under load, each followed by recovery and a
+// durability audit against the client-side journal. One campaign = many
+// independent trials, each in its own deterministic simulation.
+package faultinject
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/rig"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fault is the kind of failure a trial injects.
+type Fault string
+
+// Fault kinds.
+const (
+	// GuestCrash kills the OS/DBMS stack (hypervisor survives in
+	// virtualised modes).
+	GuestCrash Fault = "guest-crash"
+	// PowerCut pulls the plug: the PSU hold-up race decides what survives.
+	PowerCut Fault = "power-cut"
+)
+
+// CampaignConfig parameterises a fault-injection campaign.
+type CampaignConfig struct {
+	Rig     rig.Config
+	Fault   Fault
+	Trials  int // default 20
+	Clients int // default 4
+	// InjectAfterMin/Max bound the virtual time between workload start and
+	// fault injection; the exact instant is sampled per trial. Defaults
+	// 200ms..2s.
+	InjectAfterMin time.Duration
+	InjectAfterMax time.Duration
+	// Workload factory; default: a small TPC-C.
+	NewWorkload func() workload.Workload
+}
+
+func (c *CampaignConfig) applyDefaults() {
+	if c.Trials == 0 {
+		c.Trials = 20
+	}
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.InjectAfterMin == 0 {
+		c.InjectAfterMin = 200 * time.Millisecond
+	}
+	if c.InjectAfterMax == 0 {
+		c.InjectAfterMax = 2 * time.Second
+	}
+	if c.NewWorkload == nil {
+		c.NewWorkload = func() workload.Workload {
+			return &workload.TPCC{Warehouses: 1, Districts: 4, Customers: 20, Items: 200}
+		}
+	}
+}
+
+// TrialResult is one trial's outcome.
+type TrialResult struct {
+	Seed       int64
+	Acked      int // transactions acknowledged before the fault
+	Missing    int // acked transactions absent after recovery
+	Mismatched int
+	Torn       bool // RapiLog dump ended mid-entry (unsafe sizing only)
+	HadDump    bool // a valid dump header was found at recovery
+	Err        error
+}
+
+// Ok reports whether the trial had zero durability violations.
+func (t TrialResult) Ok() bool { return t.Err == nil && t.Missing == 0 && t.Mismatched == 0 }
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Config     CampaignConfig
+	Trials     []TrialResult
+	TotalAcked int
+	TotalLost  int
+	Violations int // trials with any loss or corruption
+	Errors     int
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%s/%s: %d trials, %d acked commits, %d lost, %d violating trials, %d errors",
+		s.Config.Rig.Mode, s.Config.Fault, len(s.Trials), s.TotalAcked, s.TotalLost, s.Violations, s.Errors)
+}
+
+// RunCampaign executes cfg.Trials independent trials with seeds base+i.
+func RunCampaign(cfg CampaignConfig) Summary {
+	cfg.applyDefaults()
+	sum := Summary{Config: cfg}
+	for i := 0; i < cfg.Trials; i++ {
+		res := RunTrial(cfg, cfg.Rig.Seed+int64(i)*7919)
+		sum.Trials = append(sum.Trials, res)
+		sum.TotalAcked += res.Acked
+		sum.TotalLost += res.Missing
+		if res.Err != nil {
+			sum.Errors++
+		} else if !res.Ok() {
+			sum.Violations++
+		}
+	}
+	return sum
+}
+
+// debugHook, when non-nil, runs inside the audit of a trial that lost
+// data. Test-only.
+var debugHook func(p *sim.Proc, r *rig.Rig, e *engine.Engine, j *workload.Journal, acked int, vr workload.VerifyResult)
+
+// RunTrial executes one load→fault→recover→audit cycle in a fresh
+// simulation with the given seed.
+func RunTrial(cfg CampaignConfig, seed int64) TrialResult {
+	cfg.applyDefaults()
+	res := TrialResult{Seed: seed}
+
+	rigCfg := cfg.Rig
+	rigCfg.Seed = seed
+	rigCfg.NoDaemons = false
+	r, err := rig.New(rigCfg)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	s := r.S
+	j := workload.NewJournal()
+	w := cfg.NewWorkload()
+
+	loaded := s.NewEvent("loaded")
+	injected := s.NewEvent("injected")
+	audited := s.NewEvent("audited")
+
+	// Life 1: boot, load, serve until the fault kills us.
+	s.Spawn(r.Plat.Domain(), "db", func(p *sim.Proc) {
+		e, err := r.Boot(p)
+		if err != nil {
+			res.Err = fmt.Errorf("boot: %w", err)
+			loaded.Fire()
+			return
+		}
+		if err := w.Load(p, e); err != nil {
+			res.Err = fmt.Errorf("load: %w", err)
+			loaded.Fire()
+			return
+		}
+		loaded.Fire()
+		for c := 0; c < cfg.Clients; c++ {
+			client := c
+			s.Spawn(r.Plat.Domain(), fmt.Sprintf("client%d", client), func(cp *sim.Proc) {
+				for {
+					var err error
+					if st, ok := w.(*workload.Stress); ok {
+						err = st.DoAs(cp, e, j, client)
+					} else {
+						err = w.Do(cp, e, j)
+					}
+					if err != nil {
+						cp.Sleep(time.Millisecond) // deadlock victim: retry
+					}
+				}
+			})
+		}
+	})
+
+	// Operator: inject the fault at a sampled moment after load completes.
+	s.Spawn(nil, "operator", func(p *sim.Proc) {
+		loaded.Wait(p)
+		if res.Err != nil {
+			audited.Fire()
+			return
+		}
+		span := cfg.InjectAfterMax - cfg.InjectAfterMin
+		delay := cfg.InjectAfterMin
+		if span > 0 {
+			delay += time.Duration(s.Rand().Int63n(int64(span)))
+		}
+		p.Sleep(delay)
+		res.Acked = j.Len()
+		switch cfg.Fault {
+		case GuestCrash:
+			r.CrashOS()
+		case PowerCut:
+			r.CutPower()
+		default:
+			res.Err = fmt.Errorf("unknown fault %q", cfg.Fault)
+			audited.Fire()
+			return
+		}
+		injected.Fire()
+
+		// Let the dust settle (hold-up window, hypervisor drain), then
+		// recover and audit.
+		p.Sleep(3 * time.Second)
+		if cfg.Fault == PowerCut {
+			rep, err := r.RecoverAfterPower(p)
+			if err != nil {
+				res.Err = fmt.Errorf("power recovery: %w", err)
+				audited.Fire()
+				return
+			}
+			res.Torn = rep.Torn
+			res.HadDump = rep.HadDump
+		} else {
+			r.RebootAfterCrash()
+		}
+		s.Spawn(r.Plat.Domain(), "db2", func(p *sim.Proc) {
+			defer audited.Fire()
+			e, err := r.Boot(p)
+			if err != nil {
+				res.Err = fmt.Errorf("recovery boot: %w", err)
+				return
+			}
+			// Audit only what was acked before injection: acks raced with
+			// the fault are not obligations.
+			vr, err := j.VerifyFirst(p, e, res.Acked)
+			if err != nil {
+				res.Err = fmt.Errorf("audit: %w", err)
+				return
+			}
+			res.Missing = vr.Missing
+			res.Mismatched = vr.Mismatched
+			if debugHook != nil && vr.Missing > 0 {
+				debugHook(p, r, e, j, res.Acked, vr)
+			}
+		})
+	})
+
+	if err := s.RunFor(10 * time.Minute); err != nil {
+		if res.Err == nil {
+			res.Err = err
+		}
+		return res
+	}
+	if !audited.Fired() && res.Err == nil {
+		res.Err = fmt.Errorf("trial did not complete")
+	}
+	return res
+}

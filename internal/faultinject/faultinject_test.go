@@ -1,0 +1,149 @@
+package faultinject
+
+import (
+	"repro/internal/disk"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/rig"
+	"repro/internal/workload"
+)
+
+func powerATX() power.PSUConfig { return power.PSUATXSpec }
+
+func quickCampaign(mode rig.Mode, fault Fault, trials int) CampaignConfig {
+	return CampaignConfig{
+		Rig:            rig.Config{Seed: 42, Mode: mode},
+		Fault:          fault,
+		Trials:         trials,
+		Clients:        2,
+		InjectAfterMin: 100 * time.Millisecond,
+		InjectAfterMax: 600 * time.Millisecond,
+		NewWorkload: func() workload.Workload {
+			return &workload.TPCC{Warehouses: 1, Districts: 2, Customers: 10, Items: 100}
+		},
+	}
+}
+
+func TestRapiLogSurvivesGuestCrashes(t *testing.T) {
+	sum := RunCampaign(quickCampaign(rig.RapiLog, GuestCrash, 3))
+	if sum.Errors > 0 {
+		t.Fatalf("campaign errors: %+v", sum.Trials)
+	}
+	if sum.TotalAcked == 0 {
+		t.Fatal("no transactions acked before faults")
+	}
+	if sum.Violations != 0 || sum.TotalLost != 0 {
+		t.Fatalf("RapiLog lost acked commits on guest crash: %s", sum)
+	}
+}
+
+func TestRapiLogSurvivesPowerCuts(t *testing.T) {
+	sum := RunCampaign(quickCampaign(rig.RapiLog, PowerCut, 3))
+	if sum.Errors > 0 {
+		t.Fatalf("campaign errors: %+v", sum.Trials)
+	}
+	if sum.TotalAcked == 0 {
+		t.Fatal("no transactions acked before faults")
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("RapiLog lost acked commits on power cut: %s", sum)
+	}
+}
+
+func TestNativeSyncSurvivesPowerCuts(t *testing.T) {
+	sum := RunCampaign(quickCampaign(rig.NativeSync, PowerCut, 2))
+	if sum.Errors > 0 {
+		t.Fatalf("campaign errors: %+v", sum.Trials)
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("native-sync lost acked commits: %s", sum)
+	}
+}
+
+func TestNativeAsyncLosesCommitsOnCrash(t *testing.T) {
+	cfg := quickCampaign(rig.NativeAsync, GuestCrash, 3)
+	// Stress maximises the unsafe window: every txn is an immediate ack.
+	cfg.NewWorkload = func() workload.Workload { return &workload.Stress{} }
+	sum := RunCampaign(cfg)
+	if sum.Errors > 0 {
+		t.Fatalf("campaign errors: %+v", sum.Trials)
+	}
+	if sum.TotalLost == 0 {
+		t.Fatalf("native-async lost nothing across %d crashes: %s", len(sum.Trials), sum)
+	}
+}
+
+// slowDiskUnsafeCampaign builds the A3 regime: a slow drive whose drain
+// loses the race against a commit-heavy workload, so the buffer genuinely
+// fills to an unsafe bound before the plug is pulled.
+func slowDiskUnsafeCampaign(trials int) CampaignConfig {
+	cfg := quickCampaign(rig.RapiLog, PowerCut, trials)
+	cfg.Rig.PSU = power.PSUMeasured
+	cfg.Rig.HDD = disk.HDDConfig{RPM: 3600, SectorsPerTrack: 250}
+	cfg.Rig.RapiLog = core.Config{MaxBuffer: 8 << 20, Unsafe: true}
+	cfg.NewWorkload = func() workload.Workload { return &workload.Stress{ValueSize: 6000} }
+	cfg.Clients = 16
+	cfg.InjectAfterMin = 1500 * time.Millisecond
+	cfg.InjectAfterMax = 2500 * time.Millisecond
+	return cfg
+}
+
+func TestUnsafeOversizedBufferLosesData(t *testing.T) {
+	// Ablation A3: break the sizing rule and the emergency dump either
+	// tears mid-write or never lands — either way, acked commits die.
+	sum := RunCampaign(slowDiskUnsafeCampaign(3))
+	if sum.Errors > 0 {
+		t.Fatalf("campaign errors: %+v", sum.Trials)
+	}
+	if sum.TotalLost == 0 {
+		t.Fatalf("oversized unsafe buffer lost nothing: %s", sum)
+	}
+	torn := false
+	for _, tr := range sum.Trials {
+		if tr.Missing > 0 && tr.HadDump && !tr.Torn {
+			t.Fatalf("trial %d lost commits despite a complete dump: %+v", tr.Seed, tr)
+		}
+		if tr.Torn {
+			torn = true
+		}
+	}
+	if !torn {
+		t.Log("note: no torn dump observed (losses came from dumps that never landed)")
+	}
+}
+
+func TestSafeBoundSurvivesSlowDisk(t *testing.T) {
+	// Same hostile regime, but with the safe bound: the buffer throttles
+	// at a dumpable size and nothing is lost.
+	cfg := slowDiskUnsafeCampaign(2)
+	cfg.Rig.RapiLog = core.Config{} // SafeBufferSize
+	sum := RunCampaign(cfg)
+	if sum.Errors > 0 {
+		t.Fatalf("campaign errors: %+v", sum.Trials)
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("safe bound lost commits on the slow disk: %s", sum)
+	}
+}
+
+func TestTrialDeterminism(t *testing.T) {
+	cfg := quickCampaign(rig.RapiLog, PowerCut, 1)
+	a := RunTrial(cfg, 123)
+	b := RunTrial(cfg, 123)
+	if a.Acked != b.Acked || a.Missing != b.Missing || a.Torn != b.Torn {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Err != nil {
+		t.Fatalf("trial error: %v", a.Err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	sum := RunCampaign(quickCampaign(rig.RapiLog, GuestCrash, 1))
+	if sum.String() == "" {
+		t.Fatal("empty summary")
+	}
+}

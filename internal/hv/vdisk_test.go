@@ -1,0 +1,130 @@
+package hv
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+func TestVdiskDelegatesGeometryAndStats(t *testing.T) {
+	_, m, logd, datad := rig(1)
+	h := New(m, Config{})
+	g := h.NewGuest("db", logd, datad)
+	vd := g.LogDisk()
+	if vd.SectorSize() != logd.SectorSize() || vd.Sectors() != logd.Sectors() {
+		t.Fatal("geometry not delegated")
+	}
+	if vd.SeqWriteBandwidth() != logd.SeqWriteBandwidth() {
+		t.Fatal("bandwidth not delegated")
+	}
+	if vd.WorstCaseAccess() != logd.WorstCaseAccess() {
+		t.Fatal("access time not delegated")
+	}
+	if vd.Stats() != logd.Stats() {
+		t.Fatal("stats not delegated")
+	}
+	if vd.Name() == logd.Name() {
+		t.Fatal("vdisk name should mark virtualisation")
+	}
+}
+
+func TestVdiskReadAndFlushPayExitCost(t *testing.T) {
+	s, m, logd, datad := rig(1)
+	h := New(m, Config{ExitCost: 200 * time.Microsecond})
+	g := h.NewGuest("db", logd, datad)
+	var readCost, flushCost time.Duration
+	s.Spawn(g.Domain(), "io", func(p *sim.Proc) {
+		_ = g.LogDisk().Write(p, 0, make([]byte, 512), true)
+		start := p.Now()
+		if _, err := g.LogDisk().Read(p, 0, 1); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		readCost = p.Now().Sub(start)
+		start = p.Now()
+		if err := g.LogDisk().Flush(p); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+		flushCost = p.Now().Sub(start)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if readCost < 200*time.Microsecond {
+		t.Fatalf("read cost %v missing exit cost", readCost)
+	}
+	if flushCost < 200*time.Microsecond {
+		t.Fatalf("flush cost %v missing exit cost", flushCost)
+	}
+}
+
+func TestSetLogBackingSwapsDevice(t *testing.T) {
+	s, m, logd, datad := rig(1)
+	h := New(m, Config{})
+	g := h.NewGuest("db", logd, datad)
+	replacement := disk.NewMem(s, disk.MemConfig{Name: "log2", Persistent: true})
+	g.SetLogBacking(replacement)
+	var got []byte
+	s.Spawn(g.Domain(), "io", func(p *sim.Proc) {
+		if err := g.LogDisk().Write(p, 5, bytes.Repeat([]byte{7}, 512), true); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		got, _ = replacement.Read(p, 5, 1)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{7}, 512)) {
+		t.Fatal("write did not reach the replacement backing")
+	}
+}
+
+func TestGuestAndNativeNames(t *testing.T) {
+	_, m, logd, datad := rig(1)
+	n := NewNative(m, logd, datad)
+	if n.Name() != "native" {
+		t.Fatalf("native name %q", n.Name())
+	}
+	h := New(m, Config{})
+	g := h.NewGuest("db", logd, datad)
+	if g.Name() != "guest:db" {
+		t.Fatalf("guest name %q", g.Name())
+	}
+	if h.Machine() != m {
+		t.Fatal("Machine accessor")
+	}
+}
+
+func TestHypervisorRebootRevivesDomain(t *testing.T) {
+	s, m, logd, datad := rig(1)
+	h := New(m, Config{})
+	_ = h.NewGuest("db", logd, datad)
+	s.Spawn(nil, "op", func(p *sim.Proc) {
+		m.CutPower()
+		p.Sleep(time.Second)
+		if !h.Domain().Dead() {
+			t.Error("hypervisor domain alive after power loss")
+		}
+		m.RestorePower()
+		h.Reboot()
+		if h.Domain().Dead() {
+			t.Error("hypervisor domain dead after reboot")
+		}
+	})
+	if err := s.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeCPUAccessor(t *testing.T) {
+	_, m, logd, datad := rig(1)
+	n := NewNative(m, logd, datad)
+	if n.CPU() != m.CPU() {
+		t.Fatal("native CPU pool is not the machine's")
+	}
+	if n.Sim() != m.Sim() {
+		t.Fatal("native Sim accessor")
+	}
+}

@@ -1,0 +1,477 @@
+// Package pagestore manages the database's data partition: fixed-size
+// pages cached in a buffer pool, checkpoint flushing made torn-write-safe
+// by a double-write area (the InnoDB technique), and a small sector-atomic
+// control block for the engine's recovery metadata.
+//
+// The pool is strictly no-steal: pages are written to disk only by
+// Checkpoint, never evicted while dirty, so uncommitted in-memory state
+// (which the engine keeps out of pages entirely — see internal/engine)
+// never reaches the device and recovery needs no undo pass.
+//
+// Data partition layout, in sectors:
+//
+//	0                      control block (one sector, atomically written)
+//	1                      double-write summary (valid flag, count, CRC)
+//	8 .. 8+DW              double-write slots
+//	8+DW ..                page frames
+package pagestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/disk"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Errors.
+var (
+	ErrBadPage    = errors.New("pagestore: page checksum mismatch")
+	ErrBadControl = errors.New("pagestore: control block corrupt")
+	ErrNoSpace    = errors.New("pagestore: page id beyond device capacity")
+)
+
+const (
+	pageMagic   = 0x50474531 // "PGE1"
+	pageHdrLen  = 24         // magic(4) id(8) lsn(8) crc(4)
+	ctrlMagic   = 0x43545231 // "CTR1"
+	dwMagic     = 0x44575231 // "DWR1"
+	dwHdrSector = 1
+	dwSlotBase  = 8
+)
+
+// Config parameterises a Store.
+type Config struct {
+	PageSize  int // default 8192; multiple of the sector size
+	PoolPages int // soft cache bound; default 4096
+	DWSlots   int // double-write slots per checkpoint batch; default 256
+}
+
+func (c *Config) applyDefaults() {
+	if c.PageSize == 0 {
+		c.PageSize = 8192
+	}
+	if c.PoolPages == 0 {
+		c.PoolPages = 4096
+	}
+	if c.DWSlots == 0 {
+		c.DWSlots = 256
+	}
+}
+
+// Page is a cached page frame. The engine reads and mutates Data between
+// simulation parks only: after any operation that may block (Get with a
+// cache miss), re-fetch the page before touching it, and call MarkDirty in
+// the same non-blocking section as the mutation.
+type Page struct {
+	ID    int64
+	LSN   uint64 // engine-maintained recovery hint
+	data  []byte
+	dirty bool
+	ver   uint64 // bumped by MarkDirty; guards checkpoint races
+	tick  uint64 // LRU clock
+}
+
+// Data returns the page's usable byte area (PageSize − header).
+func (pg *Page) Data() []byte { return pg.data }
+
+// Stats counts store activity.
+type Stats struct {
+	Reads       *metrics.Counter // physical page reads
+	Writes      *metrics.Counter // physical page writes (incl. double writes)
+	Hits        *metrics.Counter
+	Misses      *metrics.Counter
+	Evictions   *metrics.Counter
+	Checkpoints *metrics.Counter
+	DWRestores  *metrics.Counter
+}
+
+func newStats() *Stats {
+	return &Stats{
+		Reads:       metrics.NewCounter("pages.reads"),
+		Writes:      metrics.NewCounter("pages.writes"),
+		Hits:        metrics.NewCounter("pages.hits"),
+		Misses:      metrics.NewCounter("pages.misses"),
+		Evictions:   metrics.NewCounter("pages.evictions"),
+		Checkpoints: metrics.NewCounter("pages.checkpoints"),
+		DWRestores:  metrics.NewCounter("pages.dw_restores"),
+	}
+}
+
+// Store is the page manager for one data partition.
+type Store struct {
+	s        *sim.Sim
+	dev      disk.Device
+	cfg      Config
+	pageSec  int
+	pageBase int64 // first page-frame sector
+	numPages int64
+	pool     map[int64]*Page
+	clock    uint64
+	stats    *Stats
+	// maxWritten is the highest page id ever written to the device (−1 if
+	// none): pages above it are known fresh and are materialised as zero
+	// pages without a device read, like a real engine extending its file.
+	maxWritten int64
+}
+
+// Open creates a Store over dev. Existing page contents remain readable
+// (pages are self-validating); a fresh device reads as zero pages.
+func Open(s *sim.Sim, dev disk.Device, cfg Config) (*Store, error) {
+	cfg.applyDefaults()
+	if cfg.PageSize%dev.SectorSize() != 0 {
+		return nil, fmt.Errorf("pagestore: page size %d not a multiple of sector size %d", cfg.PageSize, dev.SectorSize())
+	}
+	if maxSlots := ((dwSlotBase-dwHdrSector)*dev.SectorSize() - 12) / 8; cfg.DWSlots > maxSlots {
+		return nil, fmt.Errorf("pagestore: DWSlots %d exceeds summary capacity %d", cfg.DWSlots, maxSlots)
+	}
+	pageSec := cfg.PageSize / dev.SectorSize()
+	pageBase := int64(dwSlotBase + cfg.DWSlots*pageSec)
+	numPages := (dev.Sectors() - pageBase) / int64(pageSec)
+	if numPages <= 0 {
+		return nil, fmt.Errorf("pagestore: device too small (%d sectors)", dev.Sectors())
+	}
+	return &Store{
+		s:          s,
+		dev:        dev,
+		cfg:        cfg,
+		pageSec:    pageSec,
+		pageBase:   pageBase,
+		numPages:   numPages,
+		pool:       make(map[int64]*Page),
+		stats:      newStats(),
+		maxWritten: numPages - 1, // conservative: read everything
+	}, nil
+}
+
+// SetWrittenThrough declares the exact page-write horizon: pages above id
+// were never written to the device and will be materialised as zero pages
+// without a read. Only recovery code that derives the horizon from durable
+// metadata (the control block; a missing one proves no page was ever
+// flushed) may call this — lowering it past a written page would resurrect
+// stale zeros.
+func (st *Store) SetWrittenThrough(id int64) {
+	st.maxWritten = id
+}
+
+// Stats returns the store's counters.
+func (st *Store) Stats() *Stats { return st.stats }
+
+// NumPages returns the page capacity of the partition.
+func (st *Store) NumPages() int64 { return st.numPages }
+
+// PageSize returns the configured page size.
+func (st *Store) PageSize() int { return st.cfg.PageSize }
+
+// UsableSize returns the bytes available to the engine per page.
+func (st *Store) UsableSize() int { return st.cfg.PageSize - pageHdrLen }
+
+// DirtyPages returns the number of dirty pages in the pool.
+func (st *Store) DirtyPages() int {
+	n := 0
+	for _, pg := range st.pool {
+		if pg.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+func (st *Store) pageLBA(id int64) int64 { return st.pageBase + id*int64(st.pageSec) }
+
+// Get returns the page with the given id, reading it from the device on a
+// pool miss (which may block p). The returned pointer is valid until the
+// next potentially-blocking call; see Page.
+func (st *Store) Get(p *sim.Proc, id int64) (*Page, error) {
+	if id < 0 || id >= st.numPages {
+		return nil, fmt.Errorf("%w: page %d of %d", ErrNoSpace, id, st.numPages)
+	}
+	st.clock++
+	if pg, ok := st.pool[id]; ok {
+		pg.tick = st.clock
+		st.stats.Hits.Inc()
+		return pg, nil
+	}
+	st.stats.Misses.Inc()
+	if id > st.maxWritten {
+		// Known-fresh page: no device read, and no park — insert directly.
+		pg := &Page{ID: id, data: make([]byte, st.UsableSize()), tick: st.clock}
+		st.maybeEvict()
+		st.pool[id] = pg
+		return pg, nil
+	}
+	raw, err := st.dev.Read(p, st.pageLBA(id), st.pageSec)
+	if err != nil {
+		return nil, err
+	}
+	st.stats.Reads.Inc()
+	pg, err := st.decode(id, raw)
+	if err != nil {
+		return nil, err
+	}
+	// The read parked p; someone else may have loaded the page meanwhile.
+	if existing, ok := st.pool[id]; ok {
+		existing.tick = st.clock
+		return existing, nil
+	}
+	st.maybeEvict()
+	pg.tick = st.clock
+	st.pool[id] = pg
+	return pg, nil
+}
+
+// decode validates and unwraps a raw page image. All-zero images are fresh,
+// never-written pages.
+func (st *Store) decode(id int64, raw []byte) (*Page, error) {
+	if binary.LittleEndian.Uint32(raw[0:4]) == 0 {
+		allZero := true
+		for _, b := range raw {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			return &Page{ID: id, data: make([]byte, st.UsableSize())}, nil
+		}
+	}
+	if binary.LittleEndian.Uint32(raw[0:4]) != pageMagic ||
+		int64(binary.LittleEndian.Uint64(raw[4:12])) != id {
+		return nil, fmt.Errorf("%w: page %d: bad header", ErrBadPage, id)
+	}
+	want := binary.LittleEndian.Uint32(raw[20:24])
+	crc := crc32.NewIEEE()
+	crc.Write(raw[:20])
+	crc.Write(raw[pageHdrLen:])
+	if crc.Sum32() != want {
+		return nil, fmt.Errorf("%w: page %d", ErrBadPage, id)
+	}
+	return &Page{
+		ID:   id,
+		LSN:  binary.LittleEndian.Uint64(raw[12:20]),
+		data: append([]byte(nil), raw[pageHdrLen:]...),
+	}, nil
+}
+
+// encode wraps a page into its on-disk image.
+func (st *Store) encode(pg *Page) []byte {
+	raw := make([]byte, st.cfg.PageSize)
+	binary.LittleEndian.PutUint32(raw[0:4], pageMagic)
+	binary.LittleEndian.PutUint64(raw[4:12], uint64(pg.ID))
+	binary.LittleEndian.PutUint64(raw[12:20], pg.LSN)
+	copy(raw[pageHdrLen:], pg.data)
+	crc := crc32.NewIEEE()
+	crc.Write(raw[:20])
+	crc.Write(raw[pageHdrLen:])
+	binary.LittleEndian.PutUint32(raw[20:24], crc.Sum32())
+	return raw
+}
+
+// maybeEvict drops the least-recently-used clean pages while the pool is
+// over its soft bound. Dirty pages are never evicted (no-steal).
+func (st *Store) maybeEvict() {
+	for len(st.pool) >= st.cfg.PoolPages {
+		var victim *Page
+		for _, pg := range st.pool {
+			if pg.dirty {
+				continue
+			}
+			if victim == nil || pg.tick < victim.tick {
+				victim = pg
+			}
+		}
+		if victim == nil {
+			return // everything dirty: the pool grows until a checkpoint
+		}
+		delete(st.pool, victim.ID)
+		st.stats.Evictions.Inc()
+	}
+}
+
+// MarkDirty flags a pooled page for the next checkpoint. Call it in the
+// same non-blocking section as the mutation it covers.
+func (st *Store) MarkDirty(id int64) {
+	if pg, ok := st.pool[id]; ok {
+		pg.dirty = true
+		pg.ver++
+	}
+}
+
+// Checkpoint writes every dirty page to the device, torn-write-safely:
+// each batch goes to the double-write area first (sequential, FUA), the
+// summary is marked valid, then the pages are written in place and the
+// summary cleared. A power cut at any instant leaves either the old page,
+// the new page, or a restorable double-write copy.
+func (st *Store) Checkpoint(p *sim.Proc) error {
+	var dirty []*Page
+	for _, pg := range st.pool {
+		if pg.dirty {
+			dirty = append(dirty, pg)
+		}
+	}
+	// Deterministic order (map iteration is not).
+	for i := 1; i < len(dirty); i++ {
+		for j := i; j > 0 && dirty[j].ID < dirty[j-1].ID; j-- {
+			dirty[j], dirty[j-1] = dirty[j-1], dirty[j]
+		}
+	}
+	// Snapshot each page's version: a page modified while its batch is in
+	// flight stays dirty for the next checkpoint — clearing it would let
+	// eviction resurrect the stale on-disk copy.
+	vers := make([]uint64, len(dirty))
+	for i, pg := range dirty {
+		vers[i] = pg.ver
+	}
+	for start := 0; start < len(dirty); start += st.cfg.DWSlots {
+		end := start + st.cfg.DWSlots
+		if end > len(dirty) {
+			end = len(dirty)
+		}
+		if err := st.checkpointBatch(p, dirty[start:end]); err != nil {
+			return err
+		}
+		for i := start; i < end; i++ {
+			if dirty[i].ver == vers[i] {
+				dirty[i].dirty = false
+			}
+		}
+	}
+	st.stats.Checkpoints.Inc()
+	return nil
+}
+
+func (st *Store) checkpointBatch(p *sim.Proc, batch []*Page) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	// 1. Stream encoded images to the double-write slots.
+	images := make([][]byte, len(batch))
+	blob := make([]byte, 0, len(batch)*st.cfg.PageSize)
+	for i, pg := range batch {
+		images[i] = st.encode(pg)
+		blob = append(blob, images[i]...)
+	}
+	if err := st.dev.Write(p, dwSlotBase, blob, true); err != nil {
+		return err
+	}
+	st.stats.Writes.Add(int64(len(batch)))
+	// 2. Publish the summary: from here on, a crash restores from the DW
+	// copies. The summary may span several sectors; its validity comes
+	// from the CRC, so a torn summary write is simply "never valid" and
+	// the untouched in-place pages stand.
+	need := 12 + len(batch)*8
+	ss := st.dev.SectorSize()
+	sum := make([]byte, (need+ss-1)/ss*ss)
+	binary.LittleEndian.PutUint32(sum[0:4], dwMagic)
+	binary.LittleEndian.PutUint32(sum[4:8], uint32(len(batch)))
+	for i, pg := range batch {
+		binary.LittleEndian.PutUint64(sum[8+i*8:], uint64(pg.ID))
+	}
+	binary.LittleEndian.PutUint32(sum[8+len(batch)*8:], crc32.ChecksumIEEE(sum[:8+len(batch)*8]))
+	if err := st.dev.Write(p, dwHdrSector, sum, true); err != nil {
+		return err
+	}
+	// 3. Write the pages in place.
+	for i, pg := range batch {
+		if err := st.dev.Write(p, st.pageLBA(pg.ID), images[i], true); err != nil {
+			return err
+		}
+		st.stats.Writes.Inc()
+		if pg.ID > st.maxWritten {
+			st.maxWritten = pg.ID
+		}
+	}
+	// 4. Retire the summary.
+	return st.dev.Write(p, dwHdrSector, make([]byte, st.dev.SectorSize()), true)
+}
+
+// RecoverDoubleWrite runs at boot: if the double-write summary is valid, a
+// crash interrupted step 3 of a checkpoint batch; restore every slot page
+// in place. Returns the number of pages restored.
+func (st *Store) RecoverDoubleWrite(p *sim.Proc) (int, error) {
+	sum, err := st.dev.Read(p, dwHdrSector, dwSlotBase-dwHdrSector)
+	if err != nil {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(sum[0:4]) != dwMagic {
+		return 0, nil
+	}
+	count := int(binary.LittleEndian.Uint32(sum[4:8]))
+	if count <= 0 || count > st.cfg.DWSlots || 8+count*8+4 > len(sum) {
+		return 0, fmt.Errorf("%w: double-write summary count %d", ErrBadControl, count)
+	}
+	if crc32.ChecksumIEEE(sum[:8+count*8]) != binary.LittleEndian.Uint32(sum[8+count*8:]) {
+		// The summary itself is torn: it never became valid, so the
+		// in-place pages were never touched. Nothing to do.
+		return 0, st.dev.Write(p, dwHdrSector, make([]byte, st.dev.SectorSize()), true)
+	}
+	restored := 0
+	for i := 0; i < count; i++ {
+		id := int64(binary.LittleEndian.Uint64(sum[8+i*8:]))
+		img, err := st.dev.Read(p, dwSlotBase+int64(i*st.pageSec), st.pageSec)
+		if err != nil {
+			return restored, err
+		}
+		if _, err := st.decode(id, img); err != nil {
+			return restored, fmt.Errorf("pagestore: double-write slot %d corrupt: %v", i, err)
+		}
+		if err := st.dev.Write(p, st.pageLBA(id), img, true); err != nil {
+			return restored, err
+		}
+		if id > st.maxWritten {
+			st.maxWritten = id
+		}
+		restored++
+	}
+	st.stats.DWRestores.Add(int64(restored))
+	return restored, st.dev.Write(p, dwHdrSector, make([]byte, st.dev.SectorSize()), true)
+}
+
+// Control block: an engine-owned blob of at most SectorSize−12 bytes,
+// written atomically (single sector).
+
+// MaxControlLen returns the largest blob WriteControl accepts.
+func (st *Store) MaxControlLen() int { return st.dev.SectorSize() - 12 }
+
+// WriteControl atomically persists the engine's recovery metadata.
+func (st *Store) WriteControl(p *sim.Proc, blob []byte) error {
+	if len(blob) > st.MaxControlLen() {
+		return fmt.Errorf("pagestore: control blob %d bytes exceeds %d", len(blob), st.MaxControlLen())
+	}
+	sec := make([]byte, st.dev.SectorSize())
+	binary.LittleEndian.PutUint32(sec[0:4], ctrlMagic)
+	binary.LittleEndian.PutUint32(sec[4:8], uint32(len(blob)))
+	copy(sec[12:], blob)
+	binary.LittleEndian.PutUint32(sec[8:12], crc32.ChecksumIEEE(sec[12:12+len(blob)]))
+	return st.dev.Write(p, 0, sec, true)
+}
+
+// ReadControl returns the last-written control blob, or nil if none was
+// ever written.
+func (st *Store) ReadControl(p *sim.Proc) ([]byte, error) {
+	sec, err := st.dev.Read(p, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(sec[0:4]) != ctrlMagic {
+		return nil, nil
+	}
+	n := int(binary.LittleEndian.Uint32(sec[4:8]))
+	if n > st.MaxControlLen() {
+		return nil, fmt.Errorf("%w: length %d", ErrBadControl, n)
+	}
+	if crc32.ChecksumIEEE(sec[12:12+n]) != binary.LittleEndian.Uint32(sec[8:12]) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrBadControl)
+	}
+	return append([]byte(nil), sec[12:12+n]...), nil
+}
+
+// DropCaches empties the buffer pool (for tests simulating a cold restart
+// on the same Store object). Dirty pages are discarded — callers model a
+// crash, where that is the point.
+func (st *Store) DropCaches() {
+	st.pool = make(map[int64]*Page)
+}

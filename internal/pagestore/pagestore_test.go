@@ -1,0 +1,341 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+func memStore(t *testing.T, seed int64, cfg Config) (*sim.Sim, disk.Device, *Store) {
+	t.Helper()
+	s := sim.New(seed)
+	dev := disk.NewMem(s, disk.MemConfig{Name: "data", Persistent: true, Capacity: 1 << 17})
+	st, err := Open(s, dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dev, st
+}
+
+func TestFreshPagesReadZero(t *testing.T) {
+	s, _, st := memStore(t, 1, Config{})
+	s.Spawn(nil, "t", func(p *sim.Proc) {
+		pg, err := st.Get(p, 0)
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		for _, b := range pg.Data() {
+			if b != 0 {
+				t.Error("fresh page not zero")
+				return
+			}
+		}
+		if len(pg.Data()) != st.UsableSize() {
+			t.Errorf("usable size %d", len(pg.Data()))
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointPersistsDirtyPages(t *testing.T) {
+	s, dev, st := memStore(t, 1, Config{})
+	s.Spawn(nil, "t", func(p *sim.Proc) {
+		for id := int64(0); id < 5; id++ {
+			pg, _ := st.Get(p, id)
+			copy(pg.Data(), bytes.Repeat([]byte{byte(id + 1)}, 64))
+			pg.LSN = uint64(100 + id)
+			st.MarkDirty(id)
+		}
+		if err := st.Checkpoint(p); err != nil {
+			t.Errorf("checkpoint: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Cold restart: new store on the same device.
+	s2 := sim.New(2)
+	st2, err := Open(s2, dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Spawn(nil, "t", func(p *sim.Proc) {
+		for id := int64(0); id < 5; id++ {
+			pg, err := st2.Get(p, id)
+			if err != nil {
+				t.Errorf("get after restart: %v", err)
+				return
+			}
+			if !bytes.Equal(pg.Data()[:64], bytes.Repeat([]byte{byte(id + 1)}, 64)) {
+				t.Errorf("page %d content lost", id)
+			}
+			if pg.LSN != uint64(100+id) {
+				t.Errorf("page %d LSN = %d", id, pg.LSN)
+			}
+		}
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st.DirtyPages() != 0 {
+		t.Fatal("dirty flags not cleared by checkpoint")
+	}
+}
+
+func TestUncheckpointedChangesNotOnDisk(t *testing.T) {
+	s, dev, st := memStore(t, 1, Config{})
+	s.Spawn(nil, "t", func(p *sim.Proc) {
+		pg, _ := st.Get(p, 0)
+		pg.Data()[0] = 0xFF
+		st.MarkDirty(0)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := sim.New(2)
+	st2, _ := Open(s2, dev, Config{})
+	s2.Spawn(nil, "t", func(p *sim.Proc) {
+		pg, _ := st2.Get(p, 0)
+		if pg.Data()[0] != 0 {
+			t.Error("no-steal violated: unflushed change on disk")
+		}
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirtyPagesNeverEvicted(t *testing.T) {
+	s, _, st := memStore(t, 1, Config{PoolPages: 4})
+	s.Spawn(nil, "t", func(p *sim.Proc) {
+		// Dirty 4 pages, then touch many more: pool grows, dirty stay.
+		for id := int64(0); id < 4; id++ {
+			pg, _ := st.Get(p, id)
+			pg.Data()[0] = byte(id + 1)
+			st.MarkDirty(id)
+		}
+		for id := int64(10); id < 30; id++ {
+			_, _ = st.Get(p, id)
+		}
+		for id := int64(0); id < 4; id++ {
+			pg, _ := st.Get(p, id)
+			if pg.Data()[0] != byte(id+1) {
+				t.Errorf("dirty page %d lost its in-memory change", id)
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Evictions.Value() == 0 {
+		t.Fatal("no clean evictions despite tiny pool")
+	}
+}
+
+func TestControlBlockRoundTrip(t *testing.T) {
+	s, dev, st := memStore(t, 1, Config{})
+	blob := []byte("checkpointLSN=12345;endLSN=99")
+	s.Spawn(nil, "t", func(p *sim.Proc) {
+		if got, _ := st.ReadControl(p); got != nil {
+			t.Error("fresh device has a control block")
+		}
+		if err := st.WriteControl(p, blob); err != nil {
+			t.Errorf("write control: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := sim.New(2)
+	st2, _ := Open(s2, dev, Config{})
+	s2.Spawn(nil, "t", func(p *sim.Proc) {
+		got, err := st2.ReadControl(p)
+		if err != nil || !bytes.Equal(got, blob) {
+			t.Errorf("control after restart: %q, %v", got, err)
+		}
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlBlockTooLarge(t *testing.T) {
+	s, _, st := memStore(t, 1, Config{})
+	s.Spawn(nil, "t", func(p *sim.Proc) {
+		if err := st.WriteControl(p, make([]byte, st.MaxControlLen()+1)); err == nil {
+			t.Error("oversized control accepted")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleWriteProtectsTornCheckpoint(t *testing.T) {
+	// Checkpoint to an HDD; cut power mid-in-place-write. The torn page
+	// must be restored from the double-write area at boot.
+	s := sim.New(3)
+	m := power.NewMachine(s, "m0", 2, power.PSUConfig{
+		Name: "instant", HoldupMin: time.Microsecond, HoldupMax: time.Microsecond,
+		InterruptLatency: time.Microsecond,
+	})
+	hdd := disk.NewHDD(s, m.HardwareDomain(), disk.HDDConfig{ChunkSectors: 1})
+	m.AttachDevice(hdd)
+	part, _ := disk.NewPartition(hdd, "data", 0, 1<<17)
+	st, err := Open(s, part, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := m.NewDomain("db")
+	content := bytes.Repeat([]byte{0xCD}, 128)
+	s.Spawn(dom, "w", func(p *sim.Proc) {
+		// Seed page 3 with old content, checkpoint fully.
+		pg, _ := st.Get(p, 3)
+		copy(pg.Data(), bytes.Repeat([]byte{0xAB}, 128))
+		st.MarkDirty(3)
+		if err := st.Checkpoint(p); err != nil {
+			t.Errorf("checkpoint 1: %v", err)
+		}
+		// New content; power dies during the second checkpoint's in-place
+		// phase (after the DW copy and summary are durable).
+		pg, _ = st.Get(p, 3)
+		copy(pg.Data(), content)
+		st.MarkDirty(3)
+		// The DW write is sequential near sector 8; the in-place write of
+		// page 3 is further out. Cut power while in-place is underway.
+		s.After(34*time.Millisecond, func() { m.CutPower() })
+		_ = st.Checkpoint(p)
+	})
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Boot: restore double writes, then the page must be readable and
+	// hold either old or new content in full — never a torn mix.
+	m.RestorePower()
+	boot := s.NewDomain("boot")
+	var got []byte
+	s.Spawn(boot, "recover", func(p *sim.Proc) {
+		part2, _ := disk.NewPartition(hdd, "data2", 0, 1<<17)
+		st2, err := Open(s, part2, Config{})
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if _, err := st2.RecoverDoubleWrite(p); err != nil {
+			t.Errorf("dw recover: %v", err)
+			return
+		}
+		pg, err := st2.Get(p, 3)
+		if err != nil {
+			t.Errorf("page unreadable after DW recovery: %v", err)
+			return
+		}
+		got = append([]byte(nil), pg.Data()[:128]...)
+	})
+	if err := s.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	old := bytes.Repeat([]byte{0xAB}, 128)
+	if !bytes.Equal(got, content) && !bytes.Equal(got, old) {
+		t.Fatalf("page holds a torn mix after recovery: % x ...", got[:8])
+	}
+}
+
+func TestRecoverDoubleWriteNoopWhenClean(t *testing.T) {
+	s, _, st := memStore(t, 4, Config{})
+	s.Spawn(nil, "t", func(p *sim.Proc) {
+		n, err := st.RecoverDoubleWrite(p)
+		if err != nil || n != 0 {
+			t.Errorf("clean recover: n=%d err=%v", n, err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageIDBounds(t *testing.T) {
+	s, _, st := memStore(t, 5, Config{})
+	s.Spawn(nil, "t", func(p *sim.Proc) {
+		if _, err := st.Get(p, -1); !errors.Is(err, ErrNoSpace) {
+			t.Errorf("negative id: %v", err)
+		}
+		if _, err := st.Get(p, st.NumPages()); !errors.Is(err, ErrNoSpace) {
+			t.Errorf("beyond capacity: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsBadConfigs(t *testing.T) {
+	s := sim.New(6)
+	dev := disk.NewMem(s, disk.MemConfig{Capacity: 1 << 17})
+	if _, err := Open(s, dev, Config{PageSize: 1000}); err == nil {
+		t.Fatal("non-sector-multiple page size accepted")
+	}
+	if _, err := Open(s, dev, Config{DWSlots: 10000}); err == nil {
+		t.Fatal("oversized DWSlots accepted")
+	}
+	tiny := disk.NewMem(s, disk.MemConfig{Capacity: 16})
+	if _, err := Open(s, tiny, Config{}); err == nil {
+		t.Fatal("too-small device accepted")
+	}
+}
+
+// Property: after any sequence of page writes and checkpoints followed by a
+// cold restart, every checkpointed page reads back exactly, and every page
+// passes its checksum.
+func TestCheckpointRestartRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, nPages uint8) bool {
+		n := int64(nPages%20) + 1
+		s, dev, st := memStore(t, seed, Config{})
+		expect := make(map[int64]byte)
+		s.Spawn(nil, "t", func(p *sim.Proc) {
+			for round := 0; round < 3; round++ {
+				for id := int64(0); id < n; id++ {
+					if s.Rand().Intn(2) == 0 {
+						pg, _ := st.Get(p, id)
+						v := byte(s.Rand().Intn(255) + 1)
+						pg.Data()[7] = v
+						st.MarkDirty(id)
+						expect[id] = v
+					}
+				}
+				_ = st.Checkpoint(p)
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		ok := true
+		s2 := sim.New(seed + 1)
+		st2, _ := Open(s2, dev, Config{})
+		s2.Spawn(nil, "t", func(p *sim.Proc) {
+			for id, v := range expect {
+				pg, err := st2.Get(p, id)
+				if err != nil || pg.Data()[7] != v {
+					ok = false
+					return
+				}
+			}
+		})
+		if err := s2.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+// Package rig assembles complete simulated deployments: machine, disks,
+// partitions, platform (native or hypervisor), the RapiLog device when
+// configured, and the boot/reboot sequences that tie them together. It is
+// the shared substrate of the experiment harness, the fault-injection
+// campaigns, and the public API.
+//
+// A rig realises one of the paper's four evaluation configurations:
+//
+//	native-sync   DBMS on bare metal, synchronous commits (safe, slow)
+//	native-async  DBMS on bare metal, asynchronous commits (fast, unsafe)
+//	virt-sync     DBMS in a VM, pass-through disks, synchronous commits
+//	              (the virtualisation-overhead baseline)
+//	rapilog       DBMS in a VM, log partition interposed by RapiLog
+//	              (fast and safe — the paper's contribution)
+package rig
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/engine"
+	"repro/internal/hv"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Mode selects the deployment configuration.
+type Mode string
+
+// The four evaluation configurations.
+const (
+	NativeSync  Mode = "native-sync"
+	NativeAsync Mode = "native-async"
+	VirtSync    Mode = "virt-sync"
+	RapiLog     Mode = "rapilog"
+)
+
+// Modes lists all configurations in evaluation order.
+var Modes = []Mode{NativeSync, NativeAsync, VirtSync, RapiLog}
+
+// Virtualised reports whether the mode runs under the hypervisor.
+func (m Mode) Virtualised() bool { return m == VirtSync || m == RapiLog }
+
+// CommitMode returns the engine commit policy the mode implies.
+func (m Mode) CommitMode() engine.CommitMode {
+	if m == NativeAsync {
+		return engine.CommitAsync
+	}
+	return engine.CommitSync
+}
+
+// DiskKind selects the storage model.
+type DiskKind string
+
+// Storage models.
+const (
+	DiskHDD DiskKind = "hdd"
+	DiskSSD DiskKind = "ssd"
+	DiskMem DiskKind = "mem"
+)
+
+// Config parameterises a deployment.
+type Config struct {
+	Seed        int64
+	Mode        Mode
+	Personality engine.Personality // default engine.PGLike
+	Disk        DiskKind           // default DiskHDD
+	HDD         disk.HDDConfig     // overrides for DiskHDD
+	SSD         disk.SSDConfig     // overrides for DiskSSD
+	PSU         power.PSUConfig    // default power.PSUMeasured
+	Cores       int                // default 4
+	HV          hv.Config
+	RapiLog     core.Config
+	// Engine knobs.
+	CheckpointEvery time.Duration
+	LockTimeout     time.Duration
+	NoDaemons       bool
+	// Partition sizes in sectors (512 B). Defaults: log 128 MiB, dump
+	// 64 MiB, data the remainder.
+	LogSectors  int64
+	DumpSectors int64
+	// DedicatedLogDisk puts the log and dump partitions on their own
+	// spindle (of the same kind), removing arm contention with data
+	// traffic — the classic deployment the paper's testbed used.
+	DedicatedLogDisk bool
+	// LogDiskKind, if set, gives the (implicitly dedicated) log device a
+	// different storage model than the data disk — e.g. DiskMem for the
+	// battery-backed NVRAM log the paper positions RapiLog against.
+	LogDiskKind DiskKind
+}
+
+func (c *Config) applyDefaults() {
+	if c.Mode == "" {
+		c.Mode = RapiLog
+	}
+	if c.Personality.Name == "" {
+		c.Personality = engine.PGLike
+	}
+	if c.Disk == "" {
+		c.Disk = DiskHDD
+	}
+	if c.PSU.Name == "" {
+		c.PSU = power.PSUMeasured
+	}
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.LogSectors == 0 {
+		c.LogSectors = 262144 // 128 MiB
+	}
+	if c.DumpSectors == 0 {
+		c.DumpSectors = 131072 // 64 MiB
+	}
+}
+
+// Rig is an assembled deployment.
+type Rig struct {
+	Cfg      Config
+	S        *sim.Sim
+	Machine  *power.Machine
+	Disk     disk.Device
+	LogPart  *disk.Partition
+	DumpPart *disk.Partition
+	DataPart *disk.Partition
+	HV       *hv.Hypervisor // nil in native modes
+	Plat     hv.Platform
+	Logger   *core.Logger // nil unless Mode == RapiLog
+}
+
+// New builds a deployment. In RapiLog mode the hypervisor and the RapiLog
+// device are created as part of "platform firmware" — before any guest
+// runs, as on the real system.
+func New(cfg Config) (*Rig, error) {
+	cfg.applyDefaults()
+	s := sim.New(cfg.Seed)
+	m := power.NewMachine(s, "machine", cfg.Cores, cfg.PSU)
+
+	mkDisk := func(name string, kind DiskKind) (disk.Device, error) {
+		switch kind {
+		case DiskHDD:
+			hc := cfg.HDD
+			if hc.Name == "" {
+				hc.Name = name
+			}
+			return disk.NewHDD(s, m.HardwareDomain(), hc), nil
+		case DiskSSD:
+			sc := cfg.SSD
+			if sc.Name == "" {
+				sc.Name = name
+			}
+			return disk.NewSSD(s, m.HardwareDomain(), sc), nil
+		case DiskMem:
+			return disk.NewMem(s, disk.MemConfig{Name: name, Persistent: true, Capacity: 1 << 22}), nil
+		default:
+			return nil, fmt.Errorf("rig: unknown disk kind %q", kind)
+		}
+	}
+	dev, err := mkDisk("disk0", cfg.Disk)
+	if err != nil {
+		return nil, err
+	}
+	m.AttachDevice(dev)
+	logDev := dev
+	dataStart := cfg.LogSectors + cfg.DumpSectors
+	if cfg.DedicatedLogDisk || (cfg.LogDiskKind != "" && cfg.LogDiskKind != cfg.Disk) {
+		logKind := cfg.Disk
+		if cfg.LogDiskKind != "" {
+			logKind = cfg.LogDiskKind
+		}
+		logDev, err = mkDisk("disk1-log", logKind)
+		if err != nil {
+			return nil, err
+		}
+		m.AttachDevice(logDev)
+		dataStart = 0
+	}
+
+	logPart, err := disk.NewPartition(logDev, "log", 0, cfg.LogSectors)
+	if err != nil {
+		return nil, err
+	}
+	dumpPart, err := disk.NewPartition(logDev, "dump", cfg.LogSectors, cfg.DumpSectors)
+	if err != nil {
+		return nil, err
+	}
+	dataPart, err := disk.NewPartition(dev, "data", dataStart, dev.Sectors()-dataStart)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Rig{
+		Cfg: cfg, S: s, Machine: m, Disk: dev,
+		LogPart: logPart, DumpPart: dumpPart, DataPart: dataPart,
+	}
+	if err := r.assemblePlatform(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// assemblePlatform builds (or rebuilds, after a power cycle) the platform
+// layer: hypervisor + RapiLog device + guest, or the native OS domain.
+func (r *Rig) assemblePlatform() error {
+	cfg := r.Cfg
+	switch cfg.Mode {
+	case NativeSync, NativeAsync:
+		if r.Plat == nil {
+			r.Plat = hv.NewNative(r.Machine, r.LogPart, r.DataPart)
+		}
+		return nil
+	case VirtSync:
+		if r.HV == nil {
+			r.HV = hv.New(r.Machine, cfg.HV)
+		}
+		if r.Plat == nil {
+			r.Plat = r.HV.NewGuest("db", r.LogPart, r.DataPart)
+		}
+		return nil
+	case RapiLog:
+		if r.HV == nil {
+			r.HV = hv.New(r.Machine, cfg.HV)
+		}
+		logger, err := core.NewLogger(r.Machine, r.HV.Domain(), r.LogPart, r.DumpPart, cfg.RapiLog)
+		if err != nil {
+			return err
+		}
+		r.Logger = logger
+		if r.Plat == nil {
+			r.Plat = r.HV.NewGuest("db", logger, r.DataPart)
+		} else if g, ok := r.Plat.(*hv.Guest); ok {
+			g.SetLogBacking(logger)
+		}
+		return nil
+	default:
+		return fmt.Errorf("rig: unknown mode %q", cfg.Mode)
+	}
+}
+
+// EngineConfig returns the engine configuration the rig's mode implies.
+func (r *Rig) EngineConfig() engine.Config {
+	return engine.Config{
+		Personality:     r.Cfg.Personality,
+		CommitMode:      r.Cfg.Mode.CommitMode(),
+		CheckpointEvery: r.Cfg.CheckpointEvery,
+		LockTimeout:     r.Cfg.LockTimeout,
+		NoDaemons:       r.Cfg.NoDaemons,
+	}
+}
+
+// Boot opens the engine (running recovery if the devices hold prior state).
+// In RapiLog mode the dump-zone replay — hypervisor firmware work — has
+// already happened if RecoverAfterPower was used; first boots find nothing
+// to replay.
+func (r *Rig) Boot(p *sim.Proc) (*engine.Engine, error) {
+	return engine.Open(p, r.Plat, r.EngineConfig())
+}
+
+// CrashOS kills the software stack the DBMS runs on: the guest VM in
+// virtualised modes (the hypervisor survives), or the whole OS natively.
+func (r *Rig) CrashOS() { r.Plat.Crash() }
+
+// RebootAfterCrash revives the platform domain so Boot can run recovery.
+// In RapiLog mode the hypervisor — and the logger's buffered data — were
+// never lost; the same logger keeps serving the rebooted guest.
+func (r *Rig) RebootAfterCrash() { r.Plat.Reboot() }
+
+// CutPower starts a mains-loss event (the plug-pull). Returns the sampled
+// hold-up. Everything on the machine dies when the window closes.
+func (r *Rig) CutPower() time.Duration { return r.Machine.CutPower() }
+
+// RecoverAfterPower restores power and rebuilds the platform stack,
+// replaying the RapiLog dump zone into the log partition before the guest
+// boots — exactly the order the real system recovers in. Call Boot next.
+func (r *Rig) RecoverAfterPower(p *sim.Proc) (core.RecoveryReport, error) {
+	var rep core.RecoveryReport
+	r.Machine.RestorePower()
+	if r.HV != nil {
+		r.HV.Reboot()
+	}
+	r.Plat.Reboot()
+	if r.Cfg.Mode == RapiLog {
+		var err error
+		rep, err = core.Recover(p, r.LogPart, r.DumpPart)
+		if err != nil {
+			return rep, err
+		}
+		// A fresh logger for the new power epoch.
+		if err := r.assemblePlatform(); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}

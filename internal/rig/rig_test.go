@@ -1,0 +1,296 @@
+package rig
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestAllModesBootAndCommit(t *testing.T) {
+	for _, mode := range Modes {
+		mode := mode
+		t.Run(string(mode), func(t *testing.T) {
+			r, err := New(Config{Seed: 1, Mode: mode, NoDaemons: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ok bool
+			r.S.Spawn(r.Plat.Domain(), "db", func(p *sim.Proc) {
+				e, err := r.Boot(p)
+				if err != nil {
+					t.Errorf("boot: %v", err)
+					return
+				}
+				tx := e.Begin(p)
+				_ = tx.Put("k", []byte("v"))
+				if err := tx.Commit(); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+				tx2 := e.Begin(p)
+				v, found, _ := tx2.Get("k")
+				ok = found && string(v) == "v"
+				_ = tx2.Commit()
+			})
+			if err := r.S.RunFor(time.Minute); err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatal("commit/read round trip failed")
+			}
+		})
+	}
+}
+
+func TestModeProperties(t *testing.T) {
+	if NativeSync.Virtualised() || NativeAsync.Virtualised() {
+		t.Fatal("native modes report virtualised")
+	}
+	if !VirtSync.Virtualised() || !RapiLog.Virtualised() {
+		t.Fatal("virt modes report native")
+	}
+	if NativeAsync.CommitMode() != engine.CommitAsync {
+		t.Fatal("native-async commit mode")
+	}
+	if RapiLog.CommitMode() != engine.CommitSync {
+		t.Fatal("rapilog must use sync commits (that is the whole point)")
+	}
+}
+
+func TestRapiLogModeHasLoggerAndHV(t *testing.T) {
+	r, err := New(Config{Seed: 1, Mode: RapiLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Logger == nil || r.HV == nil {
+		t.Fatal("rapilog rig missing logger or hypervisor")
+	}
+	if r.Logger.MaxBuffer() <= 0 {
+		t.Fatal("logger has no buffer budget")
+	}
+	r2, err := New(Config{Seed: 1, Mode: NativeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Logger != nil || r2.HV != nil {
+		t.Fatal("native rig has virtualisation objects")
+	}
+}
+
+func TestGuestCrashRecoveryRapiLog(t *testing.T) {
+	r, err := New(Config{Seed: 2, Mode: RapiLog, NoDaemons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []string
+	crashed := r.S.NewEvent("crashed")
+	r.S.Spawn(r.Plat.Domain(), "db", func(p *sim.Proc) {
+		e, err := r.Boot(p)
+		if err != nil {
+			t.Errorf("boot: %v", err)
+			return
+		}
+		for i := 0; i < 15; i++ {
+			tx := e.Begin(p)
+			k := fmt.Sprintf("k%d", i)
+			_ = tx.Put(k, []byte("v"))
+			if err := tx.Commit(); err != nil {
+				return
+			}
+			acked = append(acked, k)
+		}
+		crashed.Fire()
+		r.CrashOS()
+	})
+	verified := false
+	r.S.Spawn(nil, "op", func(p *sim.Proc) {
+		crashed.Wait(p)
+		p.Sleep(time.Millisecond)
+		r.RebootAfterCrash()
+		r.S.Spawn(r.Plat.Domain(), "db2", func(p *sim.Proc) {
+			e, err := r.Boot(p)
+			if err != nil {
+				t.Errorf("reboot: %v", err)
+				return
+			}
+			tx := e.Begin(p)
+			for _, k := range acked {
+				if _, ok, _ := tx.Get(k); !ok {
+					t.Errorf("acked %s lost after guest crash", k)
+				}
+			}
+			_ = tx.Commit()
+			verified = true
+		})
+	})
+	if err := r.S.RunFor(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(acked) != 15 || !verified {
+		t.Fatalf("acked=%d verified=%v", len(acked), verified)
+	}
+}
+
+func TestPowerCycleRecoveryRapiLog(t *testing.T) {
+	r, err := New(Config{Seed: 3, Mode: RapiLog, NoDaemons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := workload.NewJournal()
+	w := &workload.Stress{}
+	r.S.Spawn(r.Plat.Domain(), "db", func(p *sim.Proc) {
+		e, err := r.Boot(p)
+		if err != nil {
+			t.Errorf("boot: %v", err)
+			return
+		}
+		for i := 0; i < 30; i++ {
+			if err := w.Do(p, e, j); err != nil {
+				return
+			}
+		}
+		r.CutPower()
+		p.Sleep(time.Hour)
+	})
+	var res workload.VerifyResult
+	r.S.Spawn(nil, "op", func(p *sim.Proc) {
+		p.Sleep(5 * time.Second)
+		if _, err := r.RecoverAfterPower(p); err != nil {
+			t.Errorf("power recovery: %v", err)
+			return
+		}
+		r.S.Spawn(r.Plat.Domain(), "db2", func(p *sim.Proc) {
+			e, err := r.Boot(p)
+			if err != nil {
+				t.Errorf("reboot: %v", err)
+				return
+			}
+			res, err = j.Verify(p, e)
+			if err != nil {
+				t.Errorf("verify: %v", err)
+			}
+		})
+	})
+	if err := r.S.RunFor(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 30 {
+		t.Fatalf("acked %d/30 before power cut", j.Len())
+	}
+	if !res.Ok() {
+		t.Fatalf("durability violated: %v", res)
+	}
+}
+
+func TestNativeAsyncIsUnsafeUnderCrash(t *testing.T) {
+	r, err := New(Config{Seed: 4, Mode: NativeAsync, NoDaemons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := workload.NewJournal()
+	w := &workload.Stress{}
+	crashed := r.S.NewEvent("crashed")
+	r.S.Spawn(r.Plat.Domain(), "db", func(p *sim.Proc) {
+		e, err := r.Boot(p)
+		if err != nil {
+			t.Errorf("boot: %v", err)
+			return
+		}
+		for i := 0; i < 30; i++ {
+			_ = w.Do(p, e, j)
+		}
+		crashed.Fire()
+		r.CrashOS()
+	})
+	var res workload.VerifyResult
+	r.S.Spawn(nil, "op", func(p *sim.Proc) {
+		crashed.Wait(p)
+		p.Sleep(time.Millisecond)
+		r.RebootAfterCrash()
+		r.S.Spawn(r.Plat.Domain(), "db2", func(p *sim.Proc) {
+			e, err := r.Boot(p)
+			if err != nil {
+				t.Errorf("reboot: %v", err)
+				return
+			}
+			res, err = j.Verify(p, e)
+			if err != nil {
+				t.Errorf("verify: %v", err)
+			}
+		})
+	})
+	if err := r.S.RunFor(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if res.Missing == 0 {
+		t.Fatal("native-async lost nothing across a crash; the unsafe baseline should lose acks")
+	}
+}
+
+func TestUnknownConfigsRejected(t *testing.T) {
+	if _, err := New(Config{Mode: "bogus"}); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if _, err := New(Config{Disk: "tape"}); err == nil {
+		t.Fatal("bogus disk accepted")
+	}
+}
+
+func TestDedicatedLogDiskSeparatesDevices(t *testing.T) {
+	r, err := New(Config{Seed: 5, Mode: RapiLog, DedicatedLogDisk: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LogPart.Parent() == r.DataPart.Parent() {
+		t.Fatal("log and data share a spindle despite DedicatedLogDisk")
+	}
+	if r.LogPart.Parent() != r.DumpPart.Parent() {
+		t.Fatal("log and dump zone must share the dedicated spindle")
+	}
+	// The stack must still work end to end, including power recovery.
+	j := workload.NewJournal()
+	w := &workload.Stress{}
+	r.S.Spawn(r.Plat.Domain(), "db", func(p *sim.Proc) {
+		e, err := r.Boot(p)
+		if err != nil {
+			t.Errorf("boot: %v", err)
+			return
+		}
+		for i := 0; i < 20; i++ {
+			if err := w.Do(p, e, j); err != nil {
+				return
+			}
+		}
+		r.CutPower()
+		p.Sleep(time.Hour)
+	})
+	var res workload.VerifyResult
+	r.S.Spawn(nil, "op", func(p *sim.Proc) {
+		p.Sleep(5 * time.Second)
+		if _, err := r.RecoverAfterPower(p); err != nil {
+			t.Errorf("recover: %v", err)
+			return
+		}
+		r.S.Spawn(r.Plat.Domain(), "db2", func(p *sim.Proc) {
+			e, err := r.Boot(p)
+			if err != nil {
+				t.Errorf("reboot: %v", err)
+				return
+			}
+			res, err = j.Verify(p, e)
+			if err != nil {
+				t.Errorf("verify: %v", err)
+			}
+		})
+	})
+	if err := r.S.RunFor(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 20 || !res.Ok() {
+		t.Fatalf("durability on dedicated spindle: acked=%d %v", j.Len(), res)
+	}
+}

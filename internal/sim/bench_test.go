@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Kernel micro-benchmarks: the cost of the primitives everything else is
+// built on. These bound how much simulated activity a wall-clock second
+// buys.
+
+func BenchmarkTimerDispatch(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, func() {})
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkProcSleepWake(b *testing.B) {
+	s := New(1)
+	n := 0
+	s.Spawn(nil, "sleeper", func(p *Proc) {
+		for ; n < b.N; n++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("%d/%d", n, b.N)
+	}
+}
+
+func BenchmarkQueueHandoff(b *testing.B) {
+	s := New(1)
+	q := NewQueue[int](s, "q", 1)
+	s.Spawn(nil, "prod", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := q.Put(p, i); err != nil {
+				return
+			}
+		}
+		q.Close()
+	})
+	got := 0
+	s.Spawn(nil, "cons", func(p *Proc) {
+		for {
+			if _, ok := q.Get(p); !ok {
+				return
+			}
+			got++
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if got != b.N {
+		b.Fatalf("%d/%d", got, b.N)
+	}
+}
+
+func BenchmarkMutexHandoff(b *testing.B) {
+	s := New(1)
+	m := s.NewMutex("m")
+	for w := 0; w < 2; w++ {
+		iters := b.N / 2
+		s.Spawn(nil, "w", func(p *Proc) {
+			for i := 0; i < iters; i++ {
+				m.Lock(p)
+				p.Yield()
+				m.Unlock(p)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSpawnRun(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Spawn(nil, "p", func(p *Proc) {})
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

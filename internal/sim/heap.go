@@ -1,0 +1,79 @@
+package sim
+
+// timer is one scheduled callback on the virtual clock. seq breaks ties so
+// that same-time events run in scheduling order (FIFO), which keeps the
+// simulation deterministic.
+type timer struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap of timers ordered by (t, seq). It is
+// hand-rolled rather than wrapping container/heap to avoid interface
+// boxing on the hottest path in the kernel.
+type eventHeap struct {
+	items []*timer
+}
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(tm *timer) {
+	h.items = append(h.items, tm)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) peek() *timer {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *eventHeap) pop() *timer {
+	n := len(h.items)
+	if n == 0 {
+		return nil
+	}
+	top := h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+func (h *eventHeap) len() int { return len(h.items) }

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is returned by Queue.Put after Close.
+var ErrClosed = errors.New("sim: queue closed")
+
+// Queue is a bounded FIFO channel on virtual time: Put blocks while the
+// queue is full, Get blocks while it is empty. Hand-off is direct (a Put
+// into a queue with waiting getters delivers to the longest-waiting getter),
+// so ordering is strict FIFO on both sides. A capacity of zero gives
+// rendezvous semantics. Queues model I/O request rings, drain work lists,
+// and client/server request channels.
+type Queue[T any] struct {
+	s       *Sim
+	name    string
+	cap     int
+	items   []T
+	getters []*qGetter[T]
+	putters []*qPutter[T]
+	closed  bool
+}
+
+type qGetter[T any] struct {
+	w         *waiter
+	v         T
+	ok        bool
+	delivered bool
+}
+
+type qPutter[T any] struct {
+	w        *waiter
+	v        T
+	accepted bool
+	closed   bool
+}
+
+// NewQueue creates a queue with the given capacity (>= 0).
+func NewQueue[T any](s *Sim, name string, capacity int) *Queue[T] {
+	if capacity < 0 {
+		panic("sim: NewQueue: negative capacity")
+	}
+	return &Queue[T]{s: s, name: name, cap: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Put appends v, blocking p while the queue is full. It returns ErrClosed if
+// the queue is (or becomes, while blocked) closed.
+func (q *Queue[T]) Put(p *Proc, v T) error {
+	p.checkKilled()
+	if q.closed {
+		return ErrClosed
+	}
+	if g := q.nextGetter(); g != nil {
+		g.v, g.ok, g.delivered = v, true, true
+		g.w.wake()
+		return nil
+	}
+	if len(q.items) < q.cap {
+		q.items = append(q.items, v)
+		return nil
+	}
+	pu := &qPutter[T]{w: p.newWaiter(fmt.Sprintf("queue:%s(put)", q.name)), v: v}
+	q.putters = append(q.putters, pu)
+	p.abort = func() { q.removePutter(pu) }
+	p.park()
+	if pu.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// TryPut appends v without blocking, reporting success. It returns false
+// when the queue is full (or has no waiting getter, for capacity zero) and
+// ErrClosed after Close.
+func (q *Queue[T]) TryPut(v T) (bool, error) {
+	if q.closed {
+		return false, ErrClosed
+	}
+	if g := q.nextGetter(); g != nil {
+		g.v, g.ok, g.delivered = v, true, true
+		g.w.wake()
+		return true, nil
+	}
+	if len(q.items) < q.cap {
+		q.items = append(q.items, v)
+		return true, nil
+	}
+	return false, nil
+}
+
+// Get removes and returns the head item, blocking p while the queue is
+// empty. ok is false if the queue was closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	p.checkKilled()
+	if len(q.items) > 0 {
+		v = q.items[0]
+		q.items = q.items[1:]
+		q.refillFromPutter()
+		return v, true
+	}
+	if pu := q.nextPutter(); pu != nil { // rendezvous (cap == 0)
+		v = pu.v
+		pu.accepted = true
+		pu.w.wake()
+		return v, true
+	}
+	if q.closed {
+		return v, false
+	}
+	g := &qGetter[T]{w: p.newWaiter(fmt.Sprintf("queue:%s(get)", q.name))}
+	q.getters = append(q.getters, g)
+	p.abort = func() { q.removeGetter(g) }
+	p.park()
+	return g.v, g.ok
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) > 0 {
+		v = q.items[0]
+		q.items = q.items[1:]
+		q.refillFromPutter()
+		return v, true
+	}
+	if pu := q.nextPutter(); pu != nil {
+		v = pu.v
+		pu.accepted = true
+		pu.w.wake()
+		return v, true
+	}
+	return v, false
+}
+
+// Close marks the queue closed: blocked and future Puts fail with ErrClosed;
+// Gets drain remaining items and then report ok=false.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, g := range q.getters {
+		if !g.delivered {
+			g.ok = false
+			g.delivered = true
+			g.w.wake()
+		}
+	}
+	q.getters = nil
+	for _, pu := range q.putters {
+		pu.closed = true
+		pu.w.wake()
+	}
+	q.putters = nil
+}
+
+// refillFromPutter moves the longest-waiting putter's item into the space
+// just freed in the buffer.
+func (q *Queue[T]) refillFromPutter() {
+	if pu := q.nextPutter(); pu != nil {
+		q.items = append(q.items, pu.v)
+		pu.accepted = true
+		pu.w.wake()
+	}
+}
+
+func (q *Queue[T]) nextGetter() *qGetter[T] {
+	for len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		if g.w.p.done || g.w.p.killed || g.delivered {
+			continue
+		}
+		return g
+	}
+	return nil
+}
+
+func (q *Queue[T]) nextPutter() *qPutter[T] {
+	for len(q.putters) > 0 {
+		pu := q.putters[0]
+		if pu.w.p.done || pu.w.p.killed || pu.accepted {
+			q.putters = q.putters[1:]
+			continue
+		}
+		q.putters = q.putters[1:]
+		return pu
+	}
+	return nil
+}
+
+func (q *Queue[T]) removeGetter(g *qGetter[T]) {
+	for i, other := range q.getters {
+		if other == g {
+			q.getters = append(q.getters[:i], q.getters[i+1:]...)
+			return
+		}
+	}
+}
+
+func (q *Queue[T]) removePutter(pu *qPutter[T]) {
+	for i, other := range q.putters {
+		if other == pu {
+			q.putters = append(q.putters[:i], q.putters[i+1:]...)
+			return
+		}
+	}
+}

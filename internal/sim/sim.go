@@ -1,0 +1,546 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// Everything in this repository — disk latency, PSU hold-up windows, CPU
+// contention, crash injection — runs on virtual time provided by this
+// package. Simulated activities are written as ordinary sequential Go code
+// inside processes (Proc). Processes are goroutines, but the kernel runs
+// exactly one at a time and hands control between them explicitly, so the
+// simulation is single-threaded in effect: no locks are needed around
+// simulation state, and identical seeds produce identical executions.
+//
+// The design follows the classic process-interaction style (SimPy, CSIM):
+//
+//	s := sim.New(42)
+//	s.Spawn(dom, "writer", func(p *sim.Proc) {
+//	    p.Sleep(5 * time.Millisecond) // virtual time
+//	    ev.Fire()
+//	})
+//	err := s.Run()
+//
+// Crash injection is first-class: processes belong to a Domain, and killing
+// a domain unwinds every process in it at its current blocking point. This
+// models "the guest OS crashed" (guest domain dies, hypervisor domain keeps
+// running) and "DC power was lost" (all domains die at once).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// Time is an instant on the virtual clock, in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two instants.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to a duration since the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// resumeKind tells a parked process why it is being resumed.
+type resumeKind int
+
+const (
+	resumeRun  resumeKind = iota // normal wake-up
+	resumeKill                   // the process's domain was killed
+)
+
+// killPanic is thrown inside a process goroutine to unwind it when its
+// domain is killed. It is recovered by the process wrapper and never escapes.
+type killPanic struct{ p *Proc }
+
+// Sim is a discrete-event simulation instance.
+//
+// A Sim and everything spawned on it must be driven from a single goroutine
+// (the one calling Run, RunUntil or Step). Processes themselves may freely
+// touch shared simulation state: the kernel guarantees only one process runs
+// at a time.
+type Sim struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	yield  chan struct{}
+	rng    *rand.Rand
+
+	procs   map[int]*Proc
+	nextPID int
+	running *Proc
+	inRun   bool
+	fatal   error
+	traceFn func(t Time, format string, args ...any)
+	nextDom int
+	root    *Domain
+}
+
+// New creates a simulation with the given random seed. The seed fully
+// determines the behaviour of s.Rand(); the kernel itself introduces no
+// nondeterminism.
+func New(seed int64) *Sim {
+	return &Sim{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+		procs: make(map[int]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// SetTrace installs a trace hook invoked by Tracef and by kernel events
+// (spawn, kill). Pass nil to disable.
+func (s *Sim) SetTrace(fn func(t Time, format string, args ...any)) { s.traceFn = fn }
+
+// Tracef emits a trace line at the current virtual time if tracing is on.
+func (s *Sim) Tracef(format string, args ...any) {
+	if s.traceFn != nil {
+		s.traceFn(s.now, format, args...)
+	}
+}
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+// fn runs in scheduler context: it must not block, but it may fire events,
+// wake processes, and schedule further callbacks.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.events.push(&timer{t: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. See At for constraints on fn.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now.Add(d), fn) }
+
+// Spawn creates a process in domain dom and schedules it to start at the
+// current virtual time. Spawn order determines start order. The returned
+// Proc is also the handle other code can use to inspect the process.
+//
+// If dom is nil the process belongs to a root domain that is never killed.
+func (s *Sim) Spawn(dom *Domain, name string, fn func(p *Proc)) *Proc {
+	if dom == nil {
+		dom = s.rootDomain()
+	}
+	s.nextPID++
+	p := &Proc{
+		sim:    s,
+		id:     s.nextPID,
+		name:   name,
+		domain: dom,
+		resume: make(chan resumeKind),
+		killed: dom.dead, // spawning into a dead domain yields a stillborn proc
+	}
+	s.procs[p.id] = p
+	dom.procs[p.id] = p
+
+	go func() {
+		k := <-p.resume
+		if k == resumeRun && !p.killed {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(killPanic); !ok {
+							s.fatal = fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack())
+						}
+					}
+				}()
+				fn(p)
+			}()
+		}
+		p.done = true
+		p.parked = false
+		delete(s.procs, p.id)
+		delete(p.domain.procs, p.id)
+		s.yield <- struct{}{}
+	}()
+
+	// Start event: hand control to the new process unless it was killed
+	// before it ever ran.
+	s.At(s.now, func() {
+		if p.done {
+			return
+		}
+		if p.killed {
+			s.handoff(p, resumeKill)
+			return
+		}
+		s.handoff(p, resumeRun)
+	})
+	return p
+}
+
+func (s *Sim) rootDomain() *Domain {
+	if s.root == nil {
+		s.root = &Domain{sim: s, name: "root", procs: make(map[int]*Proc)}
+	}
+	return s.root
+}
+
+// handoff transfers control from the scheduler to process p and waits for it
+// to park or finish.
+func (s *Sim) handoff(p *Proc, k resumeKind) {
+	s.running = p
+	p.resume <- k
+	<-s.yield
+	s.running = nil
+}
+
+// Step executes the next pending event. It reports false when no events
+// remain.
+func (s *Sim) Step() (bool, error) {
+	if s.fatal != nil {
+		return false, s.fatal
+	}
+	ev := s.events.pop()
+	if ev == nil {
+		return false, nil
+	}
+	if ev.t > s.now {
+		s.now = ev.t
+	}
+	ev.fn()
+	if s.fatal != nil {
+		return false, s.fatal
+	}
+	return true, nil
+}
+
+// Run executes events until none remain. It returns an error if a process
+// panicked or if live processes remain blocked with no pending events
+// (a simulation deadlock).
+func (s *Sim) Run() error {
+	return s.run(func() bool { return true })
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+// Processes blocked at the cutoff remain blocked; call RunUntil again (or
+// Run) to continue.
+func (s *Sim) RunUntil(t Time) error {
+	err := s.run(func() bool {
+		next := s.events.peek()
+		return next != nil && next.t <= t
+	})
+	if err == nil && s.now < t {
+		s.now = t
+	}
+	return err
+}
+
+// RunFor advances the clock by d. See RunUntil.
+func (s *Sim) RunFor(d time.Duration) error { return s.RunUntil(s.now.Add(d)) }
+
+// RunUntilEvent executes events until ev fires. It returns an error if the
+// event queue drains first (the event can never fire) or a process fails.
+// Unlike RunFor, it does not execute idle ticks past the completion point.
+func (s *Sim) RunUntilEvent(ev *Event) error {
+	for !ev.Fired() {
+		ok, err := s.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("sim: event queue drained before %q fired", ev.name)
+		}
+	}
+	return nil
+}
+
+func (s *Sim) run(cont func() bool) error {
+	if s.inRun {
+		panic("sim: Run called re-entrantly (from inside a process)")
+	}
+	s.inRun = true
+	defer func() { s.inRun = false }()
+	for {
+		if s.fatal != nil {
+			return s.fatal
+		}
+		if s.events.peek() == nil {
+			break
+		}
+		if !cont() {
+			return nil
+		}
+		if _, err := s.Step(); err != nil {
+			return err
+		}
+	}
+	if s.nonDaemonProcs() > 0 {
+		return s.deadlockError()
+	}
+	return nil
+}
+
+func (s *Sim) nonDaemonProcs() int {
+	n := 0
+	for _, p := range s.procs {
+		if !p.daemon {
+			n++
+		}
+	}
+	return n
+}
+
+// deadlockError reports live-but-stuck processes in a stable order.
+func (s *Sim) deadlockError() error {
+	var stuck []string
+	for _, p := range s.procs {
+		if p.daemon {
+			continue
+		}
+		stuck = append(stuck, fmt.Sprintf("%s(%d) waiting on %s", p.name, p.id, p.waiting))
+	}
+	sort.Strings(stuck)
+	return &DeadlockError{At: s.now, Procs: stuck}
+}
+
+// DeadlockError reports that the event queue drained while processes were
+// still blocked.
+type DeadlockError struct {
+	At    Time
+	Procs []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %s: %d blocked procs: %v", e.At, len(e.Procs), e.Procs)
+}
+
+// LiveProcs returns the number of processes that have started but not
+// finished.
+func (s *Sim) LiveProcs() int { return len(s.procs) }
+
+// Running returns the currently executing process, or nil when the
+// scheduler itself is running.
+func (s *Sim) Running() *Proc { return s.running }
+
+// ---------------------------------------------------------------------------
+// Proc
+// ---------------------------------------------------------------------------
+
+// Proc is a simulation process: a goroutine interleaved cooperatively with
+// all other processes on the virtual clock. All methods must be called from
+// the process's own code, except the read-only accessors.
+type Proc struct {
+	sim     *Sim
+	id      int
+	name    string
+	domain  *Domain
+	resume  chan resumeKind
+	done    bool
+	parked  bool
+	killed  bool
+	waitGen uint64
+	waiting string
+	abort   func() // cleanup when killed while parked on a primitive
+	daemon  bool
+}
+
+// SetDaemon marks the process as background machinery: Run treats a
+// simulation whose only remaining blocked processes are daemons as complete
+// rather than deadlocked. Daemons should block on signals when idle, not
+// poll, or Run will never terminate.
+func (p *Proc) SetDaemon(on bool) { p.daemon = on }
+
+// Name returns the process name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the kernel-assigned process id.
+func (p *Proc) ID() int { return p.id }
+
+// Domain returns the domain the process belongs to.
+func (p *Proc) Domain() *Domain { return p.domain }
+
+// Sim returns the owning simulation.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Done reports whether the process has finished.
+func (p *Proc) Done() bool { return p.done }
+
+// Killed reports whether the process's domain has been killed.
+func (p *Proc) Killed() bool { return p.killed }
+
+// checkKilled unwinds the process if its domain has died while it was
+// running (e.g. it killed its own domain, or Kill was called from scheduler
+// context while the process was the running one).
+func (p *Proc) checkKilled() {
+	if p.killed {
+		panic(killPanic{p})
+	}
+}
+
+// waiter represents one parked wait of a process. Stale waiters (from a wait
+// that already completed) are ignored, so a single wait may safely be woken
+// by several sources (event fire, timeout, kill).
+type waiter struct {
+	p   *Proc
+	gen uint64
+}
+
+// newWaiter begins a wait with a human-readable description (shown in
+// deadlock reports).
+func (p *Proc) newWaiter(desc string) *waiter {
+	p.waitGen++
+	p.waiting = desc
+	return &waiter{p: p, gen: p.waitGen}
+}
+
+// wake schedules the process to resume at the current virtual time if the
+// waiter is still current. Safe to call multiple times and from scheduler
+// context.
+func (w *waiter) wake() {
+	p := w.p
+	s := p.sim
+	s.At(s.now, func() {
+		if p.done || !p.parked || p.waitGen != w.gen {
+			return
+		}
+		if p.killed {
+			s.handoff(p, resumeKill)
+			return
+		}
+		s.handoff(p, resumeRun)
+	})
+}
+
+// park blocks the process until a waiter wakes it. It must only be called by
+// the process itself, after registering the wait with a wake source. If the
+// process is killed while parked, the registered abort hook runs (so
+// primitives can clean their queues) and the process unwinds.
+func (p *Proc) park() {
+	if p.killed {
+		p.runAbort()
+		panic(killPanic{p})
+	}
+	p.parked = true
+	p.sim.yield <- struct{}{}
+	k := <-p.resume
+	p.parked = false
+	p.waiting = ""
+	if k == resumeKill || p.killed {
+		p.runAbort()
+		panic(killPanic{p})
+	}
+	p.abort = nil
+}
+
+func (p *Proc) runAbort() {
+	if h := p.abort; h != nil {
+		p.abort = nil
+		h()
+	}
+}
+
+// Sleep suspends the process for d of virtual time. A non-positive d yields
+// the processor, allowing same-time events to run, and returns at the same
+// virtual instant.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	w := p.newWaiter(fmt.Sprintf("sleep(%s)", d))
+	p.sim.At(p.sim.now.Add(d), w.wake)
+	p.park()
+}
+
+// Yield lets every other runnable process and same-time event run before
+// resuming.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// ---------------------------------------------------------------------------
+// Domain
+// ---------------------------------------------------------------------------
+
+// Domain is a crash boundary: a named group of processes that can be killed
+// together. Killing a domain unwinds each member process at its current
+// blocking point (its deferred functions run), models a machine or VM
+// dying. A dead domain rejects new processes.
+type Domain struct {
+	sim   *Sim
+	name  string
+	procs map[int]*Proc
+	dead  bool
+	gen   int
+}
+
+// NewDomain creates a live domain.
+func (s *Sim) NewDomain(name string) *Domain {
+	s.nextDom++
+	return &Domain{sim: s, name: name, procs: make(map[int]*Proc), gen: s.nextDom}
+}
+
+// Name returns the domain name.
+func (d *Domain) Name() string { return d.name }
+
+// Dead reports whether the domain has been killed.
+func (d *Domain) Dead() bool { return d.dead }
+
+// Procs returns the number of live processes in the domain.
+func (d *Domain) Procs() int { return len(d.procs) }
+
+// Revive marks a dead domain live again so new processes can be spawned in
+// it. Used to model a reboot: the old processes are gone; fresh ones start.
+func (d *Domain) Revive() { d.dead = false }
+
+// Kill marks the domain dead and unwinds every process in it. Parked
+// processes are resumed with a kill signal in deterministic (id) order; if
+// the caller is itself a process in the domain, it is unwound last, when
+// Kill panics with the internal kill sentinel (its deferred functions run).
+//
+// Kill may be called from scheduler context (an At callback) or from a
+// process in another domain.
+func (d *Domain) Kill() {
+	if d.dead {
+		return
+	}
+	d.dead = true
+	s := d.sim
+	s.Tracef("domain %s killed (%d procs)", d.name, len(d.procs))
+
+	ids := make([]int, 0, len(d.procs))
+	for id := range d.procs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	self := s.running
+	suicide := false
+	for _, id := range ids {
+		p := d.procs[id]
+		if p == nil || p.done {
+			continue
+		}
+		p.killed = true
+		if p == self {
+			suicide = true
+			continue
+		}
+		// Resume parked procs with the kill signal. Procs that have been
+		// spawned but not yet started are handled by their start event.
+		if p.parked {
+			pp := p
+			s.At(s.now, func() {
+				if pp.done || !pp.parked {
+					return
+				}
+				s.handoff(pp, resumeKill)
+			})
+		}
+	}
+	if suicide {
+		panic(killPanic{self})
+	}
+}

@@ -1,0 +1,451 @@
+// Package wal implements the guest database's write-ahead log: the
+// component whose synchronous force-at-commit is the entire subject of the
+// RapiLog paper.
+//
+// Layout. The log partition is treated as a circular sequence of fixed-size
+// blocks. Each block starts with a small header carrying a monotonically
+// increasing block sequence number; records are packed after it and never
+// span blocks. An LSN is a byte address in the infinite log space:
+// seq·BlockSize + offset. The tail block is rewritten in place as records
+// accumulate — the classic pattern that turns every commit into a
+// same-sector rewrite costing a full disk rotation, unless commits batch.
+//
+// Durability. Force(lsn) writes all blocks up to the tail with FUA and
+// piggybacks concurrent callers on the in-flight write (group commit): while
+// one force is on the disk, later committers wait and are usually covered by
+// the next round. An optional CommitDelay widens the batching window.
+//
+// Recovery. Scan walks blocks from a start LSN, validating each record's
+// length, magic, CRC, and — crucially — that the record's embedded LSN
+// matches the scan position, which is what rejects stale bytes left over
+// from a previous trip around the circular log. A torn tail (power cut
+// mid-force) truncates the log cleanly at the last valid record.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Errors.
+var (
+	ErrTooBig  = errors.New("wal: record exceeds block capacity")
+	ErrLogFull = errors.New("wal: append would overwrite live log data")
+)
+
+// RecType distinguishes log record kinds.
+type RecType uint8
+
+// Record kinds. The engine assigns meaning; the WAL only frames them.
+const (
+	RecUpdate RecType = iota + 1
+	RecCommit
+	RecAbort
+	RecCheckpoint
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecUpdate:
+		return "update"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	case RecCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("rectype(%d)", uint8(t))
+	}
+}
+
+// Record is one log entry.
+type Record struct {
+	LSN     uint64
+	TxID    uint64
+	Type    RecType
+	Payload []byte
+}
+
+const (
+	blockMagic  = 0x57414c42 // "WALB"
+	recMagic    = 0x5245
+	blockHdrLen = 16 // magic(4) seq(8) crc(4)
+	recHdrLen   = 28 // len(4) lsn(8) txid(8) magic(2) type(1) pad(1) crc(4)
+)
+
+// Config parameterises a Log.
+type Config struct {
+	// BlockSize is the log page size; default 4096. Must be a multiple of
+	// the device sector size.
+	BlockSize int
+	// CommitDelay is slept before each physical force to widen the group
+	// commit window (PostgreSQL's commit_delay). Default 0.
+	CommitDelay time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.BlockSize == 0 {
+		c.BlockSize = 4096
+	}
+}
+
+// MaxPayload returns the largest payload a record may carry under cfg.
+func (c Config) MaxPayload() int {
+	bs := c.BlockSize
+	if bs == 0 {
+		bs = 4096
+	}
+	return bs - blockHdrLen - recHdrLen
+}
+
+// FirstLSN is the address of the first record slot in an empty log.
+func FirstLSN(cfg Config) uint64 {
+	cfg.applyDefaults()
+	return uint64(blockHdrLen)
+}
+
+// Stats exposes WAL activity.
+type Stats struct {
+	Appends       *metrics.Counter
+	Forces        *metrics.Counter // physical force rounds
+	ForceWaits    *metrics.Counter // callers satisfied by piggybacking
+	BlocksWritten *metrics.Counter
+	ForceLatency  *metrics.Histogram
+}
+
+func newStats() *Stats {
+	return &Stats{
+		Appends:       metrics.NewCounter("wal.appends"),
+		Forces:        metrics.NewCounter("wal.forces"),
+		ForceWaits:    metrics.NewCounter("wal.force_waits"),
+		BlocksWritten: metrics.NewCounter("wal.blocks_written"),
+		ForceLatency:  metrics.NewHistogram("wal.force_latency"),
+	}
+}
+
+// Log is the write-ahead log writer.
+type Log struct {
+	s   *sim.Sim
+	dev disk.Device
+	cfg Config
+
+	nBlocks       uint64
+	sectorsPer    int
+	curSeq        uint64 // tail block sequence number
+	curData       []byte // tail block image (BlockSize)
+	curOff        int    // next free byte in tail block
+	sealed        []sealedBlock
+	appendedLSN   uint64 // address one past the last appended record
+	flushedLSN    uint64 // all records below this are on disk
+	oldestNeeded  uint64 // wrap barrier (checkpoint horizon)
+	forceInFlight bool
+	flushedSig    *sim.Signal
+	stats         *Stats
+}
+
+type sealedBlock struct {
+	seq  uint64
+	data []byte
+}
+
+// New creates an empty log on dev (any previous contents are logically
+// discarded; the first scan will stop at the new generation's tail).
+func New(s *sim.Sim, dev disk.Device, cfg Config) (*Log, error) {
+	cfg.applyDefaults()
+	if cfg.BlockSize%dev.SectorSize() != 0 {
+		return nil, fmt.Errorf("wal: block size %d not a multiple of sector size %d", cfg.BlockSize, dev.SectorSize())
+	}
+	nBlocks := uint64(dev.Sectors()) / uint64(cfg.BlockSize/dev.SectorSize())
+	if nBlocks < 2 {
+		return nil, fmt.Errorf("wal: device too small (%d blocks)", nBlocks)
+	}
+	l := &Log{
+		s:          s,
+		dev:        dev,
+		cfg:        cfg,
+		nBlocks:    nBlocks,
+		sectorsPer: cfg.BlockSize / dev.SectorSize(),
+		curData:    make([]byte, cfg.BlockSize),
+		curOff:     blockHdrLen,
+		flushedSig: s.NewSignal("wal.flushed"),
+		stats:      newStats(),
+	}
+	l.appendedLSN = l.lsn()
+	l.flushedLSN = l.appendedLSN
+	l.oldestNeeded = l.appendedLSN
+	return l, nil
+}
+
+// OpenAt resumes appending at endLSN (the value Scan reported), reloading
+// the partial tail block from the device.
+func OpenAt(p *sim.Proc, s *sim.Sim, dev disk.Device, cfg Config, endLSN uint64) (*Log, error) {
+	l, err := New(s, dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	l.curSeq = endLSN / uint64(l.cfg.BlockSize)
+	l.curOff = int(endLSN % uint64(l.cfg.BlockSize))
+	if l.curOff < blockHdrLen {
+		l.curOff = blockHdrLen
+	}
+	if l.curOff > blockHdrLen {
+		data, err := dev.Read(p, l.blockLBA(l.curSeq), l.sectorsPer)
+		if err != nil {
+			return nil, err
+		}
+		l.curData = data
+		// Anything past the resume point is dead; zero it so stale bytes
+		// cannot resurrect on the next force.
+		for i := l.curOff; i < len(l.curData); i++ {
+			l.curData[i] = 0
+		}
+	}
+	l.appendedLSN = l.lsn()
+	l.flushedLSN = l.appendedLSN
+	l.oldestNeeded = l.appendedLSN
+	return l, nil
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() *Stats { return l.stats }
+
+// AppendedLSN returns the address one past the last appended record.
+func (l *Log) AppendedLSN() uint64 { return l.appendedLSN }
+
+// FlushedLSN returns the durability horizon.
+func (l *Log) FlushedLSN() uint64 { return l.flushedLSN }
+
+// Capacity returns the log's circular capacity in bytes.
+func (l *Log) Capacity() uint64 { return l.nBlocks * uint64(l.cfg.BlockSize) }
+
+// SetOldestNeeded moves the wrap barrier forward; blocks below it may be
+// overwritten. The engine calls this after each checkpoint.
+func (l *Log) SetOldestNeeded(lsn uint64) {
+	if lsn > l.oldestNeeded {
+		l.oldestNeeded = lsn
+	}
+}
+
+func (l *Log) lsn() uint64 { return l.curSeq*uint64(l.cfg.BlockSize) + uint64(l.curOff) }
+
+func (l *Log) blockLBA(seq uint64) int64 {
+	return int64(seq%l.nBlocks) * int64(l.sectorsPer)
+}
+
+// Append frames rec into the log and returns its LSN. Append itself never
+// touches the disk; call Force to make it durable. It returns ErrLogFull
+// when the circular log would wrap onto blocks still needed for recovery.
+func (l *Log) Append(p *sim.Proc, typ RecType, txid uint64, payload []byte) (uint64, error) {
+	recLen := recHdrLen + len(payload)
+	if recLen > l.cfg.BlockSize-blockHdrLen {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooBig, len(payload))
+	}
+	if l.curOff+recLen > l.cfg.BlockSize {
+		l.sealBlock()
+	}
+	// Wrap check: the tail block must not collide with the oldest block
+	// still needed.
+	if l.curSeq >= l.nBlocks {
+		oldestSeq := l.oldestNeeded / uint64(l.cfg.BlockSize)
+		if l.curSeq-oldestSeq >= l.nBlocks {
+			return 0, fmt.Errorf("%w: tail seq %d, oldest needed seq %d, capacity %d blocks",
+				ErrLogFull, l.curSeq, oldestSeq, l.nBlocks)
+		}
+	}
+	lsn := l.lsn()
+	h := l.curData[l.curOff : l.curOff+recHdrLen]
+	binary.LittleEndian.PutUint32(h[0:], uint32(recLen))
+	binary.LittleEndian.PutUint64(h[4:], lsn)
+	binary.LittleEndian.PutUint64(h[12:], txid)
+	binary.LittleEndian.PutUint16(h[20:], recMagic)
+	h[22] = byte(typ)
+	h[23] = 0
+	crc := crc32.NewIEEE()
+	crc.Write(h[:24])
+	crc.Write(payload)
+	binary.LittleEndian.PutUint32(h[24:], crc.Sum32())
+	copy(l.curData[l.curOff+recHdrLen:], payload)
+	l.curOff += recLen
+	l.appendedLSN = l.lsn()
+	l.stats.Appends.Inc()
+	return lsn, nil
+}
+
+// sealBlock finalises the tail block and starts the next one. The sealed
+// image is kept in memory until a force writes it.
+func (l *Log) sealBlock() {
+	l.finishHeader(l.curData, l.curSeq)
+	l.sealed = append(l.sealed, sealedBlock{seq: l.curSeq, data: l.curData})
+	l.curSeq++
+	l.curData = make([]byte, l.cfg.BlockSize)
+	l.curOff = blockHdrLen
+}
+
+func (l *Log) finishHeader(data []byte, seq uint64) {
+	binary.LittleEndian.PutUint32(data[0:], blockMagic)
+	binary.LittleEndian.PutUint64(data[4:], seq)
+	binary.LittleEndian.PutUint32(data[12:], crc32.ChecksumIEEE(data[:12]))
+}
+
+// Force blocks until every record below lsn is durable. Concurrent callers
+// piggyback on the in-flight physical write — the group commit that lets
+// synchronous engines scale with client count.
+func (l *Log) Force(p *sim.Proc, lsn uint64) error {
+	start := p.Now()
+	if lsn > l.appendedLSN {
+		lsn = l.appendedLSN
+	}
+	waited := false
+	for l.flushedLSN < lsn {
+		if l.forceInFlight {
+			waited = true
+			l.flushedSig.Wait(p)
+			continue
+		}
+		l.forceInFlight = true
+		err := func() error {
+			defer func() {
+				l.forceInFlight = false
+				l.flushedSig.Broadcast()
+			}()
+			if l.cfg.CommitDelay > 0 {
+				p.Sleep(l.cfg.CommitDelay)
+			}
+			return l.physicalForce(p)
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	if waited {
+		l.stats.ForceWaits.Inc()
+	}
+	l.stats.ForceLatency.Observe(p.Now().Sub(start))
+	return nil
+}
+
+// physicalForce writes all sealed blocks plus a snapshot of the partial
+// tail, in order, with FUA. Every image is captured before the first
+// device write: appends that land while the writes are in flight — and in
+// particular a tail block that seals mid-force — belong to the NEXT force,
+// or flushedLSN would advance past records that never reached the device.
+func (l *Log) physicalForce(p *sim.Proc) error {
+	target := l.appendedLSN
+	sealed := l.sealed
+	l.sealed = nil
+	var tail []byte
+	tailSeq := l.curSeq
+	if l.curOff > blockHdrLen && target > l.flushedLSN {
+		tail = make([]byte, l.cfg.BlockSize)
+		copy(tail, l.curData)
+		l.finishHeader(tail, tailSeq)
+	}
+	for i, b := range sealed {
+		if err := l.dev.Write(p, l.blockLBA(b.seq), b.data, true); err != nil {
+			// Requeue the unwritten suffix so a later force retries it.
+			l.sealed = append(sealed[i:], l.sealed...)
+			return err
+		}
+		l.stats.BlocksWritten.Inc()
+	}
+	if tail != nil {
+		if err := l.dev.Write(p, l.blockLBA(tailSeq), tail, true); err != nil {
+			return err
+		}
+		l.stats.BlocksWritten.Inc()
+	}
+	if target > l.flushedLSN {
+		l.flushedLSN = target
+	}
+	l.stats.Forces.Inc()
+	return nil
+}
+
+// ScanResult is what recovery finds in the log.
+type ScanResult struct {
+	Records []Record
+	EndLSN  uint64 // resume point for OpenAt
+	Torn    bool   // the tail ended mid-record (power cut during a force)
+}
+
+// Scan reads records from fromLSN to the log's tail, stopping at the first
+// invalid record (torn tail, old generation, or never-written space).
+func Scan(p *sim.Proc, dev disk.Device, cfg Config, fromLSN uint64) (ScanResult, error) {
+	cfg.applyDefaults()
+	var res ScanResult
+	sectorsPer := cfg.BlockSize / dev.SectorSize()
+	nBlocks := uint64(dev.Sectors()) / uint64(sectorsPer)
+	seq := fromLSN / uint64(cfg.BlockSize)
+	off := int(fromLSN % uint64(cfg.BlockSize))
+	if off < blockHdrLen {
+		off = blockHdrLen
+	}
+	res.EndLSN = seq*uint64(cfg.BlockSize) + uint64(off)
+
+	for {
+		lba := int64(seq%nBlocks) * int64(sectorsPer)
+		data, err := dev.Read(p, lba, sectorsPer)
+		if err != nil {
+			return res, err
+		}
+		if binary.LittleEndian.Uint32(data[0:4]) != blockMagic ||
+			crc32.ChecksumIEEE(data[:12]) != binary.LittleEndian.Uint32(data[12:16]) ||
+			binary.LittleEndian.Uint64(data[4:12]) != seq {
+			return res, nil // end of this generation
+		}
+		blockTorn := false
+		for off+recHdrLen <= cfg.BlockSize {
+			lsn := seq*uint64(cfg.BlockSize) + uint64(off)
+			h := data[off:]
+			recLen := int(binary.LittleEndian.Uint32(h[0:4]))
+			if recLen < recHdrLen || off+recLen > cfg.BlockSize ||
+				binary.LittleEndian.Uint16(h[20:22]) != recMagic ||
+				binary.LittleEndian.Uint64(h[4:12]) != lsn {
+				blockTorn = off+recHdrLen <= cfg.BlockSize && recLen != 0
+				break
+			}
+			payload := data[off+recHdrLen : off+recLen]
+			crc := crc32.NewIEEE()
+			crc.Write(h[:24])
+			crc.Write(payload)
+			if crc.Sum32() != binary.LittleEndian.Uint32(h[24:28]) {
+				blockTorn = true
+				break
+			}
+			res.Records = append(res.Records, Record{
+				LSN:     lsn,
+				TxID:    binary.LittleEndian.Uint64(h[12:20]),
+				Type:    RecType(h[22]),
+				Payload: append([]byte(nil), payload...),
+			})
+			off += recLen
+			res.EndLSN = seq*uint64(cfg.BlockSize) + uint64(off)
+		}
+		// Try the next block: if it is valid, the gap was only padding (or
+		// a tear that a later complete force superseded — impossible with
+		// ordered writes, so a bad next block confirms the tear).
+		nextSeq := seq + 1
+		nextLBA := int64(nextSeq%nBlocks) * int64(sectorsPer)
+		next, err := dev.Read(p, nextLBA, sectorsPer)
+		if err != nil {
+			return res, err
+		}
+		if binary.LittleEndian.Uint32(next[0:4]) != blockMagic ||
+			crc32.ChecksumIEEE(next[:12]) != binary.LittleEndian.Uint32(next[12:16]) ||
+			binary.LittleEndian.Uint64(next[4:12]) != nextSeq {
+			res.Torn = blockTorn
+			return res, nil
+		}
+		seq = nextSeq
+		off = blockHdrLen
+		res.EndLSN = seq*uint64(cfg.BlockSize) + uint64(off)
+	}
+}

@@ -1,0 +1,445 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+func memLog(t *testing.T, seed int64, cfg Config) (*sim.Sim, disk.Device, *Log) {
+	t.Helper()
+	s := sim.New(seed)
+	dev := disk.NewMem(s, disk.MemConfig{Name: "log", Persistent: true, Capacity: 1 << 16})
+	l, err := New(s, dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dev, l
+}
+
+func TestAppendForceScanRoundTrip(t *testing.T) {
+	s, dev, l := memLog(t, 1, Config{})
+	var want []Record
+	s.Spawn(nil, "w", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			payload := []byte(fmt.Sprintf("update-%03d", i))
+			lsn, err := l.Append(p, RecUpdate, uint64(i/5), payload)
+			if err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+			want = append(want, Record{LSN: lsn, TxID: uint64(i / 5), Type: RecUpdate, Payload: payload})
+		}
+		if err := l.Force(p, l.AppendedLSN()); err != nil {
+			t.Errorf("force: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := sim.New(2)
+	var res ScanResult
+	s2.Spawn(nil, "r", func(p *sim.Proc) {
+		var err error
+		res, err = Scan(p, dev, Config{}, FirstLSN(Config{}))
+		if err != nil {
+			t.Errorf("scan: %v", err)
+		}
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(want) {
+		t.Fatalf("scanned %d records, want %d", len(res.Records), len(want))
+	}
+	for i, r := range res.Records {
+		w := want[i]
+		if r.LSN != w.LSN || r.TxID != w.TxID || r.Type != w.Type || !bytes.Equal(r.Payload, w.Payload) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, r, w)
+		}
+	}
+	if res.Torn {
+		t.Fatal("clean log reported torn")
+	}
+	if res.EndLSN != l.AppendedLSN() {
+		t.Fatalf("EndLSN = %d, want %d", res.EndLSN, l.AppendedLSN())
+	}
+}
+
+func TestUnforcedRecordsNotOnDisk(t *testing.T) {
+	s, dev, l := memLog(t, 1, Config{})
+	s.Spawn(nil, "w", func(p *sim.Proc) {
+		_, _ = l.Append(p, RecUpdate, 1, []byte("volatile"))
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := sim.New(2)
+	var n int
+	s2.Spawn(nil, "r", func(p *sim.Proc) {
+		res, _ := Scan(p, dev, Config{}, FirstLSN(Config{}))
+		n = len(res.Records)
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("unforced record visible on disk (%d records)", n)
+	}
+}
+
+func TestForceIdempotentAndMonotone(t *testing.T) {
+	s, _, l := memLog(t, 1, Config{})
+	s.Spawn(nil, "w", func(p *sim.Proc) {
+		lsn, _ := l.Append(p, RecCommit, 1, nil)
+		_ = l.Force(p, lsn+1)
+		forces := l.Stats().Forces.Value()
+		_ = l.Force(p, lsn) // already durable
+		if l.Stats().Forces.Value() != forces {
+			t.Error("redundant force hit the disk")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupCommitPiggyback(t *testing.T) {
+	// Slow device: concurrent committers should share physical forces.
+	s := sim.New(1)
+	hw := s.NewDomain("hw")
+	hdd := disk.NewHDD(s, hw, disk.HDDConfig{})
+	part, _ := disk.NewPartition(hdd, "log", 0, 65536)
+	l, err := New(s, part, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 16
+	done := 0
+	for i := 0; i < clients; i++ {
+		i := i
+		s.Spawn(nil, fmt.Sprintf("c%d", i), func(p *sim.Proc) {
+			p.Sleep(time.Duration(i) * 50 * time.Microsecond)
+			lsn, _ := l.Append(p, RecCommit, uint64(i), []byte("commit"))
+			if err := l.Force(p, lsn+1); err != nil {
+				t.Errorf("force: %v", err)
+			}
+			done++
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != clients {
+		t.Fatalf("%d/%d commits completed", done, clients)
+	}
+	forces := l.Stats().Forces.Value()
+	if forces >= clients {
+		t.Fatalf("%d physical forces for %d clients: no group commit", forces, clients)
+	}
+	if l.Stats().ForceWaits.Value() == 0 {
+		t.Fatal("no piggybacked committers recorded")
+	}
+}
+
+func TestCommitDelayWidensBatch(t *testing.T) {
+	run := func(delay time.Duration) int64 {
+		s := sim.New(1)
+		hw := s.NewDomain("hw")
+		hdd := disk.NewHDD(s, hw, disk.HDDConfig{})
+		part, _ := disk.NewPartition(hdd, "log", 0, 65536)
+		l, _ := New(s, part, Config{CommitDelay: delay})
+		for i := 0; i < 32; i++ {
+			i := i
+			s.Spawn(nil, fmt.Sprintf("c%d", i), func(p *sim.Proc) {
+				p.Sleep(time.Duration(i) * 100 * time.Microsecond)
+				lsn, _ := l.Append(p, RecCommit, uint64(i), []byte("x"))
+				_ = l.Force(p, lsn+1)
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return l.Stats().Forces.Value()
+	}
+	noDelay := run(0)
+	withDelay := run(2 * time.Millisecond)
+	if withDelay >= noDelay {
+		t.Fatalf("commit_delay did not reduce forces: %d vs %d", withDelay, noDelay)
+	}
+}
+
+func TestRecordTooBig(t *testing.T) {
+	s, _, l := memLog(t, 1, Config{})
+	s.Spawn(nil, "w", func(p *sim.Proc) {
+		if _, err := l.Append(p, RecUpdate, 1, make([]byte, Config{}.MaxPayload()+1)); !errors.Is(err, ErrTooBig) {
+			t.Errorf("oversized append: %v", err)
+		}
+		if _, err := l.Append(p, RecUpdate, 1, make([]byte, Config{}.MaxPayload())); err != nil {
+			t.Errorf("max-size append rejected: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailTruncatesCleanly(t *testing.T) {
+	// Force to an HDD, cutting power mid-force: scan recovers a prefix and
+	// flags the tear.
+	s := sim.New(3)
+	m := power.NewMachine(s, "m0", 2, power.PSUConfig{
+		Name: "instant", HoldupMin: time.Microsecond, HoldupMax: time.Microsecond,
+		InterruptLatency: time.Microsecond,
+	})
+	hdd := disk.NewHDD(s, m.HardwareDomain(), disk.HDDConfig{ChunkSectors: 1})
+	m.AttachDevice(hdd)
+	part, _ := disk.NewPartition(hdd, "log", 0, 65536)
+	dom := m.NewDomain("db")
+	var forcedBefore int
+	s.Spawn(dom, "w", func(p *sim.Proc) {
+		l, _ := New(s, part, Config{})
+		// Round 1: commit a batch and force it fully.
+		for i := 0; i < 20; i++ {
+			_, _ = l.Append(p, RecUpdate, 1, bytes.Repeat([]byte{1}, 300))
+		}
+		_ = l.Force(p, l.AppendedLSN())
+		forcedBefore = 20
+		// Round 2: more appends; power dies mid-force.
+		for i := 0; i < 20; i++ {
+			_, _ = l.Append(p, RecUpdate, 2, bytes.Repeat([]byte{2}, 300))
+		}
+		s.After(200*time.Microsecond, func() { m.CutPower() })
+		_ = l.Force(p, l.AppendedLSN())
+	})
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Reboot: scan what survived.
+	var res ScanResult
+	s2 := sim.New(4)
+	s2.Spawn(nil, "r", func(p *sim.Proc) {
+		res, _ = Scan(p, s2AttachMedia(s2, hdd, m), Config{}, FirstLSN(Config{}))
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) < forcedBefore {
+		t.Fatalf("scan lost fully-forced records: %d < %d", len(res.Records), forcedBefore)
+	}
+	if len(res.Records) >= forcedBefore+20 {
+		t.Fatalf("scan returned all %d records despite mid-force power cut", len(res.Records))
+	}
+	for i, r := range res.Records[:forcedBefore] {
+		if r.Payload[0] != 1 {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+}
+
+// s2AttachMedia re-exposes the HDD media in a fresh simulation after power
+// loss: the platter contents survive, the simulation instance does not
+// matter to them.
+func s2AttachMedia(s2 *sim.Sim, hdd *disk.HDD, m *power.Machine) disk.Device {
+	m.RestorePower()
+	part, _ := disk.NewPartition(hdd, "log2", 0, 65536)
+	return part
+}
+
+func TestScanRejectsStaleGenerationAfterWrap(t *testing.T) {
+	// Fill a tiny log more than once around; scan must return only the
+	// current generation.
+	s := sim.New(5)
+	dev := disk.NewMem(s, disk.MemConfig{Name: "log", Persistent: true, Capacity: 64}) // 8 blocks
+	l, err := New(s, dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var appended int
+	s.Spawn(nil, "w", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			if _, err := l.Append(p, RecUpdate, uint64(i), bytes.Repeat([]byte{byte(i)}, 900)); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+			appended++
+			// Continuously advance the checkpoint horizon so wrap is legal.
+			l.SetOldestNeeded(l.AppendedLSN())
+			_ = l.Force(p, l.AppendedLSN())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Scan from the oldest surviving block boundary.
+	startSeq := (l.AppendedLSN()/uint64(4096) + 1) - 8 + 1
+	var res ScanResult
+	s2 := sim.New(6)
+	s2.Spawn(nil, "r", func(p *sim.Proc) {
+		res, _ = Scan(p, dev, Config{}, startSeq*4096)
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("scan found nothing after wrap")
+	}
+	for _, r := range res.Records {
+		if r.LSN < startSeq*4096 {
+			t.Fatalf("scan returned pre-wrap record at LSN %d", r.LSN)
+		}
+	}
+}
+
+func TestLogFullWhenCheckpointStalls(t *testing.T) {
+	s := sim.New(7)
+	dev := disk.NewMem(s, disk.MemConfig{Name: "log", Persistent: true, Capacity: 32}) // 4 blocks
+	l, err := New(s, dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFull bool
+	s.Spawn(nil, "w", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			if _, err := l.Append(p, RecUpdate, 1, bytes.Repeat([]byte{1}, 900)); err != nil {
+				sawFull = errors.Is(err, ErrLogFull)
+				return
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawFull {
+		t.Fatal("log never reported full despite stalled checkpoint horizon")
+	}
+}
+
+func TestOpenAtResumesTail(t *testing.T) {
+	s, dev, l := memLog(t, 8, Config{})
+	var endLSN uint64
+	s.Spawn(nil, "w", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			_, _ = l.Append(p, RecUpdate, 1, []byte("before-crash"))
+		}
+		_ = l.Force(p, l.AppendedLSN())
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Reboot": scan, reopen at the end, append more, force, rescan.
+	s2 := sim.New(9)
+	var total int
+	s2.Spawn(nil, "recover", func(p *sim.Proc) {
+		res, err := Scan(p, dev, Config{}, FirstLSN(Config{}))
+		if err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		endLSN = res.EndLSN
+		l2, err := OpenAt(p, s2, dev, Config{}, endLSN)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			_, _ = l2.Append(p, RecUpdate, 2, []byte("after-crash"))
+		}
+		_ = l2.Force(p, l2.AppendedLSN())
+		res2, err := Scan(p, dev, Config{}, FirstLSN(Config{}))
+		if err != nil {
+			t.Errorf("rescan: %v", err)
+			return
+		}
+		total = len(res2.Records)
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 6 {
+		t.Fatalf("after resume, scan found %d records, want 6", total)
+	}
+}
+
+func TestRecTypeStrings(t *testing.T) {
+	for _, tc := range []struct {
+		t    RecType
+		want string
+	}{
+		{RecUpdate, "update"}, {RecCommit, "commit"}, {RecAbort, "abort"},
+		{RecCheckpoint, "checkpoint"}, {RecType(99), "rectype(99)"},
+	} {
+		if tc.t.String() != tc.want {
+			t.Errorf("%d.String() = %q", tc.t, tc.t.String())
+		}
+	}
+}
+
+// Property: whatever sequence of appends and forces happens, Scan returns
+// exactly the records at or below the last force, in order, with intact
+// payloads.
+func TestScanReturnsForcedPrefixProperty(t *testing.T) {
+	prop := func(seed int64, ops uint8) bool {
+		s := sim.New(seed)
+		dev := disk.NewMem(s, disk.MemConfig{Name: "log", Persistent: true, Capacity: 1 << 16})
+		l, err := New(s, dev, Config{})
+		if err != nil {
+			return false
+		}
+		type rec struct {
+			lsn     uint64
+			payload []byte
+		}
+		var appended []rec
+		var forcedCount int
+		nOps := int(ops%60) + 5
+		s.Spawn(nil, "w", func(p *sim.Proc) {
+			for i := 0; i < nOps; i++ {
+				if s.Rand().Intn(4) == 0 && len(appended) > 0 {
+					_ = l.Force(p, l.AppendedLSN())
+					forcedCount = len(appended)
+				} else {
+					n := 1 + s.Rand().Intn(500)
+					payload := bytes.Repeat([]byte{byte(i)}, n)
+					lsn, err := l.Append(p, RecUpdate, uint64(i), payload)
+					if err != nil {
+						return
+					}
+					appended = append(appended, rec{lsn, payload})
+				}
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		var res ScanResult
+		s2 := sim.New(seed + 1)
+		s2.Spawn(nil, "r", func(p *sim.Proc) {
+			res, _ = Scan(p, dev, Config{}, FirstLSN(Config{}))
+		})
+		if err := s2.Run(); err != nil {
+			return false
+		}
+		if len(res.Records) != forcedCount {
+			t.Logf("seed=%d: scanned %d, forced %d", seed, len(res.Records), forcedCount)
+			return false
+		}
+		for i, r := range res.Records {
+			if r.LSN != appended[i].lsn || !bytes.Equal(r.Payload, appended[i].payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// TPCB is the pgbench/TPC-B-style workload: each transaction updates one
+// account, its teller and branch, and inserts a history row. It is the
+// classic "every transaction commits a tiny update" pattern — maximally
+// commit-latency-bound, which is where RapiLog shines brightest.
+type TPCB struct {
+	Branches  int // default 1
+	Tellers   int // per branch; default 10
+	Accounts  int // per branch; default 1000
+	RowFiller int // default 60
+
+	hist uint64
+}
+
+func (w *TPCB) applyDefaults() {
+	if w.Branches == 0 {
+		w.Branches = 1
+	}
+	if w.Tellers == 0 {
+		w.Tellers = 10
+	}
+	if w.Accounts == 0 {
+		w.Accounts = 1000
+	}
+	if w.RowFiller == 0 {
+		w.RowFiller = 60
+	}
+}
+
+// Name implements Workload.
+func (w *TPCB) Name() string { return "tpcb" }
+
+func kBranch(b int) string       { return fmt.Sprintf("b:%d", b) }
+func kTeller(b, t int) string    { return fmt.Sprintf("t:%d:%d", b, t) }
+func kAccount(b, a int) string   { return fmt.Sprintf("a:%d:%d", b, a) }
+func kBHistory(id uint64) string { return fmt.Sprintf("bh:%d", id) }
+
+// Load populates branches, tellers and accounts.
+func (w *TPCB) Load(p *sim.Proc, e *engine.Engine) error {
+	w.applyDefaults()
+	for b := 1; b <= w.Branches; b++ {
+		tx := e.Begin(p)
+		if err := tx.Put(kBranch(b), []byte(fmt.Sprintf("0|%s", filler(w.RowFiller)))); err != nil {
+			return err
+		}
+		for t := 1; t <= w.Tellers; t++ {
+			if err := tx.Put(kTeller(b, t), []byte(fmt.Sprintf("0|%s", filler(w.RowFiller)))); err != nil {
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		tx = e.Begin(p)
+		for a := 1; a <= w.Accounts; a++ {
+			if err := tx.Put(kAccount(b, a), []byte(fmt.Sprintf("0|%s", filler(w.RowFiller)))); err != nil {
+				return err
+			}
+			if a%200 == 0 {
+				if err := tx.Commit(); err != nil {
+					return err
+				}
+				tx = e.Begin(p)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Do implements Workload: one account-update transaction.
+func (w *TPCB) Do(p *sim.Proc, e *engine.Engine, j *Journal) error {
+	w.applyDefaults()
+	r := p.Sim().Rand()
+	b := 1 + r.Intn(w.Branches)
+	t := 1 + r.Intn(w.Tellers)
+	a := 1 + r.Intn(w.Accounts)
+	delta := r.Intn(2000) - 1000
+
+	tx := e.Begin(p)
+	bump := func(key string) error {
+		v, ok, err := tx.Get(key)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errors.New("tpcb: row missing: " + key)
+		}
+		var bal int
+		_, _ = fmt.Sscanf(string(v), "%d|", &bal)
+		return tx.Put(key, []byte(fmt.Sprintf("%d|%s", bal+delta, filler(w.RowFiller))))
+	}
+	for _, key := range []string{kAccount(b, a), kTeller(b, t), kBranch(b)} {
+		if err := bump(key); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	w.hist++
+	hk := kBHistory(w.hist)
+	hv := []byte(fmt.Sprintf("%d|%d|%d|%d|%s", b, t, a, delta, filler(w.RowFiller)))
+	if err := tx.Put(hk, hv); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	if j != nil {
+		j.Add(hk, hv)
+	}
+	return nil
+}
+
+// Stress is the commit-latency microbenchmark: each transaction writes one
+// fresh row and commits. It isolates the commit path completely — the
+// workload behind the latency-distribution experiment (E7) and buffer
+// sweep (E8).
+type Stress struct {
+	ValueSize int // default 120
+	clientSeq map[int]uint64
+}
+
+// Name implements Workload.
+func (w *Stress) Name() string { return "stress" }
+
+// Load implements Workload (nothing to load).
+func (w *Stress) Load(p *sim.Proc, e *engine.Engine) error { return nil }
+
+// DoAs runs one insert-commit for a given client id (keys are
+// client-partitioned so stress clients never conflict).
+func (w *Stress) DoAs(p *sim.Proc, e *engine.Engine, j *Journal, client int) error {
+	if w.ValueSize == 0 {
+		w.ValueSize = 120
+	}
+	if w.clientSeq == nil {
+		w.clientSeq = make(map[int]uint64)
+	}
+	w.clientSeq[client]++
+	k := fmt.Sprintf("st:%d:%d", client, w.clientSeq[client])
+	v := []byte(filler(w.ValueSize))
+	tx := e.Begin(p)
+	if err := tx.Put(k, v); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	if j != nil {
+		j.Add(k, v)
+	}
+	return nil
+}
+
+// Do implements Workload using client 0.
+func (w *Stress) Do(p *sim.Proc, e *engine.Engine, j *Journal) error {
+	return w.DoAs(p, e, j, 0)
+}

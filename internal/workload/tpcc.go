@@ -1,0 +1,451 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// TPCC is a TPC-C-derived OLTP workload: the five standard transaction
+// types in the standard mix over the warehouse/district/customer/stock
+// schema, with NURand skew, scaled down so a simulated machine loads in
+// seconds. It is "TPC-C-like" in exactly the sense the paper's benchmark
+// was: same access pattern and commit rate characteristics, no pretence of
+// an auditable tpmC number.
+type TPCC struct {
+	Warehouses int // default 2
+	Districts  int // per warehouse; default 10
+	Customers  int // per district; default 30
+	Items      int // global; default 1000
+	RowFiller  int // padding bytes per row to mimic real row widths; default 60
+
+	hist uint64 // history row id source (harness-side uniqueness)
+}
+
+func (w *TPCC) applyDefaults() {
+	if w.Warehouses == 0 {
+		w.Warehouses = 2
+	}
+	if w.Districts == 0 {
+		w.Districts = 10
+	}
+	if w.Customers == 0 {
+		w.Customers = 30
+	}
+	if w.Items == 0 {
+		w.Items = 1000
+	}
+	if w.RowFiller == 0 {
+		w.RowFiller = 60
+	}
+}
+
+// Name implements Workload.
+func (w *TPCC) Name() string { return "tpcc" }
+
+func filler(n int) string { return strings.Repeat("x", n) }
+
+// Key builders.
+func kWarehouse(wid int) string              { return fmt.Sprintf("w:%d", wid) }
+func kDistrict(wid, did int) string          { return fmt.Sprintf("d:%d:%d", wid, did) }
+func kCustomer(wid, did, cid int) string     { return fmt.Sprintf("c:%d:%d:%d", wid, did, cid) }
+func kItem(iid int) string                   { return fmt.Sprintf("i:%d", iid) }
+func kStock(wid, iid int) string             { return fmt.Sprintf("s:%d:%d", wid, iid) }
+func kOrder(wid, did, oid int) string        { return fmt.Sprintf("o:%d:%d:%d", wid, did, oid) }
+func kOrderLine(wid, did, oid, l int) string { return fmt.Sprintf("ol:%d:%d:%d:%d", wid, did, oid, l) }
+func kHistory(id uint64) string              { return fmt.Sprintf("h:%d", id) }
+
+// district value: nextOID|nextDeliveryOID|ytd|filler
+func encDistrict(nextOID, nextDeliv, ytd int, pad int) []byte {
+	return []byte(fmt.Sprintf("%d|%d|%d|%s", nextOID, nextDeliv, ytd, filler(pad)))
+}
+
+func decDistrict(v []byte) (nextOID, nextDeliv, ytd int, err error) {
+	_, err = fmt.Sscanf(string(v), "%d|%d|%d|", &nextOID, &nextDeliv, &ytd)
+	return
+}
+
+// Load populates the schema. Run it once per database lifetime, before any
+// clients start.
+func (w *TPCC) Load(p *sim.Proc, e *engine.Engine) error {
+	w.applyDefaults()
+	put := func(tx *engine.Tx, k string, v []byte) error { return tx.Put(k, v) }
+
+	// Items (read-mostly).
+	tx := e.Begin(p)
+	for i := 1; i <= w.Items; i++ {
+		if err := put(tx, kItem(i), []byte(fmt.Sprintf("%d|item-%d|%s", 100+i%900, i, filler(w.RowFiller)))); err != nil {
+			return err
+		}
+		if i%200 == 0 { // bound transaction size during load
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			tx = e.Begin(p)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+
+	for wid := 1; wid <= w.Warehouses; wid++ {
+		tx := e.Begin(p)
+		if err := put(tx, kWarehouse(wid), []byte(fmt.Sprintf("0|%s", filler(w.RowFiller)))); err != nil {
+			return err
+		}
+		for did := 1; did <= w.Districts; did++ {
+			if err := put(tx, kDistrict(wid, did), encDistrict(1, 1, 0, w.RowFiller)); err != nil {
+				return err
+			}
+			for cid := 1; cid <= w.Customers; cid++ {
+				if err := put(tx, kCustomer(wid, did, cid), []byte(fmt.Sprintf("0|0|%s", filler(w.RowFiller)))); err != nil {
+					return err
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			tx = e.Begin(p)
+		}
+		for i := 1; i <= w.Items; i++ {
+			if err := put(tx, kStock(wid, i), []byte(fmt.Sprintf("%d|0|%s", 50+i%50, filler(w.RowFiller)))); err != nil {
+				return err
+			}
+			if i%200 == 0 {
+				if err := tx.Commit(); err != nil {
+					return err
+				}
+				tx = e.Begin(p)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nuRand is TPC-C's non-uniform random: skews item and customer selection.
+func nuRand(p *sim.Proc, a, x, y int) int {
+	r := p.Sim().Rand()
+	c := a / 2
+	return (((r.Intn(a+1) | (x + r.Intn(y-x+1))) + c) % (y - x + 1)) + x
+}
+
+// Do implements Workload: run one transaction of the standard mix.
+// The returned journal obligations are recorded by the caller only if the
+// commit succeeds.
+func (w *TPCC) Do(p *sim.Proc, e *engine.Engine, j *Journal) error {
+	w.applyDefaults()
+	r := p.Sim().Rand()
+	roll := r.Intn(100)
+	switch {
+	case roll < 45:
+		return w.newOrder(p, e, j)
+	case roll < 88:
+		return w.payment(p, e, j)
+	case roll < 92:
+		return w.orderStatus(p, e)
+	case roll < 96:
+		return w.delivery(p, e, j)
+	default:
+		return w.stockLevel(p, e)
+	}
+}
+
+func (w *TPCC) pick(p *sim.Proc) (wid, did int) {
+	r := p.Sim().Rand()
+	return 1 + r.Intn(w.Warehouses), 1 + r.Intn(w.Districts)
+}
+
+func (w *TPCC) newOrder(p *sim.Proc, e *engine.Engine, j *Journal) error {
+	r := p.Sim().Rand()
+	wid, did := w.pick(p)
+	cid := 1 + nuRand(p, 255, 0, w.Customers-1)
+	nLines := 5 + r.Intn(11)
+
+	tx := e.Begin(p)
+	// District: allocate the order id.
+	dv, ok, err := tx.Get(kDistrict(wid, did))
+	if err != nil || !ok {
+		tx.Abort()
+		if err == nil {
+			err = errors.New("tpcc: district missing")
+		}
+		return err
+	}
+	nextOID, nextDeliv, ytd, err := decDistrict(dv)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	oid := nextOID
+	if err := tx.Put(kDistrict(wid, did), encDistrict(nextOID+1, nextDeliv, ytd, w.RowFiller)); err != nil {
+		tx.Abort()
+		return err
+	}
+	// Lines: read item, update stock, insert order line.
+	total := 0
+	for l := 1; l <= nLines; l++ {
+		iid := 1 + nuRand(p, 8191, 0, w.Items-1)
+		iv, ok, err := tx.Get(kItem(iid))
+		if err != nil || !ok {
+			tx.Abort()
+			if err == nil {
+				err = errors.New("tpcc: item missing")
+			}
+			return err
+		}
+		var price int
+		_, _ = fmt.Sscanf(string(iv), "%d|", &price)
+		qty := 1 + r.Intn(10)
+		total += price * qty
+
+		sk := kStock(wid, iid)
+		sv, ok, err := tx.Get(sk)
+		if err != nil || !ok {
+			tx.Abort()
+			if err == nil {
+				err = errors.New("tpcc: stock missing")
+			}
+			return err
+		}
+		var sQty, sYtd int
+		_, _ = fmt.Sscanf(string(sv), "%d|%d|", &sQty, &sYtd)
+		sQty -= qty
+		if sQty < 10 {
+			sQty += 91
+		}
+		if err := tx.Put(sk, []byte(fmt.Sprintf("%d|%d|%s", sQty, sYtd+qty, filler(w.RowFiller)))); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.Put(kOrderLine(wid, did, oid, l), []byte(fmt.Sprintf("%d|%d|%d|%s", iid, qty, price*qty, filler(w.RowFiller)))); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	orderVal := []byte(fmt.Sprintf("%d|%d|0|%d|%s", cid, nLines, total, filler(w.RowFiller)))
+	if err := tx.Put(kOrder(wid, did, oid), orderVal); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	if j != nil {
+		// The order row is written only by this transaction until its
+		// delivery; existence after recovery is the durability witness.
+		j.Add(kOrder(wid, did, oid), nil)
+	}
+	return nil
+}
+
+func (w *TPCC) payment(p *sim.Proc, e *engine.Engine, j *Journal) error {
+	r := p.Sim().Rand()
+	wid, did := w.pick(p)
+	cid := 1 + nuRand(p, 255, 0, w.Customers-1)
+	amount := 1 + r.Intn(5000)
+
+	tx := e.Begin(p)
+	wv, ok, err := tx.Get(kWarehouse(wid))
+	if err != nil || !ok {
+		tx.Abort()
+		if err == nil {
+			err = errors.New("tpcc: warehouse missing")
+		}
+		return err
+	}
+	var wYtd int
+	_, _ = fmt.Sscanf(string(wv), "%d|", &wYtd)
+	if err := tx.Put(kWarehouse(wid), []byte(fmt.Sprintf("%d|%s", wYtd+amount, filler(w.RowFiller)))); err != nil {
+		tx.Abort()
+		return err
+	}
+	dv, ok, err := tx.Get(kDistrict(wid, did))
+	if err != nil || !ok {
+		tx.Abort()
+		if err == nil {
+			err = errors.New("tpcc: district missing")
+		}
+		return err
+	}
+	nextOID, nextDeliv, ytd, _ := decDistrict(dv)
+	if err := tx.Put(kDistrict(wid, did), encDistrict(nextOID, nextDeliv, ytd+amount, w.RowFiller)); err != nil {
+		tx.Abort()
+		return err
+	}
+	cv, ok, err := tx.Get(kCustomer(wid, did, cid))
+	if err != nil || !ok {
+		tx.Abort()
+		if err == nil {
+			err = errors.New("tpcc: customer missing")
+		}
+		return err
+	}
+	var bal, pays int
+	_, _ = fmt.Sscanf(string(cv), "%d|%d|", &bal, &pays)
+	if err := tx.Put(kCustomer(wid, did, cid), []byte(fmt.Sprintf("%d|%d|%s", bal-amount, pays+1, filler(w.RowFiller)))); err != nil {
+		tx.Abort()
+		return err
+	}
+	w.hist++
+	hk := kHistory(w.hist)
+	hv := []byte(fmt.Sprintf("%d|%d|%d|%d|%s", wid, did, cid, amount, filler(w.RowFiller)))
+	if err := tx.Put(hk, hv); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	if j != nil {
+		j.Add(hk, hv) // insert-only: exact contents must survive
+	}
+	return nil
+}
+
+func (w *TPCC) orderStatus(p *sim.Proc, e *engine.Engine) error {
+	wid, did := w.pick(p)
+	cid := 1 + nuRand(p, 255, 0, w.Customers-1)
+	tx := e.Begin(p)
+	if _, _, err := tx.Get(kCustomer(wid, did, cid)); err != nil {
+		tx.Abort()
+		return err
+	}
+	dv, ok, err := tx.Get(kDistrict(wid, did))
+	if err != nil || !ok {
+		tx.Abort()
+		return err
+	}
+	nextOID, _, _, _ := decDistrict(dv)
+	if nextOID > 1 {
+		oid := nextOID - 1
+		ov, ok, err := tx.Get(kOrder(wid, did, oid))
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if ok {
+			var ocid, nLines int
+			_, _ = fmt.Sscanf(string(ov), "%d|%d|", &ocid, &nLines)
+			for l := 1; l <= nLines; l++ {
+				if _, _, err := tx.Get(kOrderLine(wid, did, oid, l)); err != nil {
+					tx.Abort()
+					return err
+				}
+			}
+		}
+	}
+	return tx.Commit()
+}
+
+func (w *TPCC) delivery(p *sim.Proc, e *engine.Engine, j *Journal) error {
+	wid, did := w.pick(p)
+	tx := e.Begin(p)
+	dv, ok, err := tx.Get(kDistrict(wid, did))
+	if err != nil || !ok {
+		tx.Abort()
+		if err == nil {
+			err = errors.New("tpcc: district missing")
+		}
+		return err
+	}
+	nextOID, nextDeliv, ytd, _ := decDistrict(dv)
+	if nextDeliv >= nextOID {
+		return tx.Commit() // nothing to deliver
+	}
+	oid := nextDeliv
+	ov, ok, err := tx.Get(kOrder(wid, did, oid))
+	if err != nil || !ok {
+		tx.Abort()
+		if err == nil {
+			err = fmt.Errorf("tpcc: undelivered order %d missing", oid)
+		}
+		return err
+	}
+	var cid, nLines, delivered, total int
+	_, _ = fmt.Sscanf(string(ov), "%d|%d|%d|%d|", &cid, &nLines, &delivered, &total)
+	newOrderVal := []byte(fmt.Sprintf("%d|%d|1|%d|%s", cid, nLines, total, filler(w.RowFiller)))
+	if err := tx.Put(kOrder(wid, did, oid), newOrderVal); err != nil {
+		tx.Abort()
+		return err
+	}
+	cv, ok, err := tx.Get(kCustomer(wid, did, cid))
+	if err != nil || !ok {
+		tx.Abort()
+		if err == nil {
+			err = errors.New("tpcc: customer missing")
+		}
+		return err
+	}
+	var bal, pays int
+	_, _ = fmt.Sscanf(string(cv), "%d|%d|", &bal, &pays)
+	if err := tx.Put(kCustomer(wid, did, cid), []byte(fmt.Sprintf("%d|%d|%s", bal+total, pays, filler(w.RowFiller)))); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Put(kDistrict(wid, did), encDistrict(nextOID, nextDeliv+1, ytd, w.RowFiller)); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	if j != nil {
+		j.Add(kOrder(wid, did, oid), nil) // delivered order must persist
+	}
+	return nil
+}
+
+func (w *TPCC) stockLevel(p *sim.Proc, e *engine.Engine) error {
+	r := p.Sim().Rand()
+	wid, did := w.pick(p)
+	tx := e.Begin(p)
+	dv, ok, err := tx.Get(kDistrict(wid, did))
+	if err != nil || !ok {
+		tx.Abort()
+		if err == nil {
+			err = errors.New("tpcc: district missing")
+		}
+		return err
+	}
+	nextOID, _, _, _ := decDistrict(dv)
+	// Inspect the stock touched by up to the last 5 orders.
+	for oid := nextOID - 5; oid < nextOID; oid++ {
+		if oid < 1 {
+			continue
+		}
+		ov, ok, err := tx.Get(kOrder(wid, did, oid))
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if !ok {
+			continue
+		}
+		var cid, nLines int
+		_, _ = fmt.Sscanf(string(ov), "%d|%d|", &cid, &nLines)
+		for l := 1; l <= nLines && l <= 5; l++ {
+			lv, ok, err := tx.Get(kOrderLine(wid, did, oid, l))
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+			if !ok {
+				continue
+			}
+			var iid int
+			_, _ = fmt.Sscanf(string(lv), "%d|", &iid)
+			if _, _, err := tx.Get(kStock(wid, iid)); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+	}
+	_ = r
+	return tx.Commit()
+}

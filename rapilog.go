@@ -1,0 +1,211 @@
+// Package rapilog is the public API of the RapiLog reproduction: a
+// simulated full-stack implementation of "RapiLog: reducing system
+// complexity through verification" (EuroSys 2013).
+//
+// The package re-exports the building blocks needed to assemble and drive
+// a deployment:
+//
+//	cfg := rapilog.Config{Seed: 1, Mode: rapilog.ModeRapiLog}
+//	dep, err := rapilog.New(cfg)
+//	...
+//	dep.S.Spawn(dep.Plat.Domain(), "db", func(p *rapilog.Proc) {
+//	    e, err := dep.Boot(p)
+//	    tx := e.Begin(p)
+//	    tx.Put("k", []byte("v"))
+//	    tx.Commit() // durable the instant it returns — that is the paper
+//	})
+//	dep.S.Run()
+//
+// A Deployment is one simulated machine: PSU, disk (HDD/SSD/RAM), optional
+// dependable hypervisor, RapiLog log device, and a transactional storage
+// engine. Everything runs on a deterministic virtual clock; power cuts and
+// OS crashes are first-class operations, which is how the durability
+// experiments audit the system.
+//
+// See the examples/ directory for complete programs, DESIGN.md for the
+// architecture and the paper-to-module map, and EXPERIMENTS.md for the
+// reproduced evaluation.
+package rapilog
+
+import (
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/power"
+	"repro/internal/rig"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Deployment assembly.
+type (
+	// Config parameterises a deployment (mode, disk, PSU, engine
+	// personality, RapiLog buffer policy).
+	Config = rig.Config
+	// Deployment is an assembled simulated machine + platform + engine
+	// stack.
+	Deployment = rig.Rig
+	// Mode selects one of the four evaluation configurations.
+	Mode = rig.Mode
+	// DiskKind selects the storage model.
+	DiskKind = rig.DiskKind
+)
+
+// New assembles a deployment.
+func New(cfg Config) (*Deployment, error) { return rig.New(cfg) }
+
+// The four evaluation configurations.
+const (
+	ModeNativeSync  = rig.NativeSync
+	ModeNativeAsync = rig.NativeAsync
+	ModeVirtSync    = rig.VirtSync
+	ModeRapiLog     = rig.RapiLog
+)
+
+// Modes lists all configurations in evaluation order.
+var Modes = rig.Modes
+
+// Storage models.
+const (
+	DiskHDD = rig.DiskHDD
+	DiskSSD = rig.DiskSSD
+	DiskMem = rig.DiskMem
+)
+
+// Simulation kernel.
+type (
+	// Sim is the deterministic discrete-event simulation a deployment
+	// runs on.
+	Sim = sim.Sim
+	// Proc is a simulated process; all blocking operations take one.
+	Proc = sim.Proc
+	// Domain is a crash boundary.
+	Domain = sim.Domain
+	// Event is a one-shot broadcast condition.
+	Event = sim.Event
+)
+
+// Database engine.
+type (
+	// Engine is the transactional storage engine.
+	Engine = engine.Engine
+	// Tx is a transaction handle.
+	Tx = engine.Tx
+	// Personality is an engine parameter preset (PG/MY/CX-like).
+	Personality = engine.Personality
+	// EngineConfig is the engine's full configuration.
+	EngineConfig = engine.Config
+)
+
+// Engine personalities used in the evaluation.
+var (
+	PGLike = engine.PGLike
+	MYLike = engine.MYLike
+	CXLike = engine.CXLike
+	// Personalities maps personality names to presets.
+	Personalities = engine.Personalities
+)
+
+// PSU profiles (hold-up windows) used in the evaluation.
+type PSUConfig = power.PSUConfig
+
+// PSU profiles.
+var (
+	PSUATXSpec  = power.PSUATXSpec
+	PSUTypical  = power.PSUTypical
+	PSUMeasured = power.PSUMeasured
+	PSUWithUPS  = power.PSUWithUPS
+)
+
+// RapiLog device (the paper's contribution).
+type (
+	// Logger is the RapiLog buffered log device.
+	Logger = core.Logger
+	// LoggerConfig tunes the buffer bound and drain.
+	LoggerConfig = core.Config
+	// RecoveryReport summarises a dump-zone replay.
+	RecoveryReport = core.RecoveryReport
+)
+
+// SafeBufferSize computes the paper's buffer-sizing rule for a machine's
+// PSU and dump device.
+func SafeBufferSize(m *power.Machine, dumpZone disk.Device) int64 {
+	return core.SafeBufferSize(m, dumpZone)
+}
+
+// Device models.
+type (
+	// Device is the block-device interface all storage models implement.
+	Device = disk.Device
+	// HDDConfig parameterises the rotating-disk model.
+	HDDConfig = disk.HDDConfig
+	// SSDConfig parameterises the flash model.
+	SSDConfig = disk.SSDConfig
+)
+
+// Workloads and the durability journal.
+type (
+	// Workload is a benchmark driver.
+	Workload = workload.Workload
+	// TPCC is the TPC-C-derived OLTP mix.
+	TPCC = workload.TPCC
+	// TPCB is the pgbench-style account-update workload.
+	TPCB = workload.TPCB
+	// Stress is the commit-latency microbenchmark.
+	Stress = workload.Stress
+	// Journal records acked-commit obligations for durability audits.
+	Journal = workload.Journal
+	// RunnerConfig parameterises a client pool.
+	RunnerConfig = workload.RunnerConfig
+	// RunResult summarises a client pool run.
+	RunResult = workload.RunResult
+	// VerifyResult summarises a durability audit.
+	VerifyResult = workload.VerifyResult
+)
+
+// NewJournal creates an empty durability journal.
+func NewJournal() *Journal { return workload.NewJournal() }
+
+// RunClients drives a workload with a closed-loop client pool.
+func RunClients(p *Proc, dom *Domain, e *Engine, w Workload, cfg RunnerConfig) RunResult {
+	return workload.RunClients(p, dom, e, w, cfg)
+}
+
+// Fault injection.
+type (
+	// Fault is the failure kind a trial injects.
+	Fault = faultinject.Fault
+	// CampaignConfig parameterises a fault-injection campaign.
+	CampaignConfig = faultinject.CampaignConfig
+	// CampaignSummary aggregates a campaign's trials.
+	CampaignSummary = faultinject.Summary
+	// TrialResult is one trial's outcome.
+	TrialResult = faultinject.TrialResult
+)
+
+// Fault kinds.
+const (
+	FaultGuestCrash = faultinject.GuestCrash
+	FaultPowerCut   = faultinject.PowerCut
+)
+
+// RunCampaign executes a fault-injection campaign.
+func RunCampaign(cfg CampaignConfig) CampaignSummary { return faultinject.RunCampaign(cfg) }
+
+// Experiments (the paper's tables and figures).
+type (
+	// Experiment is one reproducible table/figure runner.
+	Experiment = bench.Experiment
+	// ExperimentOptions tune an experiment run.
+	ExperimentOptions = bench.Options
+	// ExperimentReport is an experiment's rendered output and values.
+	ExperimentReport = bench.Report
+)
+
+// Experiments lists every experiment in evaluation order.
+var Experiments = bench.All
+
+// ExperimentByID returns the experiment with the given id, or nil.
+func ExperimentByID(id string) *Experiment { return bench.ByID(id) }

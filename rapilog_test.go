@@ -1,0 +1,102 @@
+package rapilog
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestQuickstart is the package documentation example, end to end: build a
+// RapiLog deployment, commit, pull the plug, recover, verify.
+func TestQuickstart(t *testing.T) {
+	dep, err := New(Config{Seed: 1, Mode: ModeRapiLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJournal()
+	dep.S.Spawn(dep.Plat.Domain(), "db", func(p *Proc) {
+		e, err := dep.Boot(p)
+		if err != nil {
+			t.Errorf("boot: %v", err)
+			return
+		}
+		for i := 0; i < 10; i++ {
+			tx := e.Begin(p)
+			k := fmt.Sprintf("key-%d", i)
+			if err := tx.Put(k, []byte("value")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("commit: %v", err)
+				return
+			}
+			j.Add(k, []byte("value"))
+		}
+		dep.CutPower()
+		p.Sleep(time.Hour)
+	})
+	var verified bool
+	dep.S.Spawn(nil, "operator", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		if _, err := dep.RecoverAfterPower(p); err != nil {
+			t.Errorf("recover: %v", err)
+			return
+		}
+		dep.S.Spawn(dep.Plat.Domain(), "db2", func(p *Proc) {
+			e, err := dep.Boot(p)
+			if err != nil {
+				t.Errorf("reboot: %v", err)
+				return
+			}
+			res, err := j.Verify(p, e)
+			if err != nil || !res.Ok() {
+				t.Errorf("durability audit: %v %v", res, err)
+				return
+			}
+			verified = true
+		})
+	})
+	if err := dep.S.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !verified {
+		t.Fatal("audit did not run")
+	}
+}
+
+func TestFacadeSurface(t *testing.T) {
+	if len(Modes) != 4 || len(Experiments) != 17 {
+		t.Fatalf("facade lists: %d modes, %d experiments", len(Modes), len(Experiments))
+	}
+	if ExperimentByID("e1") == nil || ExperimentByID("nope") != nil {
+		t.Fatal("ExperimentByID broken")
+	}
+	if PGLike.Name != "pg" || len(Personalities) != 3 {
+		t.Fatal("personalities broken")
+	}
+	if PSUMeasured.HoldupMin <= PSUTypical.HoldupMin {
+		t.Fatal("PSU profiles out of order")
+	}
+}
+
+func TestFacadeCampaign(t *testing.T) {
+	sum := RunCampaign(CampaignConfig{
+		Rig:    Config{Seed: 9, Mode: ModeRapiLog},
+		Fault:  FaultPowerCut,
+		Trials: 1,
+	})
+	if sum.Errors > 0 || sum.TotalLost > 0 {
+		t.Fatalf("facade campaign: %s", sum)
+	}
+}
+
+func TestSafeBufferSizeExposed(t *testing.T) {
+	dep, err := New(Config{Seed: 2, Mode: ModeRapiLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SafeBufferSize(dep.Machine, dep.DumpPart); got != dep.Logger.MaxBuffer() {
+		t.Fatalf("SafeBufferSize %d != logger bound %d", got, dep.Logger.MaxBuffer())
+	}
+}
