@@ -9,9 +9,11 @@
 //	rapilog-bench -exp e1,e6      # selected experiments
 //	rapilog-bench -quick          # small sweeps (seconds, not minutes)
 //	rapilog-bench -list           # list experiment ids and titles
+//	rapilog-bench -metrics-out values.json -trace-out trace.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +30,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base deterministic seed")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		verbose = flag.Bool("v", true, "print per-data-point progress")
+
+		metricsOut = flag.String("metrics-out", "", "write every experiment's named values as JSON to this file")
+		traceOut   = flag.String("trace-out", "", "write a commit-lifecycle trace of a representative rapilog run as JSON to this file")
 	)
 	flag.Parse()
 
@@ -53,6 +58,7 @@ func main() {
 	}
 
 	start := time.Now()
+	values := make(map[string]map[string]float64)
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		exp := rapilog.ExperimentByID(id)
@@ -67,7 +73,75 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Render(os.Stdout)
+		values[rep.ID] = rep.Values
 		fmt.Fprintf(os.Stderr, "[%s took %v]\n", id, time.Since(expStart).Round(time.Millisecond))
 	}
 	fmt.Fprintf(os.Stderr, "[total %v]\n", time.Since(start).Round(time.Millisecond))
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(values); err != nil {
+			fatalf("writing %s: %v", *metricsOut, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *traceOut != "" {
+		if err := dumpRepresentativeTrace(*traceOut, *seed); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+// dumpRepresentativeTrace runs a short traced rapilog deployment under the
+// stress workload and writes its commit-lifecycle trace — the sample later
+// perf work diffs stage latencies against.
+func dumpRepresentativeTrace(path string, seed int64) error {
+	dep, err := rapilog.New(rapilog.Config{Seed: seed, Mode: rapilog.ModeRapiLog, Trace: true, TraceCapacity: 1 << 20})
+	if err != nil {
+		return err
+	}
+	done := dep.S.NewEvent("done")
+	var runErr error
+	dep.S.Spawn(dep.Plat.Domain(), "bench", func(p *rapilog.Proc) {
+		defer done.Fire()
+		e, err := dep.Boot(p)
+		if err != nil {
+			runErr = err
+			return
+		}
+		wl := &rapilog.Stress{}
+		if runErr = wl.Load(p, e); runErr != nil {
+			return
+		}
+		rapilog.RunClients(p, dep.Plat.Domain(), e, wl, rapilog.RunnerConfig{
+			Clients: 8, Duration: 2 * time.Second, Warmup: 200 * time.Millisecond,
+		})
+	})
+	if err := dep.S.RunUntilEvent(done); err != nil {
+		return err
+	}
+	if runErr != nil {
+		return runErr
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dep.Obs.Tracer().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rapilog-bench: "+format+"\n", args...)
+	os.Exit(1)
 }

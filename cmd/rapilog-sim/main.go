@@ -7,11 +7,13 @@
 //
 //	rapilog-sim -mode rapilog -engine pg -disk hdd -clients 8 -duration 10s
 //	rapilog-sim -mode native-sync -workload tpcb -trace
+//	rapilog-sim -commit-trace -trace-out trace.json -metrics-out metrics.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -31,8 +33,16 @@ func main() {
 		warmup   = flag.Duration("warmup", time.Second, "virtual warmup excluded from stats")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		trace    = flag.Bool("trace", false, "print kernel trace events")
+
+		commitTrace = flag.Bool("commit-trace", false, "record commit-lifecycle trace events")
+		traceCap    = flag.Int("trace-cap", 0, "trace ring capacity (default 65536)")
+		traceOut    = flag.String("trace-out", "", "write the commit-lifecycle trace as JSON to this file (implies -commit-trace)")
+		metricsOut  = flag.String("metrics-out", "", "write a metrics-registry snapshot as JSON to this file")
 	)
 	flag.Parse()
+	if *traceOut != "" {
+		*commitTrace = true
+	}
 
 	pers, ok := rapilog.Personalities[*engine]
 	if !ok {
@@ -51,11 +61,13 @@ func main() {
 	}
 
 	dep, err := rapilog.New(rapilog.Config{
-		Seed:        *seed,
-		Mode:        rapilog.Mode(*mode),
-		Personality: pers,
-		Disk:        rapilog.DiskKind(*diskKind),
-		PSU:         psuCfg,
+		Seed:          *seed,
+		Mode:          rapilog.Mode(*mode),
+		Personality:   pers,
+		Disk:          rapilog.DiskKind(*diskKind),
+		PSU:           psuCfg,
+		Trace:         *commitTrace,
+		TraceCapacity: *traceCap,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -129,6 +141,47 @@ func main() {
 	fmt.Printf("disk:           %d reads, %d writes, %d flushes, write p99 %v\n",
 		ds.Reads.Value(), ds.Writes.Value(), ds.Flushes.Value(),
 		ds.WriteLatency.Quantile(0.99).Round(time.Microsecond))
+
+	if *commitTrace {
+		tr := dep.Obs.Tracer()
+		fmt.Printf("\ncommit trace:   %d events (%d dropped by the ring)\n", tr.Emitted(), tr.Dropped())
+		fmt.Printf("\nstage latencies:\n%s\n", dep.Obs.Registry().Snapshot().LatencyTable())
+		if dep.Logger != nil {
+			rep, err := dep.AuditExposure()
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("durability:     %s\n", rep.Verdict())
+			if rep.AckToDurable.Count() > 0 {
+				fmt.Printf("ack→durable:    p50=%v p99=%v max=%v\n",
+					rep.AckToDurable.Quantile(0.50).Round(time.Microsecond),
+					rep.AckToDurable.Quantile(0.99).Round(time.Microsecond),
+					rep.AckToDurable.Max().Round(time.Microsecond))
+			}
+		}
+	}
+	if *traceOut != "" {
+		writeFileJSON(*traceOut, dep.Obs.Tracer().WriteJSON)
+	}
+	if *metricsOut != "" {
+		snap := dep.Obs.Registry().Snapshot()
+		writeFileJSON(*metricsOut, snap.WriteJSON)
+	}
+}
+
+// writeFileJSON streams one JSON document into path via write.
+func writeFileJSON(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("%v", err)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
@@ -61,6 +62,10 @@ type Config struct {
 	// AckOverhead is the fixed cost of the buffered-write path (request
 	// validation, bookkeeping); default 2µs.
 	AckOverhead time.Duration
+	// Obs, when set, registers the Logger's instruments centrally and
+	// traces the buffer lifecycle (hv_ack through durable/dump_done) —
+	// the events the durability-exposure audit replays.
+	Obs *obs.Obs
 }
 
 func (c *Config) applyDefaults() {
@@ -93,18 +98,18 @@ type Stats struct {
 	DumpedBytes   *metrics.Counter
 }
 
-func newStats(name string) *Stats {
+func newStats(reg *obs.Registry, name string) *Stats {
 	return &Stats{
-		Writes:        metrics.NewCounter(name + ".writes"),
-		Absorbed:      metrics.NewCounter(name + ".absorbed"),
-		Flushes:       metrics.NewCounter(name + ".flushes"),
-		Throttled:     metrics.NewCounter(name + ".throttled"),
-		DrainRounds:   metrics.NewCounter(name + ".drain_rounds"),
-		DrainedBytes:  metrics.NewCounter(name + ".drained_bytes"),
-		Occupancy:     metrics.NewGauge(name + ".occupancy"),
-		AckLatency:    metrics.NewHistogram(name + ".ack_latency"),
-		EmergencyRuns: metrics.NewCounter(name + ".emergency_runs"),
-		DumpedBytes:   metrics.NewCounter(name + ".dumped_bytes"),
+		Writes:        reg.Counter(name + ".writes"),
+		Absorbed:      reg.Counter(name + ".absorbed"),
+		Flushes:       reg.Counter(name + ".flushes"),
+		Throttled:     reg.Counter(name + ".throttled"),
+		DrainRounds:   reg.Counter(name + ".drain_rounds"),
+		DrainedBytes:  reg.Counter(name + ".drained_bytes"),
+		Occupancy:     reg.Gauge(name + ".occupancy"),
+		AckLatency:    reg.Histogram(name + ".ack_latency"),
+		EmergencyRuns: reg.Counter(name + ".emergency_runs"),
+		DumpedBytes:   reg.Counter(name + ".dumped_bytes"),
 	}
 }
 
@@ -113,6 +118,7 @@ type entry struct {
 	lba  int64
 	data []byte
 	gen  uint64
+	span obs.SpanID // the hv_ack span; parents this entry's durable event
 }
 
 type overlayEnt struct {
@@ -197,7 +203,7 @@ func NewLogger(m *power.Machine, hvDom *sim.Domain, backing, dumpZone disk.Devic
 		s:        s,
 		backing:  backing,
 		dump:     dumpZone,
-		stats:    newStats(cfg.Name),
+		stats:    newStats(cfg.Obs.Registry(), cfg.Name),
 		space:    s.NewResource(cfg.Name+".space", cfg.MaxBuffer),
 		absorb:   make(map[int64]*entry),
 		overlay:  make(map[int64]overlayEnt),
@@ -211,6 +217,9 @@ func NewLogger(m *power.Machine, hvDom *sim.Domain, backing, dumpZone disk.Devic
 
 // Stats returns RapiLog's own counters.
 func (l *Logger) RapiStats() *Stats { return l.stats }
+
+// tracer returns the Logger's tracer (nil — a no-op — when unconfigured).
+func (l *Logger) tracer() *obs.Tracer { return l.cfg.Obs.Tracer() }
 
 // MaxBuffer returns the configured buffer bound in bytes.
 func (l *Logger) MaxBuffer() int64 { return l.cfg.MaxBuffer }
@@ -264,6 +273,7 @@ func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
 	if e, ok := l.absorb[lba]; ok && len(e.data) == len(data) {
 		copy(e.data, data)
 		l.stats.Absorbed.Inc()
+		l.tracer().Emit(p.Now().Duration(), obs.EvHvAbsorb, 0, e.span, lba, int64(len(data)))
 		p.Sleep(l.cfg.AckOverhead + time.Duration(float64(len(data))/l.cfg.CopyBandwidth*float64(time.Second)))
 		l.stats.Writes.Inc()
 		l.stats.AckLatency.Observe(p.Now().Sub(start))
@@ -272,13 +282,17 @@ func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
 
 	if !l.space.TryAcquire(p, int64(len(data))) {
 		l.stats.Throttled.Inc()
+		l.tracer().Emit(p.Now().Duration(), obs.EvHvThrottle, 0, 0, lba, int64(len(data)))
 		l.space.Acquire(p, int64(len(data)))
 	}
 	if l.emergency {
 		l.never.Wait(p)
 	}
 	l.gen++
-	e := &entry{lba: lba, data: append([]byte(nil), data...), gen: l.gen}
+	e := &entry{lba: lba, data: append([]byte(nil), data...), gen: l.gen, span: l.tracer().NewSpan()}
+	// hv_ack is stamped at buffer-insertion time — before the ack sleep — so
+	// it always precedes the durable event the drainer emits for this entry.
+	l.tracer().Emit(p.Now().Duration(), obs.EvHvAck, e.span, 0, lba, int64(len(data)))
 	l.pending = append(l.pending, e)
 	l.absorb[lba] = e
 	ss := int64(l.SectorSize())
@@ -343,11 +357,14 @@ func (l *Logger) spawnDrainer(hvDom *sim.Domain) {
 			}
 			l.draining = batch
 			// Entries entering the drain can no longer be absorbed into.
+			batchBytes := int64(0)
 			for _, e := range l.pending[:batch] {
 				if l.absorb[e.lba] == e {
 					delete(l.absorb, e.lba)
 				}
+				batchBytes += int64(len(e.data))
 			}
+			l.tracer().Emit(p.Now().Duration(), obs.EvDrainStart, l.tracer().NewSpan(), 0, int64(batch), batchBytes)
 			drained := int64(0)
 			i := 0
 			for i < batch {
@@ -372,6 +389,7 @@ func (l *Logger) spawnDrainer(hvDom *sim.Domain) {
 				}
 				for _, e := range run {
 					drained += int64(len(e.data))
+					l.tracer().Emit(p.Now().Duration(), obs.EvDurable, 0, e.span, e.lba, int64(len(e.data)))
 				}
 				i = j
 			}
@@ -422,8 +440,11 @@ func (l *Logger) EmergencyFlush(p *sim.Proc) {
 	l.emergency = true
 	l.stats.EmergencyRuns.Inc()
 	snapshot := l.pending // includes the draining head: replay is idempotent
+	dumpSpan := l.tracer().NewSpan()
+	l.tracer().Emit(p.Now().Duration(), obs.EvDumpStart, dumpSpan, 0, int64(len(snapshot)), l.stats.Occupancy.Value())
 	if len(snapshot) == 0 {
 		l.s.Tracef("%s: emergency flush: buffer empty", l.cfg.Name)
+		l.tracer().Emit(p.Now().Duration(), obs.EvDumpDone, 0, dumpSpan, 0, 0)
 		return
 	}
 
@@ -455,6 +476,7 @@ func (l *Logger) EmergencyFlush(p *sim.Proc) {
 		return
 	}
 	l.stats.DumpedBytes.Add(int64(len(payload)))
+	l.tracer().Emit(p.Now().Duration(), obs.EvDumpDone, 0, dumpSpan, int64(len(snapshot)), int64(len(payload)))
 	l.s.Tracef("%s: emergency flush complete at %v", l.cfg.Name, p.Now())
 }
 

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -82,17 +83,19 @@ type Stats struct {
 	TornWrites     *metrics.Counter // requests only partially on media at power fail
 }
 
-func newStats(name string) *Stats {
+// newStats creates the device's instruments through reg (nil reg creates
+// them unregistered), named hierarchically under the device name.
+func newStats(reg *obs.Registry, name string) *Stats {
 	return &Stats{
-		Reads:          metrics.NewCounter(name + ".reads"),
-		Writes:         metrics.NewCounter(name + ".writes"),
-		SectorsRead:    metrics.NewCounter(name + ".sectors_read"),
-		SectorsWritten: metrics.NewCounter(name + ".sectors_written"),
-		Flushes:        metrics.NewCounter(name + ".flushes"),
-		CacheHits:      metrics.NewCounter(name + ".cache_hits"),
-		ReadLatency:    metrics.NewHistogram(name + ".read_latency"),
-		WriteLatency:   metrics.NewHistogram(name + ".write_latency"),
-		TornWrites:     metrics.NewCounter(name + ".torn_writes"),
+		Reads:          reg.Counter(name + ".reads"),
+		Writes:         reg.Counter(name + ".writes"),
+		SectorsRead:    reg.Counter(name + ".sectors_read"),
+		SectorsWritten: reg.Counter(name + ".sectors_written"),
+		Flushes:        reg.Counter(name + ".flushes"),
+		CacheHits:      reg.Counter(name + ".cache_hits"),
+		ReadLatency:    reg.Histogram(name + ".read_latency"),
+		WriteLatency:   reg.Histogram(name + ".write_latency"),
+		TornWrites:     reg.Counter(name + ".torn_writes"),
 	}
 }
 

@@ -6,12 +6,15 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
 // HDDConfig parameterises the rotating-disk model.
 type HDDConfig struct {
-	Name            string
+	Name string
+	// Reg, when set, registers the device's instruments centrally.
+	Reg             *obs.Registry
 	SectorSize      int           // bytes; default 512
 	Cylinders       int           // default 8192
 	Heads           int           // tracks per cylinder; default 4
@@ -105,7 +108,7 @@ func NewHDD(s *sim.Sim, dom *sim.Domain, cfg HDDConfig) *HDD {
 		cfg:       cfg,
 		s:         s,
 		med:       newMedia(cfg.SectorSize),
-		stats:     newStats(cfg.Name),
+		stats:     newStats(cfg.Reg, cfg.Name),
 		powered:   true,
 		arm:       s.NewMutex(cfg.Name + ".arm"),
 		rotPeriod: time.Duration(float64(time.Minute) / float64(cfg.RPM)),

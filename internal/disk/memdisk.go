@@ -3,12 +3,15 @@ package disk
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
 // MemConfig parameterises the memory-backed device.
 type MemConfig struct {
-	Name       string
+	Name string
+	// Reg, when set, registers the device's instruments centrally.
+	Reg        *obs.Registry
 	SectorSize int   // default 512
 	Capacity   int64 // sectors; default 2^20
 	// Latency is the fixed per-request service time; default 5µs.
@@ -52,7 +55,7 @@ type Mem struct {
 // NewMem creates a powered-on memory device.
 func NewMem(s *sim.Sim, cfg MemConfig) *Mem {
 	cfg.applyDefaults()
-	return &Mem{cfg: cfg, s: s, med: newMedia(cfg.SectorSize), stats: newStats(cfg.Name), powered: true}
+	return &Mem{cfg: cfg, s: s, med: newMedia(cfg.SectorSize), stats: newStats(cfg.Reg, cfg.Name), powered: true}
 }
 
 // Name implements Device.

@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
 // SSDConfig parameterises the flash-device model.
 type SSDConfig struct {
-	Name       string
+	Name string
+	// Reg, when set, registers the device's instruments centrally.
+	Reg        *obs.Registry
 	SectorSize int   // default 512
 	Capacity   int64 // sectors; default 2^22 (2 GiB at 512 B)
 	// PageSectors is the program/read unit; default 8 (4 KiB pages).
@@ -88,7 +91,7 @@ func NewSSD(s *sim.Sim, dom *sim.Domain, cfg SSDConfig) *SSD {
 		cfg:      cfg,
 		s:        s,
 		med:      newMedia(cfg.SectorSize),
-		stats:    newStats(cfg.Name),
+		stats:    newStats(cfg.Reg, cfg.Name),
 		powered:  true,
 		channels: s.NewResource(cfg.Name+".chan", int64(cfg.Channels)),
 	}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/hv"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pagestore"
 	"repro/internal/sim"
 	"repro/internal/wal"
@@ -102,6 +103,9 @@ type Config struct {
 	// NoDaemons disables the background WAL writer and checkpointer;
 	// tests drive those paths explicitly.
 	NoDaemons bool
+	// Obs, when set, registers the engine's instruments centrally and
+	// traces the commit lifecycle (tx_begin through tx_durable).
+	Obs *obs.Obs
 }
 
 func (c *Config) applyDefaults() {
@@ -118,26 +122,32 @@ func (c *Config) applyDefaults() {
 
 // Stats aggregates engine activity.
 type Stats struct {
-	Commits       *metrics.Counter
-	Aborts        *metrics.Counter
-	Reads         *metrics.Counter
-	Writes        *metrics.Counter
-	CommitLatency *metrics.Histogram
-	TxnLatency    *metrics.Histogram
-	Checkpoints   *metrics.Counter
-	RedoneTxns    *metrics.Counter // transactions replayed during recovery
+	Commits *metrics.Counter
+	Aborts  *metrics.Counter
+	Reads   *metrics.Counter
+	Writes  *metrics.Counter
+	// CommitLatency is commit start → acknowledgement to the client — the
+	// guest-visible figure. Under RapiLog the ack may precede platter
+	// durability; DurableLatency is commit start → the commit record
+	// passing the WAL durability horizon.
+	CommitLatency  *metrics.Histogram
+	DurableLatency *metrics.Histogram
+	TxnLatency     *metrics.Histogram
+	Checkpoints    *metrics.Counter
+	RedoneTxns     *metrics.Counter // transactions replayed during recovery
 }
 
-func newStats() *Stats {
+func newStats(reg *obs.Registry) *Stats {
 	return &Stats{
-		Commits:       metrics.NewCounter("engine.commits"),
-		Aborts:        metrics.NewCounter("engine.aborts"),
-		Reads:         metrics.NewCounter("engine.reads"),
-		Writes:        metrics.NewCounter("engine.writes"),
-		CommitLatency: metrics.NewHistogram("engine.commit_latency"),
-		TxnLatency:    metrics.NewHistogram("engine.txn_latency"),
-		Checkpoints:   metrics.NewCounter("engine.checkpoints"),
-		RedoneTxns:    metrics.NewCounter("engine.redone_txns"),
+		Commits:        reg.Counter("engine.commits"),
+		Aborts:         reg.Counter("engine.aborts"),
+		Reads:          reg.Counter("engine.reads"),
+		Writes:         reg.Counter("engine.writes"),
+		CommitLatency:  reg.Histogram("engine.commit.ack_latency"),
+		DurableLatency: reg.Histogram("engine.commit.durable_latency"),
+		TxnLatency:     reg.Histogram("engine.txn_latency"),
+		Checkpoints:    reg.Counter("engine.checkpoints"),
+		RedoneTxns:     reg.Counter("engine.redone_txns"),
 	}
 }
 
@@ -156,6 +166,10 @@ type Engine struct {
 
 	nextTxID uint64
 	ckptLSN  uint64
+	// pendingDurable holds commits whose ack has (or will) come back before
+	// their commit record is on the log device. Entries are appended in
+	// commit-LSN order, so the WAL's durability callback retires a prefix.
+	pendingDurable []pendingCommit
 	// applying tracks transactions between their first WAL append and the
 	// completion of their page application; the checkpoint horizon must
 	// not pass their first LSN.
@@ -163,6 +177,30 @@ type Engine struct {
 	ckptBusy bool
 	ckptDone *sim.Signal
 }
+
+// pendingCommit tracks one commit from WAL append to durable-on-device.
+type pendingCommit struct {
+	needLSN uint64 // durable once FlushedLSN reaches this
+	txid    uint64
+	start   sim.Time   // commit start, for the durable-latency histogram
+	span    obs.SpanID // the transaction's trace span
+}
+
+// onWalDurable is the wal.Log durability callback: retire every pending
+// commit whose record is now below the flushed horizon.
+func (e *Engine) onWalDurable(lsn uint64) {
+	now := e.s.Now()
+	n := 0
+	for ; n < len(e.pendingDurable) && e.pendingDurable[n].needLSN <= lsn; n++ {
+		pc := e.pendingDurable[n]
+		e.stats.DurableLatency.Observe(now.Sub(pc.start))
+		e.tracer().Emit(now.Duration(), obs.EvTxDurable, 0, pc.span, int64(pc.txid), 0)
+	}
+	e.pendingDurable = e.pendingDurable[n:]
+}
+
+// tracer returns the engine's tracer (nil — a no-op — when unconfigured).
+func (e *Engine) tracer() *obs.Tracer { return e.cfg.Obs.Tracer() }
 
 // updatePayload frames a logical redo record: delete flag, key, value.
 func updatePayload(key string, val []byte, del bool) []byte {
@@ -206,7 +244,7 @@ func Open(p *sim.Proc, plat hv.Platform, cfg Config) (*Engine, error) {
 		store:    store,
 		heap:     newHeap(store),
 		locks:    newLockTable(s, cfg.LockTimeout),
-		stats:    newStats(),
+		stats:    newStats(cfg.Obs.Registry()),
 		applying: make(map[uint64]uint64),
 		ckptDone: s.NewSignal("engine.ckpt_done"),
 	}
@@ -219,7 +257,7 @@ func Open(p *sim.Proc, plat hv.Platform, cfg Config) (*Engine, error) {
 	// 2. Recovery metadata. A missing control block proves no checkpoint
 	// ever started, hence no page was ever flushed (phase 1 writes the
 	// control before any page), so every page is known fresh.
-	walCfg := wal.Config{BlockSize: cfg.WalBlockSize, CommitDelay: cfg.CommitDelay}
+	walCfg := wal.Config{BlockSize: cfg.WalBlockSize, CommitDelay: cfg.CommitDelay, Obs: cfg.Obs}
 	startLSN := wal.FirstLSN(walCfg)
 	nextPage := int64(1)
 	if blob, err := store.ReadControl(p); err != nil {
@@ -282,6 +320,7 @@ func Open(p *sim.Proc, plat hv.Platform, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.log.SetOnDurable(e.onWalDurable)
 	if err := e.Checkpoint(p); err != nil {
 		return nil, err
 	}

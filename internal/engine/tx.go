@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wal"
 )
@@ -23,6 +24,7 @@ type Tx struct {
 	writes   []txWrite
 	writeIdx map[string]int // key → index in writes (latest wins)
 	began    sim.Time
+	span     obs.SpanID
 }
 
 type txWrite struct {
@@ -41,6 +43,10 @@ func (e *Engine) Begin(p *sim.Proc) *Tx {
 		locks:    make(map[string]LockMode),
 		writeIdx: make(map[string]int),
 		began:    p.Now(),
+	}
+	if tr := e.tracer(); tr.Enabled() {
+		t.span = tr.NewSpan()
+		tr.Emit(p.Now().Duration(), obs.EvTxBegin, t.span, 0, int64(t.id), 0)
 	}
 	e.burn(p, e.cfg.CPUPerTxn)
 	return t
@@ -134,6 +140,7 @@ func (t *Tx) Commit() error {
 		t.finish()
 		e.stats.Commits.Inc()
 		e.stats.TxnLatency.Observe(t.p.Now().Sub(t.began))
+		e.tracer().Emit(t.p.Now().Duration(), obs.EvTxAck, 0, t.span, int64(t.id), 0)
 		return nil
 	}
 
@@ -156,6 +163,7 @@ func (t *Tx) Commit() error {
 			firstLSN = lsn
 			e.applying[t.id] = firstLSN
 		}
+		e.tracer().Emit(t.p.Now().Duration(), obs.EvWalAppend, 0, t.span, int64(lsn), int64(len(payload)))
 	}
 	commitLSN, err := e.log.Append(t.p, wal.RecCommit, t.id, nil)
 	if err != nil {
@@ -163,10 +171,19 @@ func (t *Tx) Commit() error {
 		t.Abort()
 		return err
 	}
+	e.tracer().Emit(t.p.Now().Duration(), obs.EvWalAppend, 0, t.span, int64(commitLSN), 0)
+
+	// Track the commit until its record is on the log device. Appends are
+	// not preempted between the commit-record append and here, so entries
+	// stay in commit-LSN order (the callback pops a prefix).
+	e.pendingDurable = append(e.pendingDurable, pendingCommit{
+		needLSN: commitLSN + 1, txid: t.id, start: commitStart, span: t.span,
+	})
 
 	// 2. Durability: the line the whole evaluation measures.
 	if e.cfg.CommitMode == CommitSync {
 		if err := e.log.Force(t.p, commitLSN+1); err != nil {
+			e.dropPendingDurable(t.id)
 			delete(e.applying, t.id)
 			t.Abort()
 			return err
@@ -196,7 +213,19 @@ func (t *Tx) Commit() error {
 	e.stats.Commits.Inc()
 	e.stats.CommitLatency.Observe(t.p.Now().Sub(commitStart))
 	e.stats.TxnLatency.Observe(t.p.Now().Sub(t.began))
+	e.tracer().Emit(t.p.Now().Duration(), obs.EvTxAck, 0, t.span, int64(t.id), 0)
 	return nil
+}
+
+// dropPendingDurable removes txid's entry after a failed force (the commit
+// is aborting; its record may never reach the device).
+func (e *Engine) dropPendingDurable(txid uint64) {
+	for i := len(e.pendingDurable) - 1; i >= 0; i-- {
+		if e.pendingDurable[i].txid == txid {
+			e.pendingDurable = append(e.pendingDurable[:i], e.pendingDurable[i+1:]...)
+			return
+		}
+	}
 }
 
 // Abort discards the transaction's staged writes and releases its locks.

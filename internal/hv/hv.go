@@ -21,6 +21,8 @@ import (
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
@@ -105,6 +107,9 @@ type Config struct {
 	// CPUOverhead inflates guest CPU bursts (shadow paging, interrupt
 	// virtualisation). Default 0.05 (5%).
 	CPUOverhead float64
+	// Obs, when set, counts VM exits ("hv.exits") on every virtual disk
+	// operation.
+	Obs *obs.Obs
 }
 
 func (c *Config) applyDefaults() {
@@ -122,6 +127,7 @@ type Hypervisor struct {
 	machine *power.Machine
 	cfg     Config
 	dom     *sim.Domain
+	exits   *metrics.Counter
 }
 
 // New creates a hypervisor on machine.
@@ -131,6 +137,7 @@ func New(machine *power.Machine, cfg Config) *Hypervisor {
 		machine: machine,
 		cfg:     cfg,
 		dom:     machine.NewDomain("hypervisor"),
+		exits:   cfg.Obs.Registry().Counter("hv.exits"),
 	}
 }
 
@@ -221,17 +228,23 @@ func (v *vdisk) SeqWriteBandwidth() float64     { return v.dev.SeqWriteBandwidth
 func (v *vdisk) WorstCaseAccess() time.Duration { return v.dev.WorstCaseAccess() }
 func (v *vdisk) Stats() *disk.Stats             { return v.dev.Stats() }
 
-func (v *vdisk) Read(p *sim.Proc, lba int64, nsec int) ([]byte, error) {
+// exit charges one VM exit and counts it.
+func (v *vdisk) exit(p *sim.Proc) {
+	v.hv.exits.Inc()
 	p.Sleep(v.hv.cfg.ExitCost)
+}
+
+func (v *vdisk) Read(p *sim.Proc, lba int64, nsec int) ([]byte, error) {
+	v.exit(p)
 	return v.dev.Read(p, lba, nsec)
 }
 
 func (v *vdisk) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
-	p.Sleep(v.hv.cfg.ExitCost)
+	v.exit(p)
 	return v.dev.Write(p, lba, data, fua)
 }
 
 func (v *vdisk) Flush(p *sim.Proc) error {
-	p.Sleep(v.hv.cfg.ExitCost)
+	v.exit(p)
 	return v.dev.Flush(p)
 }

@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"time"
@@ -17,13 +18,12 @@ import (
 // range is split into subBuckets linear buckets, giving bounded relative
 // error (~1/subBuckets) from nanoseconds to hours in a fixed-size table.
 type Histogram struct {
-	name    string
-	counts  []uint64
-	total   uint64
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
-	samples int
+	name   string
+	counts []uint64
+	total  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
 }
 
 const (
@@ -52,7 +52,7 @@ func bucketIndex(d time.Duration) int {
 	}
 	// Highest set bit determines the octave; the next subBucketBits bits
 	// select the linear sub-bucket within it.
-	octave := 63 - leadingZeros(v)
+	octave := 63 - bits.LeadingZeros64(v)
 	shift := octave - subBucketBits
 	sub := (v >> uint(shift)) & (subBuckets - 1)
 	idx := int(octave-subBucketBits+1)*subBuckets + int(sub)
@@ -60,18 +60,6 @@ func bucketIndex(d time.Duration) int {
 		idx = numBuckets - 1
 	}
 	return idx
-}
-
-func leadingZeros(v uint64) int {
-	n := 0
-	if v == 0 {
-		return 64
-	}
-	for v&(1<<63) == 0 {
-		v <<= 1
-		n++
-	}
-	return n
 }
 
 // bucketLow returns the lower bound of bucket idx, the inverse of
@@ -298,10 +286,11 @@ type Table struct {
 // NewTable creates a table with the given column headers.
 func NewTable(header ...string) *Table { return &Table{header: header} }
 
-// AddRow appends a row; cells beyond the header width are dropped.
+// AddRow appends a row. A row wider than the header is a bug in the report
+// code, not data to silently drop — it panics.
 func (t *Table) AddRow(cells ...string) {
 	if len(cells) > len(t.header) {
-		cells = cells[:len(t.header)]
+		panic(fmt.Sprintf("metrics: Table.AddRow got %d cells for %d columns", len(cells), len(t.header)))
 	}
 	t.rows = append(t.rows, cells)
 }

@@ -125,6 +125,53 @@ func TestBucketMonotoneProperty(t *testing.T) {
 	}
 }
 
+// Property: bucketLow(bucketIndex(d)) is a lower bound within the ~3%
+// (1/subBuckets) relative error the log-linear layout promises, across the
+// full magnitude range the histogram covers.
+func TestBucketRoundTripRelativeError(t *testing.T) {
+	prop := func(raw uint64) bool {
+		// Spread raw across all octaves: shift by a pseudo-random amount
+		// derived from the value itself.
+		d := time.Duration(raw >> (raw % 40))
+		if d < 0 {
+			d = -d
+		}
+		low := bucketLow(bucketIndex(d))
+		if low > d {
+			return false
+		}
+		if d < subBuckets {
+			return low == d // exact in the linear range
+		}
+		if d >= 1<<(numOctaves+subBucketBits-1) {
+			return true // beyond the covered range the index saturates
+		}
+		relErr := float64(d-low) / float64(d)
+		return relErr <= 1.0/subBuckets+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Pin the boundary cases quick.Check may miss.
+	for _, d := range []time.Duration{0, 1, subBuckets - 1, subBuckets, subBuckets + 1, math.MaxInt64} {
+		low := bucketLow(bucketIndex(d))
+		if low > d {
+			t.Fatalf("bucketLow(bucketIndex(%d)) = %d > input", d, low)
+		}
+	}
+}
+
+func TestSeriesAppendOutOfOrderPanics(t *testing.T) {
+	s := NewSeries("oo")
+	s.Append(5*time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-order Append")
+		}
+	}()
+	s.Append(4*time.Second, 2)
+}
+
 func TestCounter(t *testing.T) {
 	c := NewCounter("txns")
 	c.Inc()
@@ -208,16 +255,23 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
-func TestTableSortAndOverflow(t *testing.T) {
+func TestTableSort(t *testing.T) {
 	tb := NewTable("k", "v")
-	tb.AddRow("b", "2", "extra-dropped")
+	tb.AddRow("b", "2")
 	tb.AddRow("a", "1")
 	tb.SortRowsByFirstColumn()
 	out := tb.String()
 	if strings.Index(out, "a") > strings.Index(out, "b") {
 		t.Fatalf("rows not sorted:\n%s", out)
 	}
-	if strings.Contains(out, "extra-dropped") {
-		t.Fatalf("overflow cell not dropped:\n%s", out)
-	}
+}
+
+func TestTableOverwideRowPanics(t *testing.T) {
+	tb := NewTable("k", "v")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on row wider than header")
+		}
+	}()
+	tb.AddRow("b", "2", "extra")
 }

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Snapshot is a point-in-time, JSON-serialisable copy of every instrument
+// in a Registry. All durations are nanoseconds of virtual time.
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]GaugeSnap     `json:"gauges"`
+	Histograms map[string]HistogramSnap `json:"histograms"`
+	Series     map[string][]SeriesPoint `json:"series,omitempty"`
+}
+
+// GaugeSnap is a gauge's level and high-water mark.
+type GaugeSnap struct {
+	Value int64 `json:"value"`
+	Peak  int64 `json:"peak"`
+}
+
+// HistogramSnap is a histogram's summary statistics.
+type HistogramSnap struct {
+	Count  uint64 `json:"count"`
+	SumNs  int64  `json:"sum_ns"`
+	MinNs  int64  `json:"min_ns"`
+	MeanNs int64  `json:"mean_ns"`
+	P50Ns  int64  `json:"p50_ns"`
+	P90Ns  int64  `json:"p90_ns"`
+	P95Ns  int64  `json:"p95_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+	MaxNs  int64  `json:"max_ns"`
+}
+
+// SeriesPoint is one sample of a series.
+type SeriesPoint struct {
+	AtNs  int64   `json:"at_ns"`
+	Value float64 `json:"value"`
+}
+
+func snapHistogram(h *metrics.Histogram) HistogramSnap {
+	return HistogramSnap{
+		Count:  h.Count(),
+		SumNs:  int64(h.Sum()),
+		MinNs:  int64(h.Min()),
+		MeanNs: int64(h.Mean()),
+		P50Ns:  int64(h.Quantile(0.50)),
+		P90Ns:  int64(h.Quantile(0.90)),
+		P95Ns:  int64(h.Quantile(0.95)),
+		P99Ns:  int64(h.Quantile(0.99)),
+		MaxNs:  int64(h.Max()),
+	}
+}
+
+// Snapshot captures every registered instrument.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]GaugeSnap),
+		Histograms: make(map[string]HistogramSnap),
+		Series:     make(map[string][]SeriesPoint),
+	}
+	if r == nil {
+		return snap
+	}
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = GaugeSnap{Value: g.Value(), Peak: g.Peak()}
+	}
+	for name, h := range r.hists {
+		snap.Histograms[name] = snapHistogram(h)
+	}
+	for name, s := range r.series {
+		pts := s.Points()
+		out := make([]SeriesPoint, len(pts))
+		for i, p := range pts {
+			out[i] = SeriesPoint{AtNs: int64(p.At), Value: p.Value}
+		}
+		snap.Series[name] = out
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// LatencyTable renders every histogram in the snapshot as an aligned
+// stage-latency table, sorted by name — the human-readable counterpart of
+// the JSON export, used in run reports.
+func (s Snapshot) LatencyTable() *metrics.Table {
+	table := metrics.NewTable("stage", "n", "mean", "p50", "p95", "p99", "max")
+	names := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rd := func(ns int64) string {
+		return time.Duration(ns).Round(time.Microsecond).String()
+	}
+	for _, n := range names {
+		h := s.Histograms[n]
+		if h.Count == 0 {
+			continue
+		}
+		table.AddRow(n, fmt.Sprintf("%d", h.Count),
+			rd(h.MeanNs), rd(h.P50Ns), rd(h.P95Ns), rd(h.P99Ns), rd(h.MaxNs))
+	}
+	return table
+}
+
+// eventJSON is the wire form of a trace event.
+type eventJSON struct {
+	AtNs   int64  `json:"at_ns"`
+	Kind   string `json:"kind"`
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	Arg1   int64  `json:"arg1,omitempty"`
+	Arg2   int64  `json:"arg2,omitempty"`
+}
+
+// traceJSON is the wire form of a trace dump.
+type traceJSON struct {
+	Emitted int         `json:"emitted"`
+	Dropped int         `json:"dropped"`
+	Events  []eventJSON `json:"events"`
+}
+
+// WriteJSON dumps the retained trace as indented JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	events := t.Events()
+	out := traceJSON{Emitted: t.Emitted(), Dropped: t.Dropped(), Events: make([]eventJSON, len(events))}
+	for i, e := range events {
+		out.Events[i] = eventJSON{
+			AtNs: int64(e.At), Kind: e.Kind.String(),
+			Span: uint64(e.Span), Parent: uint64(e.Parent),
+			Arg1: e.Arg1, Arg2: e.Arg2,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

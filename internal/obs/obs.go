@@ -1,0 +1,71 @@
+// Package obs is the observability substrate of the RapiLog simulation:
+// a virtual-time tracer for the commit lifecycle, a central metrics
+// registry every layer registers its instruments with, a durability-
+// exposure audit derived from trace events, and structured (JSON) export
+// of both.
+//
+// The package exists because RapiLog's safety argument is quantitative:
+// acknowledged-but-not-yet-durable bytes must stay under the provably
+// dumpable bound. The tracer records every transition a write makes —
+//
+//	tx begin → WAL append → log-write submit → hypervisor ack →
+//	drain start → durable-on-disk (or power-fail dump)
+//
+// — and the audit replays those events into the exposure time-series the
+// paper reasons about, checking its peak against the configured bound.
+//
+// Everything here runs on the single-threaded simulation kernel, so no
+// locking is needed. All entry points are nil-safe: a nil *Obs, *Tracer or
+// *Registry behaves as "disabled" (tracer) or "unregistered instruments"
+// (registry), which is what keeps the hot paths at near-zero cost when
+// observability is off.
+package obs
+
+// Config parameterises an Obs bundle.
+type Config struct {
+	// TraceEnabled turns the commit-lifecycle tracer on. Off by default:
+	// the tracer is a nil pointer and every Emit is a single branch.
+	TraceEnabled bool
+	// TraceCapacity bounds the trace ring buffer in events; default 1<<16.
+	// When the ring wraps, the oldest events are overwritten and the audit
+	// reports the trace as truncated.
+	TraceCapacity int
+}
+
+// Obs bundles the tracer and the registry for one deployment.
+type Obs struct {
+	trace *Tracer
+	reg   *Registry
+}
+
+// New creates an Obs bundle. The registry is always live; the tracer only
+// when cfg.TraceEnabled is set.
+func New(cfg Config) *Obs {
+	o := &Obs{reg: NewRegistry()}
+	if cfg.TraceEnabled {
+		cap := cfg.TraceCapacity
+		if cap <= 0 {
+			cap = 1 << 16
+		}
+		o.trace = NewTracer(cap)
+	}
+	return o
+}
+
+// Tracer returns the bundle's tracer, or nil when tracing is disabled or o
+// itself is nil. A nil *Tracer is valid: all its methods are no-ops.
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.trace
+}
+
+// Registry returns the bundle's registry, or nil when o is nil. A nil
+// *Registry is valid: instruments are created unregistered.
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestNilObsAccessorsAreSafe(t *testing.T) {
+	var o *Obs
+	if o.Tracer().Enabled() {
+		t.Fatal("nil Obs must yield a disabled tracer")
+	}
+	o.Tracer().Emit(0, EvTxBegin, 0, 0, 0, 0) // must not panic
+	if o.Tracer().NewSpan() != 0 {
+		t.Fatal("disabled tracer must hand out span 0")
+	}
+	c := o.Registry().Counter("x")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("nil-registry counter must still count")
+	}
+}
+
+func TestNewGatesTracerOnConfig(t *testing.T) {
+	off := New(Config{})
+	if off.Tracer().Enabled() {
+		t.Fatal("tracer must be disabled by default")
+	}
+	if off.Registry() == nil {
+		t.Fatal("registry must always be live")
+	}
+	on := New(Config{TraceEnabled: true, TraceCapacity: 8})
+	if !on.Tracer().Enabled() {
+		t.Fatal("tracer must be enabled when configured")
+	}
+}
+
+func TestTracerRingWrapsAndKeepsOrder(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 7; i++ {
+		tr.Emit(time.Duration(i), EvTxBegin, SpanID(i), 0, int64(i), 0)
+	}
+	if tr.Emitted() != 7 {
+		t.Fatalf("emitted = %d", tr.Emitted())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events", len(events))
+	}
+	for i, e := range events {
+		if e.Arg1 != int64(3+i) {
+			t.Fatalf("event %d has Arg1 %d; want %d (oldest-first order)", i, e.Arg1, 3+i)
+		}
+	}
+}
+
+func TestTracerSpansAreUniqueAndNonZero(t *testing.T) {
+	tr := NewTracer(8)
+	a, b := tr.NewSpan(), tr.NewSpan()
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("spans a=%d b=%d", a, b)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name must return the same counter")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("same name must return the same histogram")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("same name must return the same gauge")
+	}
+	if r.Series("s") != r.Series("s") {
+		t.Fatal("same name must return the same series")
+	}
+	names := r.Names()
+	want := []string{"a", "g", "h", "s"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestSnapshotRoundTripsThroughJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.commits").Add(3)
+	r.Gauge("buf.occupancy").Add(42)
+	h := r.Histogram("engine.commit.ack_latency")
+	h.Observe(50 * time.Microsecond)
+	h.Observe(70 * time.Microsecond)
+	r.Series("exposure").Append(time.Millisecond, 128)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Counters["engine.commits"] != 3 {
+		t.Fatalf("counters = %v", decoded.Counters)
+	}
+	if decoded.Gauges["buf.occupancy"].Value != 42 {
+		t.Fatalf("gauges = %v", decoded.Gauges)
+	}
+	hs := decoded.Histograms["engine.commit.ack_latency"]
+	if hs.Count != 2 || hs.MaxNs < hs.P50Ns {
+		t.Fatalf("histogram snap = %+v", hs)
+	}
+	if len(decoded.Series["exposure"]) != 1 || decoded.Series["exposure"][0].Value != 128 {
+		t.Fatalf("series = %v", decoded.Series)
+	}
+}
+
+func TestTraceWriteJSON(t *testing.T) {
+	tr := NewTracer(8)
+	span := tr.NewSpan()
+	tr.Emit(time.Millisecond, EvHvAck, span, 0, 100, 4096)
+	tr.Emit(2*time.Millisecond, EvDurable, 0, span, 100, 4096)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Emitted int `json:"emitted"`
+		Dropped int `json:"dropped"`
+		Events  []struct {
+			AtNs int64  `json:"at_ns"`
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Emitted != 2 || out.Dropped != 0 || len(out.Events) != 2 {
+		t.Fatalf("trace json = %+v", out)
+	}
+	if out.Events[0].Kind != "hv_ack" || out.Events[1].Kind != "durable" {
+		t.Fatalf("kinds = %v %v", out.Events[0].Kind, out.Events[1].Kind)
+	}
+}
+
+// synthetic exposure lifecycle: two acks, one drained, then a dump that
+// absorbs the second.
+func TestAuditExposureLifecycle(t *testing.T) {
+	events := []Event{
+		{At: 10, Kind: EvHvAck, Span: 1, Arg1: 0, Arg2: 4096},
+		{At: 20, Kind: EvHvAck, Span: 2, Arg1: 8, Arg2: 8192},
+		{At: 25, Kind: EvDrainStart, Span: 3, Arg1: 1, Arg2: 4096},
+		{At: 30, Kind: EvDurable, Parent: 1, Arg1: 0, Arg2: 4096},
+		{At: 40, Kind: EvDumpStart, Span: 4, Arg1: 1, Arg2: 8192},
+		{At: 50, Kind: EvDumpDone, Parent: 4, Arg2: 8192},
+	}
+	rep := AuditExposure(events, 16384, false)
+	if rep.Violated() {
+		t.Fatalf("peak %d vs bound %d should pass", rep.PeakBytes, rep.Bound)
+	}
+	if rep.PeakBytes != 12288 || rep.PeakAt != 20 {
+		t.Fatalf("peak = %d at %v", rep.PeakBytes, rep.PeakAt)
+	}
+	if rep.AckedBytes != 12288 || rep.DurableBytes != 4096 || rep.DumpedBytes != 8192 {
+		t.Fatalf("flows: acked %d durable %d dumped %d", rep.AckedBytes, rep.DurableBytes, rep.DumpedBytes)
+	}
+	if rep.OutstandingBytes != 0 {
+		t.Fatalf("outstanding = %d", rep.OutstandingBytes)
+	}
+	if rep.Writes != 2 || rep.DrainRounds != 1 || rep.Dumps != 1 {
+		t.Fatalf("counts: writes %d drains %d dumps %d", rep.Writes, rep.DrainRounds, rep.Dumps)
+	}
+	if got := rep.AckToDurable.Count(); got != 2 {
+		t.Fatalf("ack→durable observations = %d", got)
+	}
+	// Exposure must end at zero after the dump.
+	pts := rep.Points
+	if len(pts) == 0 || pts[len(pts)-1].Bytes != 0 {
+		t.Fatalf("points = %v", pts)
+	}
+}
+
+func TestAuditExposureViolationAndOutstanding(t *testing.T) {
+	events := []Event{
+		{At: 1, Kind: EvHvAck, Span: 1, Arg2: 1000},
+		{At: 2, Kind: EvHvAck, Span: 2, Arg2: 1000},
+	}
+	rep := AuditExposure(events, 1500, true)
+	if !rep.Violated() {
+		t.Fatalf("peak %d vs bound %d must violate", rep.PeakBytes, rep.Bound)
+	}
+	if rep.OutstandingBytes != 2000 {
+		t.Fatalf("outstanding = %d", rep.OutstandingBytes)
+	}
+	if !rep.TruncatedTrace {
+		t.Fatal("truncation flag must carry through")
+	}
+	if rep.Verdict() == "" {
+		t.Fatal("verdict must render")
+	}
+}
+
+func TestExposureSeries(t *testing.T) {
+	rep := ExposureReport{Points: []ExposurePoint{{At: 1, Bytes: 10}, {At: 2, Bytes: 0}}}
+	s := rep.ExposureSeries()
+	pts := s.Points()
+	if len(pts) != 2 || pts[0].Value != 10 || pts[1].Value != 0 {
+		t.Fatalf("series points = %v", pts)
+	}
+}

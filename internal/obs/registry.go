@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Registry is the central owner of a deployment's instruments. Every layer
+// registers its histograms, counters, gauges and series here by
+// hierarchical name — `<instance>.<metric>`, e.g. "engine.commits",
+// "wal.force_latency", "rapilog.ack_latency", "disk0.writes" — instead of
+// holding ad-hoc locals, so one Snapshot call captures the whole stack.
+//
+// Methods are get-or-create: asking twice for the same name returns the
+// same instrument, which is how a rebooted engine keeps accumulating into
+// the same series. A nil *Registry creates unregistered instruments, so
+// code paths built without an Obs bundle keep working unchanged.
+type Registry struct {
+	counters map[string]*metrics.Counter
+	hists    map[string]*metrics.Histogram
+	gauges   map[string]*metrics.Gauge
+	series   map[string]*metrics.Series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*metrics.Counter),
+		hists:    make(map[string]*metrics.Histogram),
+		gauges:   make(map[string]*metrics.Gauge),
+		series:   make(map[string]*metrics.Series),
+	}
+}
+
+// Counter returns the registered counter with the given name, creating it
+// if needed.
+func (r *Registry) Counter(name string) *metrics.Counter {
+	if r == nil {
+		return metrics.NewCounter(name)
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := metrics.NewCounter(name)
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the registered histogram with the given name, creating
+// it if needed.
+func (r *Registry) Histogram(name string) *metrics.Histogram {
+	if r == nil {
+		return metrics.NewHistogram(name)
+	}
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := metrics.NewHistogram(name)
+	r.hists[name] = h
+	return h
+}
+
+// Gauge returns the registered gauge with the given name, creating it if
+// needed.
+func (r *Registry) Gauge(name string) *metrics.Gauge {
+	if r == nil {
+		return metrics.NewGauge(name)
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := metrics.NewGauge(name)
+	r.gauges[name] = g
+	return g
+}
+
+// Series returns the registered series with the given name, creating it if
+// needed.
+func (r *Registry) Series(name string) *metrics.Series {
+	if r == nil {
+		return metrics.NewSeries(name)
+	}
+	if s, ok := r.series[name]; ok {
+		return s
+	}
+	s := metrics.NewSeries(name)
+	r.series[name] = s
+	return s
+}
+
+// Names returns every registered instrument name, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	var names []string
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

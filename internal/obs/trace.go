@@ -1,0 +1,178 @@
+package obs
+
+import "time"
+
+// Kind is the type of a trace event. The vocabulary covers the full commit
+// lifecycle, from the transaction's first instruction to the moment its
+// bytes are on a platter (or in the power-fail dump zone).
+type Kind uint8
+
+// The event vocabulary. Arg1/Arg2 meanings are per kind.
+const (
+	// EvTxBegin: a transaction started. Span = tx span, Arg1 = txid.
+	EvTxBegin Kind = iota + 1
+	// EvWalAppend: a redo/commit record was framed into the WAL.
+	// Parent = tx span, Arg1 = LSN, Arg2 = payload bytes.
+	EvWalAppend
+	// EvLogSubmit: the WAL submitted a physical write of sealed blocks to
+	// the log device. Span = force span, Arg1 = target LSN, Arg2 = bytes.
+	EvLogSubmit
+	// EvLogComplete: the physical force finished; everything below Arg1 is
+	// on the log device. Parent = force span, Arg1 = flushed LSN.
+	EvLogComplete
+	// EvTxAck: the commit returned to the client — the guest-visible
+	// acknowledgement. Parent = tx span, Arg1 = txid.
+	EvTxAck
+	// EvTxDurable: the commit record passed the WAL durability horizon
+	// (on the log device; under RapiLog that device is the dependable
+	// buffer). Parent = tx span, Arg1 = txid.
+	EvTxDurable
+	// EvHvAck: the RapiLog device copied a write into hypervisor memory
+	// and acknowledged it — exposure begins. Span = buffer-entry span,
+	// Arg1 = lba, Arg2 = bytes.
+	EvHvAck
+	// EvHvAbsorb: a write was absorbed into an existing buffered entry.
+	// Parent = that entry's span, Arg1 = lba, Arg2 = bytes.
+	EvHvAbsorb
+	// EvHvThrottle: a writer had to wait for buffer space (the bound at
+	// work). Arg2 = bytes requested.
+	EvHvThrottle
+	// EvDrainStart: the background drain picked up a batch.
+	// Span = drain-round span, Arg1 = entries, Arg2 = bytes.
+	EvDrainStart
+	// EvDurable: a buffered entry reached the physical log partition with
+	// the volatile cache bypassed — exposure ends. Parent = the entry's
+	// EvHvAck span, Arg1 = lba, Arg2 = bytes.
+	EvDurable
+	// EvDumpStart: the power-fail interrupt fired and the emergency dump
+	// began. Span = dump span, Arg1 = entries, Arg2 = buffered bytes.
+	EvDumpStart
+	// EvDumpDone: the dump image is in the dump zone; everything still
+	// buffered is safe. Parent = dump span, Arg2 = payload bytes.
+	EvDumpDone
+	// EvPowerFail: AC was lost; the hold-up race began. Arg1 = hold-up ns.
+	EvPowerFail
+	// EvPowerDC: the hold-up window closed; DC rails collapsed.
+	EvPowerDC
+	// EvPowerRestore: power returned.
+	EvPowerRestore
+)
+
+var kindNames = map[Kind]string{
+	EvTxBegin:      "tx_begin",
+	EvWalAppend:    "wal_append",
+	EvLogSubmit:    "log_submit",
+	EvLogComplete:  "log_complete",
+	EvTxAck:        "tx_ack",
+	EvTxDurable:    "tx_durable",
+	EvHvAck:        "hv_ack",
+	EvHvAbsorb:     "hv_absorb",
+	EvHvThrottle:   "hv_throttle",
+	EvDrainStart:   "drain_start",
+	EvDurable:      "durable",
+	EvDumpStart:    "dump_start",
+	EvDumpDone:     "dump_done",
+	EvPowerFail:    "power_fail",
+	EvPowerDC:      "power_dc_loss",
+	EvPowerRestore: "power_restore",
+}
+
+// String returns the stable wire name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// SpanID identifies one traced activity. Zero means "no span". Events link
+// into trees via Parent: a tx span parents its WAL appends; a buffer-entry
+// span parents the durable event that retires it.
+type SpanID uint64
+
+// Event is one typed trace record. Events are plain values in a
+// preallocated ring: emitting one allocates nothing.
+type Event struct {
+	At     time.Duration // virtual time since simulation start
+	Kind   Kind
+	Span   SpanID
+	Parent SpanID
+	Arg1   int64
+	Arg2   int64
+}
+
+// Tracer records Events into a fixed-capacity ring buffer. A nil Tracer is
+// the disabled state: Emit and NewSpan are single-branch no-ops, which is
+// what keeps the instrumented hot paths free when tracing is off.
+type Tracer struct {
+	buf      []Event
+	n        uint64 // total events emitted (ring head = n % len(buf))
+	nextSpan uint64
+}
+
+// NewTracer creates an enabled tracer with the given ring capacity.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Enabled reports whether the tracer records events.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// NewSpan allocates a span id (zero when disabled).
+func (t *Tracer) NewSpan() SpanID {
+	if t == nil {
+		return 0
+	}
+	t.nextSpan++
+	return SpanID(t.nextSpan)
+}
+
+// Emit records one event at virtual time `at`.
+func (t *Tracer) Emit(at time.Duration, kind Kind, span, parent SpanID, arg1, arg2 int64) {
+	if t == nil {
+		return
+	}
+	t.buf[t.n%uint64(len(t.buf))] = Event{At: at, Kind: kind, Span: span, Parent: parent, Arg1: arg1, Arg2: arg2}
+	t.n++
+}
+
+// Emitted returns the total number of events emitted, including any the
+// ring has since overwritten.
+func (t *Tracer) Emitted() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.n)
+}
+
+// Dropped returns how many events the ring overwrote.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	if t.n <= uint64(len(t.buf)) {
+		return 0
+	}
+	return int(t.n - uint64(len(t.buf)))
+}
+
+// Events returns the retained events in emission order (a copy).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	cap64 := uint64(len(t.buf))
+	if t.n <= cap64 {
+		out := make([]Event, t.n)
+		copy(out, t.buf[:t.n])
+		return out
+	}
+	out := make([]Event, cap64)
+	head := t.n % cap64
+	copy(out, t.buf[head:])
+	copy(out[cap64-head:], t.buf[:head])
+	return out
+}

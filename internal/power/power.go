@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -75,6 +76,8 @@ type Machine struct {
 
 	failures int
 	holdups  []time.Duration
+
+	o *obs.Obs
 }
 
 // NewMachine creates a powered-on machine with the given CPU core count and
@@ -92,6 +95,15 @@ func NewMachine(s *sim.Sim, name string, cores int, psu PSUConfig) *Machine {
 		hwDom:   s.NewDomain(name + ".hw"),
 		powered: true,
 	}
+}
+
+// SetObs attaches the observability bundle: power transitions then appear
+// as trace events and counters ("power.ac_losses" etc).
+func (m *Machine) SetObs(o *obs.Obs) { m.o = o }
+
+// emit records a power event on the attached tracer (no-op when unset).
+func (m *Machine) emit(kind obs.Kind, arg1 int64) {
+	m.o.Tracer().Emit(m.s.Now().Duration(), kind, 0, 0, arg1, 0)
 }
 
 // Sim returns the owning simulation.
@@ -178,6 +190,8 @@ func (m *Machine) CutPower() time.Duration {
 	}
 	m.holdups = append(m.holdups, holdup)
 	m.s.Tracef("%s: AC lost; hold-up window %v", m.name, holdup)
+	m.o.Registry().Counter("power.ac_losses").Inc()
+	m.emit(obs.EvPowerFail, int64(holdup))
 
 	if len(m.handlers) > 0 {
 		m.s.After(m.psu.InterruptLatency, func() {
@@ -203,6 +217,8 @@ func (m *Machine) dcLoss() {
 	m.powered = false
 	m.failures++
 	m.s.Tracef("%s: DC power lost", m.name)
+	m.o.Registry().Counter("power.dc_losses").Inc()
+	m.emit(obs.EvPowerDC, 0)
 	for _, d := range m.devices {
 		if pa, ok := d.(disk.PowerAware); ok {
 			pa.PowerFail()
@@ -236,6 +252,8 @@ func (m *Machine) RestorePower() {
 		}
 	}
 	m.s.Tracef("%s: power restored", m.name)
+	m.o.Registry().Counter("power.restores").Inc()
+	m.emit(obs.EvPowerRestore, 0)
 }
 
 // Crash kills every software domain but leaves power and devices untouched

@@ -22,6 +22,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/engine"
 	"repro/internal/hv"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
@@ -89,6 +90,12 @@ type Config struct {
 	// different storage model than the data disk — e.g. DiskMem for the
 	// battery-backed NVRAM log the paper positions RapiLog against.
 	LogDiskKind DiskKind
+	// Trace enables commit-lifecycle tracing; TraceCapacity sizes the event
+	// ring (default 1<<16). Metrics are always registered centrally on the
+	// rig's Obs bundle; only the tracer is gated, keeping the default rig
+	// free of per-event cost.
+	Trace         bool
+	TraceCapacity int
 }
 
 func (c *Config) applyDefaults() {
@@ -127,6 +134,7 @@ type Rig struct {
 	HV       *hv.Hypervisor // nil in native modes
 	Plat     hv.Platform
 	Logger   *core.Logger // nil unless Mode == RapiLog
+	Obs      *obs.Obs     // shared by every layer of the deployment
 }
 
 // New builds a deployment. In RapiLog mode the hypervisor and the RapiLog
@@ -135,7 +143,9 @@ type Rig struct {
 func New(cfg Config) (*Rig, error) {
 	cfg.applyDefaults()
 	s := sim.New(cfg.Seed)
+	o := obs.New(obs.Config{TraceEnabled: cfg.Trace, TraceCapacity: cfg.TraceCapacity})
 	m := power.NewMachine(s, "machine", cfg.Cores, cfg.PSU)
+	m.SetObs(o)
 
 	mkDisk := func(name string, kind DiskKind) (disk.Device, error) {
 		switch kind {
@@ -144,15 +154,17 @@ func New(cfg Config) (*Rig, error) {
 			if hc.Name == "" {
 				hc.Name = name
 			}
+			hc.Reg = o.Registry()
 			return disk.NewHDD(s, m.HardwareDomain(), hc), nil
 		case DiskSSD:
 			sc := cfg.SSD
 			if sc.Name == "" {
 				sc.Name = name
 			}
+			sc.Reg = o.Registry()
 			return disk.NewSSD(s, m.HardwareDomain(), sc), nil
 		case DiskMem:
-			return disk.NewMem(s, disk.MemConfig{Name: name, Persistent: true, Capacity: 1 << 22}), nil
+			return disk.NewMem(s, disk.MemConfig{Name: name, Persistent: true, Capacity: 1 << 22, Reg: o.Registry()}), nil
 		default:
 			return nil, fmt.Errorf("rig: unknown disk kind %q", kind)
 		}
@@ -193,6 +205,7 @@ func New(cfg Config) (*Rig, error) {
 	r := &Rig{
 		Cfg: cfg, S: s, Machine: m, Disk: dev,
 		LogPart: logPart, DumpPart: dumpPart, DataPart: dataPart,
+		Obs: o,
 	}
 	if err := r.assemblePlatform(); err != nil {
 		return nil, err
@@ -212,7 +225,9 @@ func (r *Rig) assemblePlatform() error {
 		return nil
 	case VirtSync:
 		if r.HV == nil {
-			r.HV = hv.New(r.Machine, cfg.HV)
+			hvCfg := cfg.HV
+			hvCfg.Obs = r.Obs
+			r.HV = hv.New(r.Machine, hvCfg)
 		}
 		if r.Plat == nil {
 			r.Plat = r.HV.NewGuest("db", r.LogPart, r.DataPart)
@@ -220,9 +235,13 @@ func (r *Rig) assemblePlatform() error {
 		return nil
 	case RapiLog:
 		if r.HV == nil {
-			r.HV = hv.New(r.Machine, cfg.HV)
+			hvCfg := cfg.HV
+			hvCfg.Obs = r.Obs
+			r.HV = hv.New(r.Machine, hvCfg)
 		}
-		logger, err := core.NewLogger(r.Machine, r.HV.Domain(), r.LogPart, r.DumpPart, cfg.RapiLog)
+		rlCfg := cfg.RapiLog
+		rlCfg.Obs = r.Obs
+		logger, err := core.NewLogger(r.Machine, r.HV.Domain(), r.LogPart, r.DumpPart, rlCfg)
 		if err != nil {
 			return err
 		}
@@ -246,7 +265,33 @@ func (r *Rig) EngineConfig() engine.Config {
 		CheckpointEvery: r.Cfg.CheckpointEvery,
 		LockTimeout:     r.Cfg.LockTimeout,
 		NoDaemons:       r.Cfg.NoDaemons,
+		Obs:             r.Obs,
 	}
+}
+
+// SafeBound returns the provable exposure limit for this deployment: the
+// lesser of the configured buffer bound and SafeBufferSize. Zero outside
+// RapiLog mode (nothing is ever exposed).
+func (r *Rig) SafeBound() int64 {
+	if r.Logger == nil {
+		return 0
+	}
+	bound := r.Logger.MaxBuffer()
+	if safe := core.SafeBufferSize(r.Machine, r.DumpPart); safe < bound {
+		bound = safe
+	}
+	return bound
+}
+
+// AuditExposure replays the rig's trace into the durability-exposure report:
+// the time-series of acknowledged-but-undrained bytes, per-write ack→durable
+// latency, and the peak-vs-bound verdict. Requires Config.Trace.
+func (r *Rig) AuditExposure() (obs.ExposureReport, error) {
+	tr := r.Obs.Tracer()
+	if !tr.Enabled() {
+		return obs.ExposureReport{}, fmt.Errorf("rig: exposure audit needs tracing (set Config.Trace)")
+	}
+	return obs.AuditExposure(tr.Events(), r.SafeBound(), tr.Dropped() > 0), nil
 }
 
 // Boot opens the engine (running recovery if the devices hold prior state).

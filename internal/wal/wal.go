@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -89,6 +90,9 @@ type Config struct {
 	// CommitDelay is slept before each physical force to widen the group
 	// commit window (PostgreSQL's commit_delay). Default 0.
 	CommitDelay time.Duration
+	// Obs, when set, registers the log's instruments centrally and traces
+	// physical force rounds (log_submit/log_complete events).
+	Obs *obs.Obs
 }
 
 func (c *Config) applyDefaults() {
@@ -121,13 +125,13 @@ type Stats struct {
 	ForceLatency  *metrics.Histogram
 }
 
-func newStats() *Stats {
+func newStats(reg *obs.Registry) *Stats {
 	return &Stats{
-		Appends:       metrics.NewCounter("wal.appends"),
-		Forces:        metrics.NewCounter("wal.forces"),
-		ForceWaits:    metrics.NewCounter("wal.force_waits"),
-		BlocksWritten: metrics.NewCounter("wal.blocks_written"),
-		ForceLatency:  metrics.NewHistogram("wal.force_latency"),
+		Appends:       reg.Counter("wal.appends"),
+		Forces:        reg.Counter("wal.forces"),
+		ForceWaits:    reg.Counter("wal.force_waits"),
+		BlocksWritten: reg.Counter("wal.blocks_written"),
+		ForceLatency:  reg.Histogram("wal.force_latency"),
 	}
 }
 
@@ -149,6 +153,7 @@ type Log struct {
 	forceInFlight bool
 	flushedSig    *sim.Signal
 	stats         *Stats
+	onDurable     func(lsn uint64) // called after flushedLSN advances
 }
 
 type sealedBlock struct {
@@ -176,7 +181,7 @@ func New(s *sim.Sim, dev disk.Device, cfg Config) (*Log, error) {
 		curData:    make([]byte, cfg.BlockSize),
 		curOff:     blockHdrLen,
 		flushedSig: s.NewSignal("wal.flushed"),
-		stats:      newStats(),
+		stats:      newStats(cfg.Obs.Registry()),
 	}
 	l.appendedLSN = l.lsn()
 	l.flushedLSN = l.appendedLSN
@@ -216,6 +221,11 @@ func OpenAt(p *sim.Proc, s *sim.Sim, dev disk.Device, cfg Config, endLSN uint64)
 
 // Stats returns the log's counters.
 func (l *Log) Stats() *Stats { return l.stats }
+
+// SetOnDurable installs a hook invoked (from the forcing process) each time
+// the durability horizon advances, with the new flushedLSN. The engine uses
+// it to retire commits waiting on durable-on-disk.
+func (l *Log) SetOnDurable(fn func(lsn uint64)) { l.onDurable = fn }
 
 // AppendedLSN returns the address one past the last appended record.
 func (l *Log) AppendedLSN() uint64 { return l.appendedLSN }
@@ -348,6 +358,15 @@ func (l *Log) physicalForce(p *sim.Proc) error {
 		copy(tail, l.curData)
 		l.finishHeader(tail, tailSeq)
 	}
+	tr := l.cfg.Obs.Tracer()
+	forceSpan := tr.NewSpan()
+	if tr.Enabled() {
+		nBlocks := len(sealed)
+		if tail != nil {
+			nBlocks++
+		}
+		tr.Emit(p.Now().Duration(), obs.EvLogSubmit, forceSpan, 0, int64(target), int64(nBlocks)*int64(l.cfg.BlockSize))
+	}
 	for i, b := range sealed {
 		if err := l.dev.Write(p, l.blockLBA(b.seq), b.data, true); err != nil {
 			// Requeue the unwritten suffix so a later force retries it.
@@ -366,6 +385,10 @@ func (l *Log) physicalForce(p *sim.Proc) error {
 		l.flushedLSN = target
 	}
 	l.stats.Forces.Inc()
+	tr.Emit(p.Now().Duration(), obs.EvLogComplete, 0, forceSpan, int64(l.flushedLSN), 0)
+	if l.onDurable != nil {
+		l.onDurable(l.flushedLSN)
+	}
 	return nil
 }
 

@@ -33,6 +33,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/rig"
 	"repro/internal/sim"
@@ -171,6 +172,29 @@ func NewJournal() *Journal { return workload.NewJournal() }
 // RunClients drives a workload with a closed-loop client pool.
 func RunClients(p *Proc, dom *Domain, e *Engine, w Workload, cfg RunnerConfig) RunResult {
 	return workload.RunClients(p, dom, e, w, cfg)
+}
+
+// Observability: commit-lifecycle tracing, the unified metrics registry,
+// and the durability-exposure audit. Enable tracing with Config.Trace; a
+// deployment's bundle is at Deployment.Obs.
+type (
+	// Obs bundles a deployment's tracer and metrics registry.
+	Obs = obs.Obs
+	// Tracer records typed commit-lifecycle events into a ring buffer.
+	Tracer = obs.Tracer
+	// TraceEvent is one typed trace record.
+	TraceEvent = obs.Event
+	// MetricsRegistry owns every instrument in a deployment by name.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a JSON-serialisable copy of every instrument.
+	MetricsSnapshot = obs.Snapshot
+	// ExposureReport is the durability-exposure audit's result.
+	ExposureReport = obs.ExposureReport
+)
+
+// AuditExposure replays trace events into an exposure report against bound.
+func AuditExposure(events []TraceEvent, bound int64, truncated bool) ExposureReport {
+	return obs.AuditExposure(events, bound, truncated)
 }
 
 // Fault injection.
