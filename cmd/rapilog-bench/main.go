@@ -10,6 +10,9 @@
 //	rapilog-bench -quick          # small sweeps (seconds, not minutes)
 //	rapilog-bench -list           # list experiment ids and titles
 //	rapilog-bench -metrics-out values.json -trace-out trace.json
+//	rapilog-bench -bench-json auto            # run the hot-path perf suite,
+//	                                          # write BENCH_<date>.json
+//	rapilog-bench -bench-json out.json -bench-label after
 package main
 
 import (
@@ -33,8 +36,18 @@ func main() {
 
 		metricsOut = flag.String("metrics-out", "", "write every experiment's named values as JSON to this file")
 		traceOut   = flag.String("trace-out", "", "write a commit-lifecycle trace of a representative rapilog run as JSON to this file")
+
+		benchJSON  = flag.String("bench-json", "", "run the hot-path perf suite and write its JSON here ('auto' → BENCH_<date>.json); skips the experiments")
+		benchLabel = flag.String("bench-label", "", "label recorded in the perf-suite JSON (e.g. 'baseline')")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *benchLabel, *quick, *seed); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	if *list {
 		for _, exp := range rapilog.Experiments {
@@ -97,6 +110,31 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+}
+
+// runBenchJSON executes the fixed hot-path perf suite and serialises the
+// result — the benchmark trajectory perf PRs commit before/after pairs of.
+func runBenchJSON(path, label string, quick bool, seed int64) error {
+	suite, err := rapilog.RunPerfSuite(label, quick, seed, os.Stderr)
+	if err != nil {
+		return err
+	}
+	if path == "auto" {
+		path = "BENCH_" + suite.Date + ".json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := suite.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[perf suite written to %s]\n", path)
+	return nil
 }
 
 // dumpRepresentativeTrace runs a short traced rapilog deployment under the

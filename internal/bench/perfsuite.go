@@ -1,0 +1,308 @@
+// Perf suite: the fixed hot-path benchmark trajectory this repository
+// holds itself accountable to. Unlike the experiments (which reproduce the
+// paper's tables on virtual time), the perf suite measures the *simulator
+// itself* — nanoseconds, allocations, and simulated events per wall-clock
+// second on the commit path — and serialises the results as JSON so each
+// perf-focused PR can commit a before/after BENCH_<date>.json pair.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/rig"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// PerfCase is one measured hot-path microbenchmark or workload run.
+type PerfCase struct {
+	Name string `json:"name"`
+	// Micro-benchmark figures (testing.Benchmark).
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
+	// Simulator throughput: kernel events executed per wall-clock second
+	// while this case ran.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// Workload figures (virtual-time runs).
+	VirtualTPS  float64 `json:"virtual_tps,omitempty"`
+	Committed   int64   `json:"committed,omitempty"`
+	AllocsPerTx float64 `json:"allocs_per_tx,omitempty"`
+}
+
+// PerfSuite is the serialised result of one suite run.
+type PerfSuite struct {
+	Date  string     `json:"date"`
+	Label string     `json:"label,omitempty"`
+	Go    string     `json:"go"`
+	Quick bool       `json:"quick"`
+	Seed  int64      `json:"seed"`
+	Cases []PerfCase `json:"cases"`
+}
+
+// WriteJSON serialises the suite.
+func (s *PerfSuite) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// RunPerfSuite executes the fixed suite. Quick shrinks the workload runs to
+// smoke-test size (CI); the full suite takes tens of seconds.
+func RunPerfSuite(label string, quick bool, seed int64, progress io.Writer) (*PerfSuite, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	suite := &PerfSuite{
+		Date:  time.Now().UTC().Format("2006-01-02"),
+		Label: label,
+		Go:    runtime.Version(),
+		Quick: quick,
+		Seed:  seed,
+	}
+	logf := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format+"\n", args...)
+		}
+	}
+
+	type microCase struct {
+		name string
+		run  func() (PerfCase, error)
+	}
+	dur, warmup := 4*time.Second, 500*time.Millisecond
+	if quick {
+		dur, warmup = 500*time.Millisecond, 50*time.Millisecond
+	}
+	cases := []microCase{
+		{"sim_sleep_wake", func() (PerfCase, error) { return perfSleepWake(seed) }},
+		{"logger_write_4k", func() (PerfCase, error) { return perfLoggerWrite(seed, false) }},
+		{"logger_write_absorb", func() (PerfCase, error) { return perfLoggerWrite(seed, true) }},
+		{"commit_rapilog", func() (PerfCase, error) { return perfCommit(seed, rig.RapiLog) }},
+		{"commit_native_sync", func() (PerfCase, error) { return perfCommit(seed, rig.NativeSync) }},
+		{"tpcb_c8", func() (PerfCase, error) {
+			return perfWorkload("tpcb_c8", &workload.TPCB{}, 8, dur, warmup, seed)
+		}},
+		{"tpcc_c8", func() (PerfCase, error) {
+			return perfWorkload("tpcc_c8", &workload.TPCC{Warehouses: 1, Customers: 10, Items: 200}, 8, dur, warmup, seed)
+		}},
+	}
+	for _, c := range cases {
+		pc, err := c.run()
+		if err != nil {
+			return nil, fmt.Errorf("perf case %s: %w", c.name, err)
+		}
+		pc.Name = c.name
+		suite.Cases = append(suite.Cases, pc)
+		logf("[perf] %-20s %10.0f ns/op  %7.1f allocs/op  %12.0f events/s  %8.0f tps",
+			pc.Name, pc.NsPerOp, pc.AllocsPerOp, pc.EventsPerSec, pc.VirtualTPS)
+	}
+	return suite, nil
+}
+
+// microResult converts a testing.BenchmarkResult plus the sim-event counts
+// the closure captured into a PerfCase.
+func microResult(res testing.BenchmarkResult, events uint64, wall time.Duration) PerfCase {
+	pc := PerfCase{
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: float64(res.MemAllocs) / float64(res.N),
+		BytesPerOp:  float64(res.MemBytes) / float64(res.N),
+	}
+	if pc.NsPerOp > 0 {
+		pc.OpsPerSec = 1e9 / pc.NsPerOp
+	}
+	if wall > 0 {
+		pc.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	return pc
+}
+
+// perfSleepWake measures the kernel's cheapest blocking round trip: one
+// timer schedule, one park, one wake.
+func perfSleepWake(seed int64) (PerfCase, error) {
+	var events uint64
+	var wall time.Duration
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		s := sim.New(seed)
+		n := 0
+		s.Spawn(nil, "sleeper", func(p *sim.Proc) {
+			for ; n < b.N; n++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+		d0 := s.Dispatched()
+		start := time.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := s.Run(); err != nil {
+			runErr = err
+			return
+		}
+		wall = time.Since(start)
+		events = s.Dispatched() - d0
+	})
+	return microResult(res, events, wall), runErr
+}
+
+// perfLoggerWrite measures one RapiLog buffered write — the fast path every
+// commit takes. With absorb set every write hits the same block, exercising
+// the in-place absorption path; otherwise writes walk distinct blocks
+// (fresh-entry path).
+func perfLoggerWrite(seed int64, absorb bool) (PerfCase, error) {
+	var events uint64
+	var wall time.Duration
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		r, err := rig.New(rig.Config{Seed: seed, Mode: rig.RapiLog, NoDaemons: true})
+		if err != nil {
+			runErr = err
+			return
+		}
+		data := make([]byte, 4096)
+		blocks := r.Logger.Sectors()/8 - 1
+		n := 0
+		r.S.Spawn(r.Plat.Domain(), "w", func(p *sim.Proc) {
+			for ; n < b.N; n++ {
+				lba := int64(n) % blocks * 8
+				if absorb {
+					lba = 0
+				}
+				if err := r.Logger.Write(p, lba, data, false); err != nil {
+					runErr = err
+					return
+				}
+			}
+		})
+		d0 := r.S.Dispatched()
+		start := time.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := r.S.RunFor(1000 * time.Hour); err != nil {
+			runErr = err
+			return
+		}
+		wall = time.Since(start)
+		events = r.S.Dispatched() - d0
+		if n != b.N {
+			runErr = fmt.Errorf("completed %d/%d writes", n, b.N)
+		}
+	})
+	return microResult(res, events, wall), runErr
+}
+
+// perfCommit measures a full engine commit (WAL append + force + apply)
+// through the given mode's log path.
+func perfCommit(seed int64, mode rig.Mode) (PerfCase, error) {
+	var events uint64
+	var wall time.Duration
+	var runErr error
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%04d", i)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		r, err := rig.New(rig.Config{Seed: seed, Mode: mode, NoDaemons: true})
+		if err != nil {
+			runErr = err
+			return
+		}
+		n := 0
+		r.S.Spawn(r.Plat.Domain(), "db", func(p *sim.Proc) {
+			e, err := r.Boot(p)
+			if err != nil {
+				runErr = err
+				return
+			}
+			for ; n < b.N; n++ {
+				tx := e.Begin(p)
+				if err := tx.Put(keys[n%len(keys)], []byte("v")); err != nil {
+					runErr = err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					runErr = err
+					return
+				}
+			}
+		})
+		d0 := r.S.Dispatched()
+		start := time.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := r.S.RunFor(10000 * time.Hour); err != nil {
+			runErr = err
+			return
+		}
+		wall = time.Since(start)
+		events = r.S.Dispatched() - d0
+		if runErr == nil && n != b.N {
+			runErr = fmt.Errorf("completed %d/%d commits", n, b.N)
+		}
+	})
+	return microResult(res, events, wall), runErr
+}
+
+// perfWorkload runs a closed-loop client pool for a fixed virtual duration
+// on the RapiLog deployment and reports virtual TPS alongside how much of
+// that virtual activity a wall-clock second executed.
+func perfWorkload(name string, wl workload.Workload, clients int, dur, warmup time.Duration, seed int64) (PerfCase, error) {
+	r, err := rig.New(rig.Config{Seed: seed, Mode: rig.RapiLog})
+	if err != nil {
+		return PerfCase{}, err
+	}
+	var res workload.RunResult
+	var runErr error
+	var events uint64
+	var wall time.Duration
+	var mallocs uint64
+	done := r.S.NewEvent(name + ".done")
+	r.S.Spawn(r.Plat.Domain(), "perf", func(p *sim.Proc) {
+		defer done.Fire()
+		e, err := r.Boot(p)
+		if err != nil {
+			runErr = fmt.Errorf("boot: %w", err)
+			return
+		}
+		if err := wl.Load(p, e); err != nil {
+			runErr = fmt.Errorf("load: %w", err)
+			return
+		}
+		// Measure only the measurement interval: the loaders above allocate
+		// heavily and would swamp the per-transaction figure.
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		d0 := r.S.Dispatched()
+		start := time.Now()
+		res = workload.RunClients(p, r.Plat.Domain(), e, wl, workload.RunnerConfig{
+			Clients: clients, Duration: dur, Warmup: warmup,
+		})
+		wall = time.Since(start)
+		events = r.S.Dispatched() - d0
+		runtime.ReadMemStats(&ms1)
+		mallocs = ms1.Mallocs - ms0.Mallocs
+	})
+	if err := r.S.RunUntilEvent(done); err != nil {
+		return PerfCase{}, err
+	}
+	if runErr != nil {
+		return PerfCase{}, runErr
+	}
+	pc := PerfCase{
+		VirtualTPS: res.TPS(),
+		Committed:  res.Committed,
+	}
+	if wall > 0 {
+		pc.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	if res.Committed > 0 {
+		pc.AllocsPerTx = float64(mallocs) / float64(res.Committed)
+	}
+	return pc, nil
+}

@@ -113,22 +113,21 @@ func newStats(reg *obs.Registry, name string) *Stats {
 	}
 }
 
-// entry is one buffered write.
+// entry is one buffered write. Its lba plus len(data) is also the range
+// index the Read path consults: pending entries, scanned oldest to newest,
+// are exactly the sectors that differ from the backing device.
 type entry struct {
 	lba  int64
 	data []byte
-	gen  uint64
 	span obs.SpanID // the hv_ack span; parents this entry's durable event
-}
-
-type overlayEnt struct {
-	data []byte
-	gen  uint64
 }
 
 // Logger is the RapiLog device. It implements disk.Device so a guest can be
 // given one in place of its raw log partition; reads are coherent with
 // buffered writes.
+//
+// The simulation is single-threaded (the kernel runs one process at a
+// time), so the entry and payload pools below need no locking.
 type Logger struct {
 	cfg     Config
 	s       *sim.Sim
@@ -140,11 +139,13 @@ type Logger struct {
 	pending   []*entry         // FIFO, including the batch being drained
 	draining  int              // entries at the head currently being drained
 	absorb    map[int64]*entry // pending (not draining) entries by lba, for write absorption
-	overlay   map[int64]overlayEnt
-	gen       uint64
 	dirtySig  *sim.Signal
 	emergency bool
 	never     *sim.Event // parked on by writers after emergency starts
+
+	entryPool []*entry         // retired entry headers, reused by Write
+	bufPool   map[int][][]byte // retired payload buffers by size class (exact length)
+	scratch   []byte           // drain-run coalescing buffer, reused across rounds
 }
 
 // SafeBufferSize computes the paper's sizing rule: the bytes that can
@@ -206,13 +207,49 @@ func NewLogger(m *power.Machine, hvDom *sim.Domain, backing, dumpZone disk.Devic
 		stats:    newStats(cfg.Obs.Registry(), cfg.Name),
 		space:    s.NewResource(cfg.Name+".space", cfg.MaxBuffer),
 		absorb:   make(map[int64]*entry),
-		overlay:  make(map[int64]overlayEnt),
+		bufPool:  make(map[int][][]byte),
 		dirtySig: s.NewSignal(cfg.Name + ".dirty"),
 		never:    s.NewEvent(cfg.Name + ".halted"),
 	}
 	l.spawnDrainer(hvDom)
 	m.AddPowerFailHandler(func(p *sim.Proc) { l.EmergencyFlush(p) })
 	return l, nil
+}
+
+// getBuf returns a payload buffer of exactly n bytes, reusing a retired one
+// when the size class has stock. Contents are undefined; callers overwrite.
+func (l *Logger) getBuf(n int) []byte {
+	if bufs := l.bufPool[n]; len(bufs) > 0 {
+		b := bufs[len(bufs)-1]
+		l.bufPool[n] = bufs[:len(bufs)-1]
+		return b
+	}
+	return make([]byte, n)
+}
+
+// putBuf retires a payload buffer into its size class.
+func (l *Logger) putBuf(b []byte) {
+	l.bufPool[len(b)] = append(l.bufPool[len(b)], b)
+}
+
+// getEntry returns a blank entry header, reusing a retired one if possible.
+func (l *Logger) getEntry() *entry {
+	if n := len(l.entryPool); n > 0 {
+		e := l.entryPool[n-1]
+		l.entryPool = l.entryPool[:n-1]
+		return e
+	}
+	return &entry{}
+}
+
+// putEntry retires a drained entry: its payload buffer goes back to the
+// size-classed pool and the header to the entry pool. Only the drainer may
+// call this, and only for entries no longer reachable from pending, absorb,
+// or an emergency snapshot.
+func (l *Logger) putEntry(e *entry) {
+	l.putBuf(e.data)
+	*e = entry{}
+	l.entryPool = append(l.entryPool, e)
 }
 
 // Stats returns RapiLog's own counters.
@@ -286,19 +323,22 @@ func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
 		l.space.Acquire(p, int64(len(data)))
 	}
 	if l.emergency {
+		// The power-fail interrupt arrived while we were throttled. The
+		// device has stopped acknowledging; give the acquired budget back
+		// before parking forever, or the accounting leaks those bytes.
+		l.space.Release(int64(len(data)))
 		l.never.Wait(p)
 	}
-	l.gen++
-	e := &entry{lba: lba, data: append([]byte(nil), data...), gen: l.gen, span: l.tracer().NewSpan()}
+	e := l.getEntry()
+	e.lba = lba
+	e.data = l.getBuf(len(data))
+	copy(e.data, data)
+	e.span = l.tracer().NewSpan()
 	// hv_ack is stamped at buffer-insertion time — before the ack sleep — so
 	// it always precedes the durable event the drainer emits for this entry.
 	l.tracer().Emit(p.Now().Duration(), obs.EvHvAck, e.span, 0, lba, int64(len(data)))
 	l.pending = append(l.pending, e)
 	l.absorb[lba] = e
-	ss := int64(l.SectorSize())
-	for i := 0; i < nsec; i++ {
-		l.overlay[lba+int64(i)] = overlayEnt{data: e.data[int64(i)*ss : (int64(i)+1)*ss], gen: l.gen}
-	}
 	l.stats.Occupancy.Add(int64(len(data)))
 	l.dirtySig.Broadcast()
 
@@ -320,17 +360,32 @@ func (l *Logger) Flush(p *sim.Proc) error {
 }
 
 // Read implements disk.Device: backing contents with buffered sectors
-// overlaid, so the guest always reads what it last wrote.
+// overlaid, so the guest always reads what it last wrote. Reads are rare
+// (recovery, log scans at boot), so rather than maintaining a per-sector
+// map on the hot Write path, the pending list itself serves as the range
+// index: scanned oldest to newest, later overlaps win — the same ordering
+// the drain writes to disk.
 func (l *Logger) Read(p *sim.Proc, lba int64, nsec int) ([]byte, error) {
 	out, err := l.backing.Read(p, lba, nsec)
 	if err != nil {
 		return nil, err
 	}
-	ss := l.SectorSize()
-	for i := 0; i < nsec; i++ {
-		if e, ok := l.overlay[lba+int64(i)]; ok {
-			copy(out[i*ss:(i+1)*ss], e.data)
+	ss := int64(l.SectorSize())
+	lo, hi := lba, lba+int64(nsec)
+	for _, e := range l.pending {
+		elo := e.lba
+		ehi := e.lba + int64(len(e.data))/ss
+		s0, s1 := lo, hi
+		if elo > s0 {
+			s0 = elo
 		}
+		if ehi < s1 {
+			s1 = ehi
+		}
+		if s0 >= s1 {
+			continue
+		}
+		copy(out[(s0-lo)*ss:(s1-lo)*ss], e.data[(s0-elo)*ss:(s1-elo)*ss])
 	}
 	return out, nil
 }
@@ -368,43 +423,49 @@ func (l *Logger) spawnDrainer(hvDom *sim.Domain) {
 			drained := int64(0)
 			i := 0
 			for i < batch {
-				// Coalesce the contiguous run starting at i.
-				run := []*entry{l.pending[i]}
-				next := l.pending[i].lba + int64(len(l.pending[i].data))/int64(l.SectorSize())
-				j := i + 1
+				// Coalesce the contiguous run starting at i into the
+				// persistent scratch buffer (devices copy the data during
+				// the Write call, so the buffer is free again on return).
+				data := l.scratch[:0]
+				next := l.pending[i].lba
+				j := i
 				for j < batch && l.pending[j].lba == next {
-					run = append(run, l.pending[j])
+					data = append(data, l.pending[j].data...)
 					next += int64(len(l.pending[j].data)) / int64(l.SectorSize())
 					j++
 				}
-				data := make([]byte, 0)
-				for _, e := range run {
-					data = append(data, e.data...)
-				}
-				if err := l.backing.Write(p, run[0].lba, data, true); err != nil {
+				l.scratch = data[:0]
+				if err := l.backing.Write(p, l.pending[i].lba, data, true); err != nil {
 					// Backing failure (power dying): stop; the emergency
 					// path or the dump recovery owns what remains.
 					l.draining = 0
 					return
 				}
-				for _, e := range run {
+				if l.emergency {
+					// The power-fail interrupt fired during the write and
+					// snapshotted pending — the dump owns those buffers
+					// now; retiring them here would recycle live memory.
+					l.draining = 0
+					return
+				}
+				for _, e := range l.pending[i:j] {
 					drained += int64(len(e.data))
 					l.tracer().Emit(p.Now().Duration(), obs.EvDurable, 0, e.span, e.lba, int64(len(e.data)))
 				}
 				i = j
 			}
-			// Retire the batch: clear overlay sectors that were not
-			// overwritten meanwhile, release space, update stats.
-			ss := int64(l.SectorSize())
+			// Retire the batch: entries and their payload buffers return to
+			// the pools for the next writes, space is released, stats move.
+			// The survivors shift down so the backing array is reused rather
+			// than abandoned one batch at a time.
 			for _, e := range l.pending[:batch] {
-				nsec := int64(len(e.data)) / ss
-				for k := int64(0); k < nsec; k++ {
-					if o, ok := l.overlay[e.lba+k]; ok && o.gen == e.gen {
-						delete(l.overlay, e.lba+k)
-					}
-				}
+				l.putEntry(e)
 			}
-			l.pending = l.pending[batch:]
+			rest := copy(l.pending, l.pending[batch:])
+			for k := rest; k < len(l.pending); k++ {
+				l.pending[k] = nil
+			}
+			l.pending = l.pending[:rest]
 			l.draining = 0
 			l.space.Release(drained)
 			l.stats.Occupancy.Add(-drained)
@@ -448,35 +509,42 @@ func (l *Logger) EmergencyFlush(p *sim.Proc) {
 		return
 	}
 
+	// Build the image in a single sized allocation. The header must not be
+	// assembled with append(header, payload...): if header had spare
+	// capacity the two would alias and the payload would overwrite it.
 	ss := l.dump.SectorSize()
-	payload := make([]byte, 0, 1<<16)
+	payloadLen := 0
 	for _, e := range snapshot {
-		var h [entHeadLen]byte
+		payloadLen += entHeadLen + len(e.data)
+	}
+	imageLen := ss + payloadLen
+	if pad := imageLen % ss; pad != 0 {
+		imageLen += ss - pad
+	}
+	image := make([]byte, imageLen)
+	header := image[:ss]
+	copy(header, dumpMagic)
+	binary.LittleEndian.PutUint32(header[8:], dumpVersion)
+	binary.LittleEndian.PutUint32(header[12:], uint32(len(snapshot)))
+	binary.LittleEndian.PutUint64(header[16:], uint64(payloadLen))
+	binary.LittleEndian.PutUint32(header[24:], crc32.ChecksumIEEE(header[:24]))
+	off := ss
+	for _, e := range snapshot {
+		h := image[off : off+entHeadLen]
 		binary.LittleEndian.PutUint32(h[0:], entMagic)
 		binary.LittleEndian.PutUint64(h[4:], uint64(e.lba))
 		binary.LittleEndian.PutUint32(h[12:], uint32(len(e.data)))
 		binary.LittleEndian.PutUint32(h[16:], crc32.ChecksumIEEE(e.data))
-		payload = append(payload, h[:]...)
-		payload = append(payload, e.data...)
+		off += entHeadLen
+		off += copy(image[off:], e.data)
 	}
-	header := make([]byte, ss)
-	copy(header, dumpMagic)
-	binary.LittleEndian.PutUint32(header[8:], dumpVersion)
-	binary.LittleEndian.PutUint32(header[12:], uint32(len(snapshot)))
-	binary.LittleEndian.PutUint64(header[16:], uint64(len(payload)))
-	binary.LittleEndian.PutUint32(header[24:], crc32.ChecksumIEEE(header[:24]))
-
-	image := append(header, payload...)
-	if pad := len(image) % ss; pad != 0 {
-		image = append(image, make([]byte, ss-pad)...)
-	}
-	l.s.Tracef("%s: emergency flush: dumping %d entries (%d bytes)", l.cfg.Name, len(snapshot), len(payload))
+	l.s.Tracef("%s: emergency flush: dumping %d entries (%d bytes)", l.cfg.Name, len(snapshot), payloadLen)
 	if err := l.dump.Write(p, 0, image, true); err != nil {
 		l.s.Tracef("%s: emergency dump failed: %v", l.cfg.Name, err)
 		return
 	}
-	l.stats.DumpedBytes.Add(int64(len(payload)))
-	l.tracer().Emit(p.Now().Duration(), obs.EvDumpDone, 0, dumpSpan, int64(len(snapshot)), int64(len(payload)))
+	l.stats.DumpedBytes.Add(int64(payloadLen))
+	l.tracer().Emit(p.Now().Duration(), obs.EvDumpDone, 0, dumpSpan, int64(len(snapshot)), int64(payloadLen))
 	l.s.Tracef("%s: emergency flush complete at %v", l.cfg.Name, p.Now())
 }
 

@@ -122,11 +122,16 @@ func newMedia(sectorSize int) *media {
 }
 
 // writeSectors persists data (len multiple of sectorSize) starting at lba.
+// Rewrites copy into the existing sector buffer in place — readSectors
+// copies out, so no returned read aliases the stored buffers.
 func (m *media) writeSectors(lba int64, data []byte) {
 	for off := 0; off < len(data); off += m.sectorSize {
-		sec := make([]byte, m.sectorSize)
+		sec, ok := m.sectors[lba+int64(off/m.sectorSize)]
+		if !ok {
+			sec = make([]byte, m.sectorSize)
+			m.sectors[lba+int64(off/m.sectorSize)] = sec
+		}
 		copy(sec, data[off:off+m.sectorSize])
-		m.sectors[lba+int64(off/m.sectorSize)] = sec
 	}
 }
 

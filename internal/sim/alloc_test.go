@@ -1,0 +1,100 @@
+//go:build !race
+
+// Allocation-regression pins for the kernel's hot paths. AllocsPerRun
+// counts every malloc in the process, and the race detector changes
+// allocation behaviour, so these only run without -race.
+
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSleepWakeZeroAlloc pins the kernel's hottest cycle — schedule a
+// timer, park, wake, dispatch — at zero allocations per event in steady
+// state (pooled timers, value waiters, no closures, no formatted wait
+// descriptions).
+func TestSleepWakeZeroAlloc(t *testing.T) {
+	s := New(1)
+	p := s.Spawn(nil, "sleeper", func(p *Proc) {
+		for {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	p.SetDaemon(true)
+	// Warm the timer pool and the heap's backing array.
+	if err := s.RunFor(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.RunFor(time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("sleep/wake steady state allocates %.1f per RunFor(1ms) (~1000 events), want 0", allocs)
+	}
+}
+
+// TestSignalBroadcastZeroAlloc pins the signal wait/broadcast round trip:
+// a waiter is a value appended into a reused backing array, and the wake
+// is an inlined pooled timer.
+func TestSignalBroadcastZeroAlloc(t *testing.T) {
+	s := New(1)
+	sig := s.NewSignal("tick")
+	w := s.Spawn(nil, "waiter", func(p *Proc) {
+		for {
+			sig.Wait(p)
+		}
+	})
+	w.SetDaemon(true)
+	kick := func() {
+		s.After(time.Microsecond, sig.Broadcast)
+		if err := s.RunFor(10 * time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kick() // warm pools and slice capacities
+	// s.After allocates its fn closure context once per kick; the wait,
+	// broadcast, park and wake themselves must add nothing.
+	allocs := testing.AllocsPerRun(100, kick)
+	if allocs > 1 {
+		t.Fatalf("signal wait/broadcast allocates %.1f per cycle, want <= 1 (the After closure)", allocs)
+	}
+}
+
+// TestQueueHandoffAllocBound pins the queue's blocking rendezvous: getter
+// and putter bookkeeping is pooled per queue with prebuilt abort hooks.
+func TestQueueHandoffAllocBound(t *testing.T) {
+	s := New(1)
+	q := NewQueue[int](s, "ring", 0)
+	c := s.Spawn(nil, "consumer", func(p *Proc) {
+		for {
+			q.Get(p)
+		}
+	})
+	c.SetDaemon(true)
+	prod := s.Spawn(nil, "producer", func(p *Proc) {
+		for i := 0; ; i++ {
+			if err := q.Put(p, i); err != nil {
+				return
+			}
+			p.Sleep(time.Microsecond)
+		}
+	})
+	prod.SetDaemon(true)
+	if err := s.RunFor(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.RunFor(100 * time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// ~100 handoffs per run; anything beyond stray slice growth is a
+	// regression against the pooled steady state.
+	if allocs > 5 {
+		t.Fatalf("queue handoff steady state allocates %.1f per 100 handoffs, want <= 5", allocs)
+	}
+}

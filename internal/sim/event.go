@@ -1,24 +1,28 @@
 package sim
 
-import (
-	"fmt"
-	"time"
-)
+import "time"
 
 // Event is a one-shot broadcast condition: processes wait until someone
 // fires it. Waiting on an already-fired event returns immediately. Events
 // are the basic completion signal used throughout the simulation (I/O done,
 // power restored, drain finished).
 type Event struct {
-	s       *Sim
-	name    string
-	fired   bool
-	waiters []*waiter
+	s           *Sim
+	name        string
+	descWait    string
+	descTimeout string
+	fired       bool
+	waiters     []waiter
 }
 
 // NewEvent creates an unfired event.
 func (s *Sim) NewEvent(name string) *Event {
-	return &Event{s: s, name: name}
+	return &Event{
+		s:           s,
+		name:        name,
+		descWait:    "event:" + name,
+		descTimeout: "event:" + name + "(timeout)",
+	}
 }
 
 // Fired reports whether the event has fired.
@@ -44,7 +48,7 @@ func (e *Event) Wait(p *Proc) {
 		p.checkKilled()
 		return
 	}
-	w := p.newWaiter("event:" + e.name)
+	w := p.newWaiter(e.descWait)
 	e.waiters = append(e.waiters, w)
 	// No abort hook needed: stale waiters are skipped at wake time.
 	p.park()
@@ -64,9 +68,9 @@ func (e *Event) WaitTimeout(p *Proc, d time.Duration) bool {
 		p.checkKilled()
 		return false
 	}
-	w := p.newWaiter(fmt.Sprintf("event:%s(timeout %s)", e.name, d))
+	w := p.newWaiter(e.descTimeout)
 	e.waiters = append(e.waiters, w)
-	p.sim.At(p.sim.now.Add(d), w.wake)
+	p.sim.atWake(p.sim.now.Add(d), p, w.gen)
 	p.park()
 	return e.fired
 }
@@ -75,20 +79,29 @@ func (e *Event) WaitTimeout(p *Proc, d time.Duration) bool {
 // with broadcast-only semantics): each Broadcast wakes every process
 // currently waiting; future waiters block until the next Broadcast.
 type Signal struct {
-	s       *Sim
-	name    string
-	waiters []*waiter
+	s           *Sim
+	name        string
+	descWait    string
+	descTimeout string
+	waiters     []waiter
 }
 
 // NewSignal creates a signal.
 func (s *Sim) NewSignal(name string) *Signal {
-	return &Signal{s: s, name: name}
+	return &Signal{
+		s:           s,
+		name:        name,
+		descWait:    "signal:" + name,
+		descTimeout: "signal:" + name + "(timeout)",
+	}
 }
 
 // Broadcast wakes all current waiters.
 func (g *Signal) Broadcast() {
 	ws := g.waiters
-	g.waiters = nil
+	// Reuse the backing array: wake only schedules timers, so no waiter can
+	// be appended while we iterate.
+	g.waiters = g.waiters[:0]
 	for _, w := range ws {
 		w.wake()
 	}
@@ -96,7 +109,7 @@ func (g *Signal) Broadcast() {
 
 // Wait blocks p until the next Broadcast.
 func (g *Signal) Wait(p *Proc) {
-	w := p.newWaiter("signal:" + g.name)
+	w := p.newWaiter(g.descWait)
 	g.waiters = append(g.waiters, w)
 	p.park()
 }
@@ -108,28 +121,23 @@ func (g *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
 		p.checkKilled()
 		return false
 	}
-	w := p.newWaiter(fmt.Sprintf("signal:%s(timeout %s)", g.name, d))
+	w := p.newWaiter(g.descTimeout)
 	g.waiters = append(g.waiters, w)
-	signaled := false
-	// Wrap: mark delivery when the broadcast (not the timer) wakes us.
-	// Broadcast wakes via w.wake directly; the timer wakes via the same
-	// waiter, so distinguish by draining: if we are still in g.waiters at
-	// resume time the broadcast did not happen.
-	p.sim.At(p.sim.now.Add(d), w.wake)
+	// The broadcast and the timer wake the same waiter; distinguish by
+	// draining: if we are still registered at resume time the broadcast did
+	// not happen.
+	p.sim.atWake(p.sim.now.Add(d), p, w.gen)
 	p.park()
 	for _, other := range g.waiters {
 		if other == w {
-			// Timed out: still registered. Leave removal to the lazy sweep
-			// below to keep Broadcast O(waiters).
-			signaled = false
 			g.remove(w)
-			return signaled
+			return false
 		}
 	}
 	return true
 }
 
-func (g *Signal) remove(w *waiter) {
+func (g *Signal) remove(w waiter) {
 	for i, other := range g.waiters {
 		if other == w {
 			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)

@@ -1,13 +1,32 @@
 package sim
 
-// timer is one scheduled callback on the virtual clock. seq breaks ties so
-// that same-time events run in scheduling order (FIFO), which keeps the
-// simulation deterministic.
+// timer is one scheduled occurrence on the virtual clock: either a
+// scheduler callback (fn) or an inlined process resume (p + gen + kind).
+// The split exists for allocation discipline: process wake-ups are by far
+// the most common event, and representing them as plain fields lets the
+// kernel dispatch them without allocating a closure per wake. seq breaks
+// ties so that same-time events run in scheduling order (FIFO), which keeps
+// the simulation deterministic.
+//
+// Timers are pooled: Step returns each popped timer to the Sim's freelist,
+// so a steady-state simulation schedules millions of events with zero
+// allocations.
 type timer struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t    Time
+	seq  uint64
+	fn   func() // tkFn only
+	p    *Proc  // tkWake, tkStart, tkKill
+	gen  uint64 // tkWake: the wait generation this wake targets
+	kind uint8
 }
+
+// timer kinds.
+const (
+	tkFn    uint8 = iota // run fn in scheduler context
+	tkWake               // resume p if still parked in wait generation gen
+	tkStart              // first handoff to a freshly spawned process
+	tkKill               // resume a parked p with the kill signal
+)
 
 // eventHeap is a binary min-heap of timers ordered by (t, seq). It is
 // hand-rolled rather than wrapping container/heap to avoid interface

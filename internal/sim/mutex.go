@@ -9,14 +9,15 @@ import "fmt"
 type Mutex struct {
 	s      *Sim
 	name   string
+	desc   string
 	locked bool
 	owner  *Proc
-	queue  []*waiter
+	queue  []waiter
 }
 
 // NewMutex creates an unlocked mutex.
 func (s *Sim) NewMutex(name string) *Mutex {
-	return &Mutex{s: s, name: name}
+	return &Mutex{s: s, name: name, desc: "mutex:" + name}
 }
 
 // Locked reports whether the mutex is held.
@@ -33,7 +34,7 @@ func (m *Mutex) Lock(p *Proc) {
 	if m.owner == p {
 		panic(fmt.Sprintf("sim: mutex %q: recursive lock by %s", m.name, p.name))
 	}
-	w := p.newWaiter("mutex:" + m.name)
+	w := p.newWaiter(m.desc)
 	m.queue = append(m.queue, w)
 	p.abort = func() {
 		// Killed while waiting: either still queued, or ownership was
@@ -79,7 +80,7 @@ func (m *Mutex) ForceUnlock() {
 func (m *Mutex) passOn() {
 	for len(m.queue) > 0 {
 		next := m.queue[0]
-		m.queue = m.queue[1:]
+		m.queue = popFront(m.queue)
 		if next.p.done || next.p.killed {
 			continue
 		}
@@ -91,7 +92,7 @@ func (m *Mutex) passOn() {
 	m.owner = nil
 }
 
-func (m *Mutex) removeWaiter(w *waiter) {
+func (m *Mutex) removeWaiter(w waiter) {
 	for i, other := range m.queue {
 		if other == w {
 			m.queue = append(m.queue[:i], m.queue[i+1:]...)
@@ -108,13 +109,14 @@ func (m *Mutex) removeWaiter(w *waiter) {
 type Resource struct {
 	s        *Sim
 	name     string
+	desc     string
 	capacity int64
 	avail    int64
-	queue    []*resWaiter
+	queue    []resWaiter
 }
 
 type resWaiter struct {
-	w *waiter
+	w waiter
 	n int64
 }
 
@@ -123,7 +125,7 @@ func (s *Sim) NewResource(name string, capacity int64) *Resource {
 	if capacity < 0 {
 		panic("sim: NewResource: negative capacity")
 	}
-	return &Resource{s: s, name: name, capacity: capacity, avail: capacity}
+	return &Resource{s: s, name: name, desc: "resource:" + name, capacity: capacity, avail: capacity}
 }
 
 // Capacity returns the configured capacity.
@@ -152,9 +154,9 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 		r.avail -= n
 		return
 	}
-	rw := &resWaiter{w: p.newWaiter(fmt.Sprintf("resource:%s(%d)", r.name, n)), n: n}
-	r.queue = append(r.queue, rw)
-	p.abort = func() { r.removeWaiter(rw) }
+	w := p.newWaiter(r.desc)
+	r.queue = append(r.queue, resWaiter{w: w, n: n})
+	p.abort = func() { r.removeWaiter(w) }
 	p.park()
 	// Units were debited by the releaser before waking us.
 }
@@ -190,21 +192,21 @@ func (r *Resource) grant() {
 	for len(r.queue) > 0 {
 		head := r.queue[0]
 		if head.w.p.done || head.w.p.killed {
-			r.queue = r.queue[1:]
+			r.queue = popFront(r.queue)
 			continue
 		}
 		if r.avail < head.n {
 			return
 		}
 		r.avail -= head.n
-		r.queue = r.queue[1:]
+		r.queue = popFront(r.queue)
 		head.w.wake()
 	}
 }
 
-func (r *Resource) removeWaiter(rw *resWaiter) {
+func (r *Resource) removeWaiter(w waiter) {
 	for i, other := range r.queue {
-		if other == rw {
+		if other.w == w {
 			r.queue = append(r.queue[:i], r.queue[i+1:]...)
 			// Removing a large head request may unblock smaller ones.
 			r.grant()

@@ -1,12 +1,18 @@
 package sim
 
-import (
-	"errors"
-	"fmt"
-)
+import "errors"
 
 // ErrClosed is returned by Queue.Put after Close.
 var ErrClosed = errors.New("sim: queue closed")
+
+// popFront removes the first element by shifting the rest down one slot.
+// Reslicing with s[1:] instead would abandon the backing array's front and
+// degenerate into one reallocation per cycle once capacity runs out; the
+// shift keeps the array stable, and these queues are short.
+func popFront[T any](s []T) []T {
+	copy(s, s[1:])
+	return s[:len(s)-1]
+}
 
 // Queue is a bounded FIFO channel on virtual time: Put blocks while the
 // queue is full, Get blocks while it is empty. Hand-off is direct (a Put
@@ -14,28 +20,39 @@ var ErrClosed = errors.New("sim: queue closed")
 // so ordering is strict FIFO on both sides. A capacity of zero gives
 // rendezvous semantics. Queues model I/O request rings, drain work lists,
 // and client/server request channels.
+//
+// Blocked-side bookkeeping (qGetter/qPutter) is pooled per queue, and each
+// pooled object carries a prebuilt abort hook, so the steady-state blocking
+// paths allocate nothing.
 type Queue[T any] struct {
 	s       *Sim
 	name    string
+	descGet string
+	descPut string
 	cap     int
 	items   []T
 	getters []*qGetter[T]
 	putters []*qPutter[T]
 	closed  bool
+
+	getterPool []*qGetter[T]
+	putterPool []*qPutter[T]
 }
 
 type qGetter[T any] struct {
-	w         *waiter
+	w         waiter
 	v         T
 	ok        bool
 	delivered bool
+	abort     func() // prebuilt: dequeue + free this getter on kill
 }
 
 type qPutter[T any] struct {
-	w        *waiter
+	w        waiter
 	v        T
 	accepted bool
 	closed   bool
+	abort    func() // prebuilt: dequeue + free this putter on kill
 }
 
 // NewQueue creates a queue with the given capacity (>= 0).
@@ -43,7 +60,13 @@ func NewQueue[T any](s *Sim, name string, capacity int) *Queue[T] {
 	if capacity < 0 {
 		panic("sim: NewQueue: negative capacity")
 	}
-	return &Queue[T]{s: s, name: name, cap: capacity}
+	return &Queue[T]{
+		s:       s,
+		name:    name,
+		descGet: "queue:" + name + "(get)",
+		descPut: "queue:" + name + "(put)",
+		cap:     capacity,
+	}
 }
 
 // Len returns the number of buffered items.
@@ -54,6 +77,54 @@ func (q *Queue[T]) Cap() int { return q.cap }
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }
+
+// newGetter takes a getter from the pool with its waiter registered.
+func (q *Queue[T]) newGetter(p *Proc) *qGetter[T] {
+	var g *qGetter[T]
+	if n := len(q.getterPool); n > 0 {
+		g = q.getterPool[n-1]
+		q.getterPool = q.getterPool[:n-1]
+	} else {
+		g = &qGetter[T]{}
+		g.abort = func() {
+			q.removeGetter(g)
+			q.freeGetter(g)
+		}
+	}
+	g.w = p.newWaiter(q.descGet)
+	return g
+}
+
+// freeGetter clears a getter (including its payload, so the queue does not
+// retain references) and returns it to the pool.
+func (q *Queue[T]) freeGetter(g *qGetter[T]) {
+	var zero T
+	g.w, g.v, g.ok, g.delivered = waiter{}, zero, false, false
+	q.getterPool = append(q.getterPool, g)
+}
+
+func (q *Queue[T]) newPutter(p *Proc, v T) *qPutter[T] {
+	var pu *qPutter[T]
+	if n := len(q.putterPool); n > 0 {
+		pu = q.putterPool[n-1]
+		q.putterPool = q.putterPool[:n-1]
+	} else {
+		pu = &qPutter[T]{}
+		pu.abort = func() {
+			q.removePutter(pu)
+			q.freePutter(pu)
+		}
+	}
+	pu.w = p.newWaiter(q.descPut)
+	pu.v = v
+	return pu
+}
+
+func (q *Queue[T]) freePutter(pu *qPutter[T]) {
+	var zero T
+	pu.w, pu.v, pu.accepted, pu.closed = waiter{}, zero, false, false
+	q.putterPool = append(q.putterPool, pu)
+}
 
 // Put appends v, blocking p while the queue is full. It returns ErrClosed if
 // the queue is (or becomes, while blocked) closed.
@@ -71,11 +142,13 @@ func (q *Queue[T]) Put(p *Proc, v T) error {
 		q.items = append(q.items, v)
 		return nil
 	}
-	pu := &qPutter[T]{w: p.newWaiter(fmt.Sprintf("queue:%s(put)", q.name)), v: v}
+	pu := q.newPutter(p, v)
 	q.putters = append(q.putters, pu)
-	p.abort = func() { q.removePutter(pu) }
+	p.abort = pu.abort
 	p.park()
-	if pu.closed {
+	closed := pu.closed
+	q.freePutter(pu)
+	if closed {
 		return ErrClosed
 	}
 	return nil
@@ -106,7 +179,7 @@ func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
 	p.checkKilled()
 	if len(q.items) > 0 {
 		v = q.items[0]
-		q.items = q.items[1:]
+		q.items = popFront(q.items)
 		q.refillFromPutter()
 		return v, true
 	}
@@ -119,18 +192,20 @@ func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
 	if q.closed {
 		return v, false
 	}
-	g := &qGetter[T]{w: p.newWaiter(fmt.Sprintf("queue:%s(get)", q.name))}
+	g := q.newGetter(p)
 	q.getters = append(q.getters, g)
-	p.abort = func() { q.removeGetter(g) }
+	p.abort = g.abort
 	p.park()
-	return g.v, g.ok
+	v, ok = g.v, g.ok
+	q.freeGetter(g)
+	return v, ok
 }
 
 // TryGet removes and returns the head item without blocking.
 func (q *Queue[T]) TryGet() (v T, ok bool) {
 	if len(q.items) > 0 {
 		v = q.items[0]
-		q.items = q.items[1:]
+		q.items = popFront(q.items)
 		q.refillFromPutter()
 		return v, true
 	}
@@ -178,8 +253,9 @@ func (q *Queue[T]) refillFromPutter() {
 func (q *Queue[T]) nextGetter() *qGetter[T] {
 	for len(q.getters) > 0 {
 		g := q.getters[0]
-		q.getters = q.getters[1:]
+		q.getters = popFront(q.getters)
 		if g.w.p.done || g.w.p.killed || g.delivered {
+			// Killed-while-queued getters are freed by their abort hook.
 			continue
 		}
 		return g
@@ -191,10 +267,10 @@ func (q *Queue[T]) nextPutter() *qPutter[T] {
 	for len(q.putters) > 0 {
 		pu := q.putters[0]
 		if pu.w.p.done || pu.w.p.killed || pu.accepted {
-			q.putters = q.putters[1:]
+			q.putters = popFront(q.putters)
 			continue
 		}
-		q.putters = q.putters[1:]
+		q.putters = popFront(q.putters)
 		return pu
 	}
 	return nil

@@ -65,11 +65,13 @@ type killPanic struct{ p *Proc }
 // touch shared simulation state: the kernel guarantees only one process runs
 // at a time.
 type Sim struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	yield  chan struct{}
-	rng    *rand.Rand
+	now        Time
+	seq        uint64
+	dispatched uint64
+	events     eventHeap
+	timerPool  []*timer // recycled timers; the steady state allocates none
+	yield      chan struct{}
+	rng        *rand.Rand
 
 	procs   map[int]*Proc
 	nextPID int
@@ -95,6 +97,11 @@ func New(seed int64) *Sim {
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
 
+// Dispatched returns the total number of events the kernel has executed.
+// The benchmark harness divides it by wall-clock time to report how much
+// simulated activity a real second buys.
+func (s *Sim) Dispatched() uint64 { return s.dispatched }
+
 // Rand returns the simulation's deterministic random source.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
@@ -109,15 +116,59 @@ func (s *Sim) Tracef(format string, args ...any) {
 	}
 }
 
-// At schedules fn to run at absolute virtual time t (clamped to now).
-// fn runs in scheduler context: it must not block, but it may fire events,
-// wake processes, and schedule further callbacks.
-func (s *Sim) At(t Time, fn func()) {
+// newTimer takes a timer from the pool (or allocates one) with its time and
+// sequence number set and every payload field cleared.
+func (s *Sim) newTimer(t Time) *timer {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	s.events.push(&timer{t: t, seq: s.seq, fn: fn})
+	if n := len(s.timerPool); n > 0 {
+		tm := s.timerPool[n-1]
+		s.timerPool = s.timerPool[:n-1]
+		tm.t, tm.seq = t, s.seq
+		return tm
+	}
+	return &timer{t: t, seq: s.seq}
+}
+
+// recycle clears a popped timer's payload and returns it to the pool.
+func (s *Sim) recycle(tm *timer) {
+	tm.fn, tm.p, tm.gen, tm.kind = nil, nil, 0, tkFn
+	s.timerPool = append(s.timerPool, tm)
+}
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+// fn runs in scheduler context: it must not block, but it may fire events,
+// wake processes, and schedule further callbacks.
+func (s *Sim) At(t Time, fn func()) {
+	tm := s.newTimer(t)
+	tm.fn = fn
+	s.events.push(tm)
+}
+
+// atWake schedules an allocation-free resume of p at t, honoured only if p
+// is still parked in wait generation gen when the timer fires. This is the
+// kernel's hottest scheduling path: every sleep, event fire, signal
+// broadcast and resource grant goes through it.
+func (s *Sim) atWake(t Time, p *Proc, gen uint64) {
+	tm := s.newTimer(t)
+	tm.p, tm.gen, tm.kind = p, gen, tkWake
+	s.events.push(tm)
+}
+
+// atStart schedules the first handoff to a freshly spawned process.
+func (s *Sim) atStart(p *Proc) {
+	tm := s.newTimer(s.now)
+	tm.p, tm.kind = p, tkStart
+	s.events.push(tm)
+}
+
+// atKill schedules a parked process's resume with the kill signal.
+func (s *Sim) atKill(p *Proc) {
+	tm := s.newTimer(s.now)
+	tm.p, tm.kind = p, tkKill
+	s.events.push(tm)
 }
 
 // After schedules fn to run d from now. See At for constraints on fn.
@@ -167,16 +218,7 @@ func (s *Sim) Spawn(dom *Domain, name string, fn func(p *Proc)) *Proc {
 
 	// Start event: hand control to the new process unless it was killed
 	// before it ever ran.
-	s.At(s.now, func() {
-		if p.done {
-			return
-		}
-		if p.killed {
-			s.handoff(p, resumeKill)
-			return
-		}
-		s.handoff(p, resumeRun)
-	})
+	s.atStart(p)
 	return p
 }
 
@@ -202,14 +244,51 @@ func (s *Sim) Step() (bool, error) {
 	if s.fatal != nil {
 		return false, s.fatal
 	}
-	ev := s.events.pop()
-	if ev == nil {
+	tm := s.events.pop()
+	if tm == nil {
 		return false, nil
 	}
-	if ev.t > s.now {
-		s.now = ev.t
+	if tm.t > s.now {
+		s.now = tm.t
 	}
-	ev.fn()
+	s.dispatched++
+	// Dispatch by kind, recycling the timer before the payload runs so the
+	// pool is hot for anything the payload schedules.
+	switch tm.kind {
+	case tkFn:
+		fn := tm.fn
+		s.recycle(tm)
+		fn()
+	case tkWake:
+		p, gen := tm.p, tm.gen
+		s.recycle(tm)
+		if p.done || !p.parked || p.waitGen != gen {
+			break // stale wake: the wait already completed another way
+		}
+		if p.killed {
+			s.handoff(p, resumeKill)
+			break
+		}
+		s.handoff(p, resumeRun)
+	case tkStart:
+		p := tm.p
+		s.recycle(tm)
+		if p.done {
+			break
+		}
+		if p.killed {
+			s.handoff(p, resumeKill)
+			break
+		}
+		s.handoff(p, resumeRun)
+	case tkKill:
+		p := tm.p
+		s.recycle(tm)
+		if p.done || !p.parked {
+			break
+		}
+		s.handoff(p, resumeKill)
+	}
 	if s.fatal != nil {
 		return false, s.fatal
 	}
@@ -382,38 +461,32 @@ func (p *Proc) checkKilled() {
 	}
 }
 
-// waiter represents one parked wait of a process. Stale waiters (from a wait
-// that already completed) are ignored, so a single wait may safely be woken
-// by several sources (event fire, timeout, kill).
+// waiter represents one parked wait of a process. It is a plain value —
+// primitives embed or copy it into their queues rather than allocating.
+// Stale waiters (from a wait that already completed) are ignored, so a
+// single wait may safely be woken by several sources (event fire, timeout,
+// kill).
 type waiter struct {
 	p   *Proc
 	gen uint64
 }
 
 // newWaiter begins a wait with a human-readable description (shown in
-// deadlock reports).
-func (p *Proc) newWaiter(desc string) *waiter {
+// deadlock reports). Callers should pass precomputed strings, not Sprintf
+// results — this is on every blocking path.
+func (p *Proc) newWaiter(desc string) waiter {
 	p.waitGen++
 	p.waiting = desc
-	return &waiter{p: p, gen: p.waitGen}
+	return waiter{p: p, gen: p.waitGen}
 }
 
 // wake schedules the process to resume at the current virtual time if the
 // waiter is still current. Safe to call multiple times and from scheduler
-// context.
-func (w *waiter) wake() {
-	p := w.p
-	s := p.sim
-	s.At(s.now, func() {
-		if p.done || !p.parked || p.waitGen != w.gen {
-			return
-		}
-		if p.killed {
-			s.handoff(p, resumeKill)
-			return
-		}
-		s.handoff(p, resumeRun)
-	})
+// context. Allocation-free: the resume is an inlined tkWake timer, not a
+// closure.
+func (w waiter) wake() {
+	s := w.p.sim
+	s.atWake(s.now, w.p, w.gen)
 }
 
 // park blocks the process until a waiter wakes it. It must only be called by
@@ -451,8 +524,11 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	w := p.newWaiter(fmt.Sprintf("sleep(%s)", d))
-	p.sim.At(p.sim.now.Add(d), w.wake)
+	// Inlined wait: no waiter value, no closure, no formatted description —
+	// sleep is the kernel's hottest blocking call.
+	p.waitGen++
+	p.waiting = "sleep"
+	p.sim.atWake(p.sim.now.Add(d), p, p.waitGen)
 	p.park()
 }
 
@@ -531,13 +607,7 @@ func (d *Domain) Kill() {
 		// Resume parked procs with the kill signal. Procs that have been
 		// spawned but not yet started are handled by their start event.
 		if p.parked {
-			pp := p
-			s.At(s.now, func() {
-				if pp.done || !pp.parked {
-					return
-				}
-				s.handoff(pp, resumeKill)
-			})
+			s.atKill(p)
 		}
 	}
 	if suicide {

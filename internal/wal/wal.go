@@ -154,6 +154,11 @@ type Log struct {
 	flushedSig    *sim.Signal
 	stats         *Stats
 	onDurable     func(lsn uint64) // called after flushedLSN advances
+
+	blockPool   [][]byte // written-out block images, reused by sealBlock
+	tailBuf     []byte   // persistent tail snapshot reused across forces
+	lastTailSeq uint64   // seq tailBuf holds; ^0 when tailBuf is invalid
+	lastTailOff int      // bytes of tailBuf valid for lastTailSeq
 }
 
 type sealedBlock struct {
@@ -178,10 +183,11 @@ func New(s *sim.Sim, dev disk.Device, cfg Config) (*Log, error) {
 		cfg:        cfg,
 		nBlocks:    nBlocks,
 		sectorsPer: cfg.BlockSize / dev.SectorSize(),
-		curData:    make([]byte, cfg.BlockSize),
-		curOff:     blockHdrLen,
-		flushedSig: s.NewSignal("wal.flushed"),
-		stats:      newStats(cfg.Obs.Registry()),
+		curData:     make([]byte, cfg.BlockSize),
+		curOff:      blockHdrLen,
+		flushedSig:  s.NewSignal("wal.flushed"),
+		stats:       newStats(cfg.Obs.Registry()),
+		lastTailSeq: ^uint64(0),
 	}
 	l.appendedLSN = l.lsn()
 	l.flushedLSN = l.appendedLSN
@@ -278,10 +284,9 @@ func (l *Log) Append(p *sim.Proc, typ RecType, txid uint64, payload []byte) (uin
 	binary.LittleEndian.PutUint16(h[20:], recMagic)
 	h[22] = byte(typ)
 	h[23] = 0
-	crc := crc32.NewIEEE()
-	crc.Write(h[:24])
-	crc.Write(payload)
-	binary.LittleEndian.PutUint32(h[24:], crc.Sum32())
+	crc := crc32.Update(0, crc32.IEEETable, h[:24])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(h[24:], crc)
 	copy(l.curData[l.curOff+recHdrLen:], payload)
 	l.curOff += recLen
 	l.appendedLSN = l.lsn()
@@ -290,13 +295,29 @@ func (l *Log) Append(p *sim.Proc, typ RecType, txid uint64, payload []byte) (uin
 }
 
 // sealBlock finalises the tail block and starts the next one. The sealed
-// image is kept in memory until a force writes it.
+// image is kept in memory until a force writes it; the replacement tail
+// comes from the pool of already-written block images when one is free.
 func (l *Log) sealBlock() {
 	l.finishHeader(l.curData, l.curSeq)
 	l.sealed = append(l.sealed, sealedBlock{seq: l.curSeq, data: l.curData})
 	l.curSeq++
-	l.curData = make([]byte, l.cfg.BlockSize)
+	l.curData = l.newBlock()
 	l.curOff = blockHdrLen
+}
+
+// newBlock returns a zeroed BlockSize buffer, reusing a written-out one
+// when available. Zeroing matters: Scan treats a zero record length as
+// never-written space, and stale bytes must not survive into a new block.
+func (l *Log) newBlock() []byte {
+	if n := len(l.blockPool); n > 0 {
+		b := l.blockPool[n-1]
+		l.blockPool = l.blockPool[:n-1]
+		for i := range b {
+			b[i] = 0
+		}
+		return b
+	}
+	return make([]byte, l.cfg.BlockSize)
 }
 
 func (l *Log) finishHeader(data []byte, seq uint64) {
@@ -354,9 +375,21 @@ func (l *Log) physicalForce(p *sim.Proc) error {
 	var tail []byte
 	tailSeq := l.curSeq
 	if l.curOff > blockHdrLen && target > l.flushedLSN {
-		tail = make([]byte, l.cfg.BlockSize)
-		copy(tail, l.curData)
-		l.finishHeader(tail, tailSeq)
+		// Snapshot the partial tail into the persistent buffer. If the last
+		// force snapshotted the same block, only the newly appended bytes
+		// need copying: records are append-only within a block and the
+		// header (magic, seq, CRC over those 12 bytes) is constant per seq.
+		if l.tailBuf == nil {
+			l.tailBuf = make([]byte, l.cfg.BlockSize)
+		}
+		if l.lastTailSeq == tailSeq {
+			copy(l.tailBuf[l.lastTailOff:l.curOff], l.curData[l.lastTailOff:l.curOff])
+		} else {
+			copy(l.tailBuf, l.curData)
+			l.finishHeader(l.tailBuf, tailSeq)
+		}
+		l.lastTailSeq, l.lastTailOff = tailSeq, l.curOff
+		tail = l.tailBuf
 	}
 	tr := l.cfg.Obs.Tracer()
 	forceSpan := tr.NewSpan()
@@ -373,6 +406,9 @@ func (l *Log) physicalForce(p *sim.Proc) error {
 			l.sealed = append(sealed[i:], l.sealed...)
 			return err
 		}
+		// The device copied the image during Write; the buffer is free to
+		// back a future tail block.
+		l.blockPool = append(l.blockPool, b.data)
 		l.stats.BlocksWritten.Inc()
 	}
 	if tail != nil {
@@ -436,10 +472,9 @@ func Scan(p *sim.Proc, dev disk.Device, cfg Config, fromLSN uint64) (ScanResult,
 				break
 			}
 			payload := data[off+recHdrLen : off+recLen]
-			crc := crc32.NewIEEE()
-			crc.Write(h[:24])
-			crc.Write(payload)
-			if crc.Sum32() != binary.LittleEndian.Uint32(h[24:28]) {
+			crc := crc32.Update(0, crc32.IEEETable, h[:24])
+			crc = crc32.Update(crc, crc32.IEEETable, payload)
+			if crc != binary.LittleEndian.Uint32(h[24:28]) {
 				blockTorn = true
 				break
 			}

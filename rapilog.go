@@ -28,6 +28,8 @@
 package rapilog
 
 import (
+	"io"
+
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/disk"
@@ -233,3 +235,17 @@ var Experiments = bench.All
 
 // ExperimentByID returns the experiment with the given id, or nil.
 func ExperimentByID(id string) *Experiment { return bench.ByID(id) }
+
+// Performance trajectory (the hot-path perf suite behind `rapilog-bench
+// -bench-json`).
+type (
+	// PerfSuite is one serialised run of the hot-path benchmark suite.
+	PerfSuite = bench.PerfSuite
+	// PerfCase is one measured case within a PerfSuite.
+	PerfCase = bench.PerfCase
+)
+
+// RunPerfSuite executes the fixed hot-path benchmark suite.
+func RunPerfSuite(label string, quick bool, seed int64, progress io.Writer) (*PerfSuite, error) {
+	return bench.RunPerfSuite(label, quick, seed, progress)
+}
