@@ -1,12 +1,15 @@
 // Command rapilog-fault runs destructive durability campaigns: repeated
-// guest crashes or plug-pulls under load, each followed by recovery and a
-// client-side durability audit. This is the tool behind the paper's
-// "pull the plug N times, lose nothing" claim.
+// guest crashes, plug-pulls, or media-fault windows under load, each
+// followed by recovery and a client-side durability audit. This is the tool
+// behind the paper's "pull the plug N times, lose nothing" claim.
 //
 // Usage:
 //
 //	rapilog-fault -mode rapilog -fault power-cut -trials 50
 //	rapilog-fault -mode native-async -fault guest-crash -trials 20 -per-trial
+//	rapilog-fault -mode rapilog -fault disk-error -trials 50 -err-prob 0.9
+//	rapilog-fault -mode rapilog -fault disk-error -permanent -trials 5
+//	rapilog-fault -mode rapilog -fault latency-storm -fault-window 500ms
 package main
 
 import (
@@ -19,14 +22,17 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "rapilog", "native-sync | native-async | virt-sync | rapilog")
-		engine   = flag.String("engine", "pg", "engine personality: pg | my | cx")
-		fault    = flag.String("fault", "power-cut", "power-cut | guest-crash")
-		trials   = flag.Int("trials", 20, "independent trials")
-		clients  = flag.Int("clients", 4, "clients under load during injection")
-		seed     = flag.Int64("seed", 42, "base deterministic seed")
-		perTrial = flag.Bool("per-trial", false, "print one line per trial")
-		wl       = flag.String("workload", "tpcc", "tpcc | stress")
+		mode      = flag.String("mode", "rapilog", "native-sync | native-async | virt-sync | rapilog")
+		engine    = flag.String("engine", "pg", "engine personality: pg | my | cx")
+		fault     = flag.String("fault", "power-cut", "power-cut | guest-crash | disk-error | latency-storm")
+		trials    = flag.Int("trials", 20, "independent trials")
+		clients   = flag.Int("clients", 4, "clients under load during injection")
+		seed      = flag.Int64("seed", 42, "base deterministic seed")
+		perTrial  = flag.Bool("per-trial", false, "print one line per trial")
+		wl        = flag.String("workload", "tpcc", "tpcc | stress")
+		window    = flag.Duration("fault-window", 0, "how long a media fault lasts (disk-error, latency-storm; default 300ms)")
+		errProb   = flag.Float64("err-prob", 0, "per-request write-error probability inside a disk-error window (default 0.7)")
+		permanent = flag.Bool("permanent", false, "disk-error grows a permanent bad-sector range instead (forces degraded pass-through)")
 	)
 	flag.Parse()
 
@@ -36,10 +42,13 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := rapilog.CampaignConfig{
-		Rig:     rapilog.Config{Seed: *seed, Mode: rapilog.Mode(*mode), Personality: pers},
-		Fault:   rapilog.Fault(*fault),
-		Trials:  *trials,
-		Clients: *clients,
+		Rig:            rapilog.Config{Seed: *seed, Mode: rapilog.Mode(*mode), Personality: pers},
+		Fault:          rapilog.Fault(*fault),
+		Trials:         *trials,
+		Clients:        *clients,
+		FaultWindow:    *window,
+		MediaErrProb:   *errProb,
+		PermanentFault: *permanent,
 	}
 	if *wl == "stress" {
 		cfg.NewWorkload = func() rapilog.Workload { return &rapilog.Stress{} }
@@ -47,13 +56,15 @@ func main() {
 
 	sum := rapilog.RunCampaign(cfg)
 	if *perTrial {
-		fmt.Printf("%-6s %-12s %-8s %-8s %-6s %-8s\n", "trial", "seed", "acked", "lost", "torn", "err")
+		fmt.Printf("%-6s %-12s %-8s %-8s %-6s %-9s %-10s %-8s\n",
+			"trial", "seed", "acked", "lost", "torn", "degraded", "stranded", "err")
 		for i, tr := range sum.Trials {
 			errStr := "-"
 			if tr.Err != nil {
 				errStr = tr.Err.Error()
 			}
-			fmt.Printf("%-6d %-12d %-8d %-8d %-6v %-8s\n", i, tr.Seed, tr.Acked, tr.Missing, tr.Torn, errStr)
+			fmt.Printf("%-6d %-12d %-8d %-8d %-6v %-9v %-10d %-8s\n",
+				i, tr.Seed, tr.Acked, tr.Missing, tr.Torn, tr.Degraded, tr.BufferedAfter, errStr)
 		}
 	}
 	fmt.Println(sum)

@@ -94,6 +94,7 @@ var All = []Experiment{
 	{"a5", "TPC-B (pgbench) throughput vs clients", runA5},
 	{"a6", "hardware alternatives: NVRAM log vs RapiLog", runA6},
 	{"a7", "recovery time vs checkpoint age", runA7},
+	{"a8", "media faults under load: retry, degrade, lose nothing", runA8},
 }
 
 // ByID returns the experiment with the given id, or nil.

@@ -213,7 +213,7 @@ func TestShapeA3SizingRuleMatters(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(All) != 17 {
+	if len(All) != 18 {
 		t.Fatalf("experiment count %d", len(All))
 	}
 	seen := map[string]bool{}
@@ -293,5 +293,33 @@ func TestShapeA7RecoveryCost(t *testing.T) {
 	if never < v(t, rep, "1s/redone") || never < v(t, rep, "5s/redone") {
 		t.Errorf("checkpointing did not reduce redo work: never=%.0f 5s=%.0f 1s=%.0f",
 			never, v(t, rep, "5s/redone"), v(t, rep, "1s/redone"))
+	}
+}
+
+func TestShapeA8MediaFaults(t *testing.T) {
+	rep := runExp(t, "a8")
+	for _, label := range []string{"transient-errors", "latency-storm", "permanent-defect"} {
+		if lost := v(t, rep, label+"/lost"); lost != 0 {
+			t.Errorf("%s: %.0f acked commits lost", label, lost)
+		}
+		if viol := v(t, rep, label+"/violations"); viol != 0 {
+			t.Errorf("%s: %.0f violating trials", label, viol)
+		}
+		if v(t, rep, label+"/acked") == 0 {
+			t.Errorf("%s: no commits acked, campaign proves nothing", label)
+		}
+	}
+	// Faults that clear must leave no backlog and no lingering degradation.
+	for _, label := range []string{"transient-errors", "latency-storm"} {
+		if s := v(t, rep, label+"/max_stranded_bytes"); s != 0 {
+			t.Errorf("%s: %.0f bytes still stranded after the fault cleared", label, s)
+		}
+		if d := v(t, rep, label+"/degraded_trials"); d != 0 {
+			t.Errorf("%s: %.0f trials still degraded after the fault cleared", label, d)
+		}
+	}
+	// A defect that never clears must degrade every trial.
+	if d := v(t, rep, "permanent-defect/degraded_trials"); d == 0 {
+		t.Error("permanent-defect: no trial degraded (fault never bit?)")
 	}
 }

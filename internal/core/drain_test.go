@@ -128,16 +128,17 @@ func TestAbsorptionMismatchedSizes(t *testing.T) {
 	}
 }
 
-// TestThrottledWriterReleasesOnEmergency pins the buffer-accounting fix for
-// the interleaving where a throttled writer is granted space and the
-// power-fail interrupt fires before it runs: the writer must hand the grant
-// back before parking forever, or those bytes leak from the budget.
-func TestThrottledWriterReleasesOnEmergency(t *testing.T) {
+// TestThrottledWriterParksOnEmergency pins the interleaving where a
+// throttled writer is woken by a space broadcast and the power-fail
+// interrupt fires in the same instant, before the writer runs: the writer
+// must park forever without inserting its entry — the accounting stays at
+// exactly the bytes the emergency dump snapshotted.
+func TestThrottledWriterParksOnEmergency(t *testing.T) {
 	r := newRig(t, 1, power.PSUMeasured, Config{MaxBuffer: 16384})
 	// No drainer: nothing leaves the buffer, so occupancy is exact.
 	r.hvDom.Kill()
 	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
-		p.SetDaemon(true) // parks forever once the emergency is declared
+		p.SetDaemon(true)               // parks forever once the emergency is declared
 		for i := int64(0); i < 5; i++ { // fifth write throttles on a full buffer
 			_ = r.l.Write(p, i*8, pattern(4096, byte(i)), false)
 		}
@@ -148,21 +149,24 @@ func TestThrottledWriterReleasesOnEmergency(t *testing.T) {
 	if th := r.l.RapiStats().Throttled.Value(); th != 1 {
 		t.Fatalf("throttled = %d, want 1", th)
 	}
-	if avail := r.l.space.Available(); avail != 0 {
-		t.Fatalf("space available = %d, want 0 (buffer full)", avail)
+	if occ := r.l.BufferedBytes(); occ != 16384 {
+		t.Fatalf("buffered = %d, want 16384 (buffer full)", occ)
 	}
-	// Scheduler callback: grant the throttled writer its space and declare
-	// the emergency in the same instant, before the writer can run.
+	// Scheduler callback: wake the throttled writer and declare the
+	// emergency in the same instant, before the writer can run.
 	r.s.After(0, func() {
-		r.l.space.Release(4096)
 		r.l.emergency = true
+		r.l.spaceSig.Broadcast()
 	})
 	if err := r.s.RunFor(time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	// The writer woke holding 4096 granted bytes, saw the emergency, and
-	// must have released them back before parking.
-	if avail := r.l.space.Available(); avail != 4096 {
-		t.Fatalf("space available = %d after emergency, want 4096 (grant leaked)", avail)
+	// The writer woke into the emergency and parked; its entry must not
+	// have been inserted nor the accounting disturbed.
+	if occ := r.l.BufferedBytes(); occ != 16384 {
+		t.Fatalf("buffered = %d after emergency, want 16384", occ)
+	}
+	if w := r.l.RapiStats().Writes.Value(); w != 4 {
+		t.Fatalf("acknowledged writes = %d, want 4 (throttled write must never ack)", w)
 	}
 }

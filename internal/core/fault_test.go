@@ -1,0 +1,308 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// faultRig is a rig whose log partition sits behind a disk.Faulty wrapper,
+// mirroring how internal/rig wires LogFault.
+type faultRig struct {
+	*rig
+	flt *disk.Faulty
+}
+
+func newFaultRig(t *testing.T, seed int64, cfg Config) *faultRig {
+	t.Helper()
+	s := sim.New(seed)
+	m := power.NewMachine(s, "m0", 4, power.PSUMeasured)
+	hdd := disk.NewHDD(s, m.HardwareDomain(), disk.HDDConfig{})
+	m.AttachDevice(hdd)
+	logPart, err := disk.NewPartition(hdd, "log", 0, 262144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, err := disk.NewPartition(hdd, "dump", 262144, 262144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flt := disk.NewFaulty(logPart, disk.FaultConfig{Seed: seed + 1})
+	hvDom := m.NewDomain("hv")
+	guest := m.NewDomain("guest")
+	l, err := NewLogger(m, hvDom, flt, dump, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &faultRig{
+		rig: &rig{s: s, m: m, hdd: hdd, logPart: logPart, dump: dump, hvDom: hvDom, guest: guest, l: l},
+		flt: flt,
+	}
+}
+
+// TestTransientDrainErrorRetriesWithoutDegrading opens a short window of
+// certain write failure. The drainer's backoff must outlive the window, land
+// every entry, release throttled writers, and never enter degraded mode.
+func TestTransientDrainErrorRetriesWithoutDegrading(t *testing.T) {
+	// Retry budget: attempts at 0, 2, 6, 14, 30, 62 ms — the fault clears at
+	// 10ms, inside the budget.
+	r := newFaultRig(t, 1, Config{MaxBuffer: 16384})
+	r.flt.SetErrorProbs(0, 1)
+	r.s.After(10*time.Millisecond, func() { r.flt.SetErrorProbs(0, 0) })
+	writes := 8 // twice the buffer bound: the later writers must throttle
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		for i := 0; i < writes; i++ {
+			if err := r.l.Write(p, int64(i*8), pattern(4096, byte(i+1)), false); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+		}
+	})
+	if err := r.s.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := r.l.RapiStats()
+	if st.BackingRetries.Value() == 0 {
+		t.Fatal("fault window open but no backing retries counted")
+	}
+	if st.Degradations.Value() != 0 {
+		t.Fatalf("degradations = %d, want 0 (fault cleared inside retry budget)", st.Degradations.Value())
+	}
+	if w := st.Writes.Value(); w != int64(writes) {
+		t.Fatalf("writes acked = %d, want %d (throttled writer stranded by the fault?)", w, writes)
+	}
+	if occ := r.l.BufferedBytes(); occ != 0 {
+		t.Fatalf("buffer not drained after fault cleared: %d bytes", occ)
+	}
+	r.s.Spawn(r.guest, "check", func(p *sim.Proc) {
+		for i := 0; i < writes; i++ {
+			got, err := r.logPart.Read(p, int64(i*8), 8)
+			if err != nil || !bytes.Equal(got, pattern(4096, byte(i+1))) {
+				t.Errorf("entry %d not intact on media after retried drain", i)
+				return
+			}
+		}
+	})
+	if err := r.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPermanentFaultDegradesAndRestores grows a bad-sector range under one
+// buffered entry. The drain budget exhausts, the device degrades to
+// synchronous pass-through (which must still be durable and must patch the
+// stranded buffered copies), and when the range is repaired the probe drains
+// the backlog and restores buffered service.
+func TestPermanentFaultDegradesAndRestores(t *testing.T) {
+	r := newFaultRig(t, 2, Config{
+		DrainRetryLimit: 3,
+		DrainRetryBase:  time.Millisecond,
+		DrainProbeEvery: 50 * time.Millisecond,
+	})
+	r.flt.AddBadRange(0, 64, false) // writes into LBAs 0..64 fail forever
+	oldB := pattern(4096, 2)
+	newB := pattern(4096, 3)
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		// Entry A sits in the bad range; entry B on good sectors. One failed
+		// run fails the whole round, so both stay stranded together.
+		if err := r.l.Write(p, 0, pattern(4096, 1), false); err != nil {
+			t.Errorf("write A: %v", err)
+		}
+		if err := r.l.Write(p, 1000, oldB, false); err != nil {
+			t.Errorf("write B: %v", err)
+		}
+		p.Sleep(100 * time.Millisecond) // budget is ~3ms; plenty to degrade
+		if !r.l.IsDegraded() {
+			t.Error("retry budget exhausted but logger not degraded")
+			return
+		}
+		if r.l.State() != StateDegraded {
+			t.Errorf("state = %v, want degraded", r.l.State())
+		}
+		// Degraded write to a good LBA overlapping stranded B: must go
+		// through synchronously AND patch B's buffered copy so neither the
+		// probe rewrite nor the emergency dump can resurrect stale bytes.
+		if err := r.l.Write(p, 1000, newB, false); err != nil {
+			t.Errorf("pass-through write: %v", err)
+			return
+		}
+		onDisk, err := r.logPart.Read(p, 1000, 8)
+		if err != nil || !bytes.Equal(onDisk, newB) {
+			t.Error("pass-through write not on media before ack")
+		}
+		// Reads while degraded still see the stranded entries, newest wins.
+		got, err := r.l.Read(p, 0, 8)
+		if err != nil || !bytes.Equal(got, pattern(4096, 1)) {
+			t.Error("stranded entry A not visible through the overlay")
+		}
+		got, err = r.l.Read(p, 1000, 8)
+		if err != nil || !bytes.Equal(got, newB) {
+			t.Error("read of patched entry B did not return the newest data")
+		}
+		// Repair the media; the probe must drain the backlog and restore.
+		r.flt.ClearBadRanges()
+	})
+	if err := r.s.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := r.l.RapiStats()
+	if st.Degradations.Value() != 1 {
+		t.Fatalf("degradations = %d, want 1", st.Degradations.Value())
+	}
+	if st.PassThrough.Value() != 1 {
+		t.Fatalf("pass-through writes = %d, want 1", st.PassThrough.Value())
+	}
+	if st.Restores.Value() != 1 {
+		t.Fatalf("restores = %d, want 1 (probe never drained the backlog?)", st.Restores.Value())
+	}
+	if r.l.IsDegraded() || r.l.State() != StateNormal {
+		t.Fatal("logger still degraded after backlog drained")
+	}
+	if occ := r.l.BufferedBytes(); occ != 0 {
+		t.Fatalf("stranded bytes remain after restore: %d", occ)
+	}
+	r.s.Spawn(r.guest, "check", func(p *sim.Proc) {
+		got, err := r.logPart.Read(p, 0, 8)
+		if err != nil || !bytes.Equal(got, pattern(4096, 1)) {
+			t.Error("entry A not on media after repair")
+		}
+		got, err = r.logPart.Read(p, 1000, 8)
+		if err != nil || !bytes.Equal(got, newB) {
+			t.Error("media at B holds stale data (patchPending missed the probe rewrite)")
+		}
+	})
+	if err := r.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flakyDev fails the first failN writes with a wrapped transient (or
+// permanent) error, then behaves normally. Deterministic by construction.
+type flakyDev struct {
+	disk.Device
+	failN   int
+	failErr error
+	fails   int
+}
+
+func (f *flakyDev) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
+	if f.failN > 0 {
+		f.failN--
+		f.fails++
+		return fmt.Errorf("flaky: %w", f.failErr)
+	}
+	return f.Device.Write(p, lba, data, fua)
+}
+
+// emergencyRig builds a rig whose dump zone is wrapped in a flakyDev.
+func emergencyRig(t *testing.T, seed int64, fd *flakyDev) *rig {
+	t.Helper()
+	s := sim.New(seed)
+	m := power.NewMachine(s, "m0", 4, power.PSUMeasured)
+	hdd := disk.NewHDD(s, m.HardwareDomain(), disk.HDDConfig{})
+	m.AttachDevice(hdd)
+	logPart, err := disk.NewPartition(hdd, "log", 0, 262144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, err := disk.NewPartition(hdd, "dump", 262144, 262144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.Device = dump
+	hvDom := m.NewDomain("hv")
+	guest := m.NewDomain("guest")
+	l, err := NewLogger(m, hvDom, logPart, fd, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{s: s, m: m, hdd: hdd, logPart: logPart, dump: dump, hvDom: hvDom, guest: guest, l: l}
+}
+
+// TestEmergencyDumpRetriesTransientError: the dump write fails transiently a
+// few times inside the hold-up budget; the dump must still land and recovery
+// must replay it in full.
+func TestEmergencyDumpRetriesTransientError(t *testing.T) {
+	fd := &flakyDev{failN: 3, failErr: disk.ErrIO}
+	r := emergencyRig(t, 8, fd)
+	payload := pattern(8192, 0x5a)
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		if err := r.l.Write(p, 64, payload, false); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		r.m.CutPower()
+		p.Sleep(time.Hour)
+	})
+	var rep RecoveryReport
+	var got []byte
+	r.s.Spawn(nil, "operator", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		r.m.RestorePower()
+		boot := r.s.NewDomain("boot")
+		r.s.Spawn(boot, "recover", func(p *sim.Proc) {
+			var err error
+			rep, err = Recover(p, r.logPart, r.dump)
+			if err != nil {
+				t.Errorf("recover: %v", err)
+				return
+			}
+			got, _ = r.logPart.Read(p, 64, 16)
+		})
+	})
+	if err := r.s.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := r.l.RapiStats()
+	if st.DumpRetries.Value() != 3 {
+		t.Fatalf("dump retries = %d, want 3", st.DumpRetries.Value())
+	}
+	if st.DumpFailures.Value() != 0 {
+		t.Fatalf("dump failures = %d, want 0", st.DumpFailures.Value())
+	}
+	if !rep.HadDump || rep.Torn {
+		t.Fatalf("dump not recovered intact (HadDump=%v Torn=%v)", rep.HadDump, rep.Torn)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("acked write lost despite retried dump")
+	}
+}
+
+// TestEmergencyDumpPermanentFailureIsCounted: a permanent dump-zone error is
+// surrendered immediately and shows up as DumpFailures, with no dump header
+// on media — distinct from a torn dump.
+func TestEmergencyDumpPermanentFailureIsCounted(t *testing.T) {
+	fd := &flakyDev{failN: 1 << 30, failErr: disk.ErrOutOfRange} // permanent
+	r := emergencyRig(t, 9, fd)
+	r.s.Spawn(r.guest, "db", func(p *sim.Proc) {
+		_ = r.l.Write(p, 0, pattern(4096, 1), false)
+		r.m.CutPower()
+		p.Sleep(time.Hour)
+	})
+	var rep RecoveryReport
+	r.s.Spawn(nil, "operator", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		r.m.RestorePower()
+		boot := r.s.NewDomain("boot")
+		r.s.Spawn(boot, "recover", func(p *sim.Proc) {
+			rep, _ = Recover(p, r.logPart, r.dump)
+		})
+	})
+	if err := r.s.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := r.l.RapiStats()
+	if st.DumpFailures.Value() != 1 {
+		t.Fatalf("dump failures = %d, want 1", st.DumpFailures.Value())
+	}
+	if fd.fails != 1 {
+		t.Fatalf("dump write attempted %d times, want 1 (permanent errors must not burn the budget)", fd.fails)
+	}
+	if rep.HadDump {
+		t.Fatal("recovery found a dump the failed write should never have produced")
+	}
+}

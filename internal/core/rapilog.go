@@ -45,6 +45,42 @@ var (
 	ErrZoneSmall = errors.New("rapilog: dump zone smaller than the buffer bound")
 )
 
+// errHalted distinguishes "the machine is dying" from media faults inside
+// the drain machinery: it is never retried and never degrades the device —
+// the emergency dump owns whatever remains.
+var errHalted = errors.New("rapilog: halted by power failure")
+
+// State is the Logger's service mode.
+type State int
+
+// Logger states.
+const (
+	// StateNormal: writes are buffered and acknowledged at copy speed.
+	StateNormal State = iota
+	// StateDegraded: the drain's retry budget ran out. Writes pass through
+	// to the backing device synchronously (FUA) — durability is preserved
+	// at the old latency instead of silently lost. Already-acknowledged
+	// entries stay buffered; a probe keeps re-trying them and the device
+	// returns to StateNormal once they land.
+	StateDegraded
+	// StateHalted: the power-fail interrupt fired; the device has stopped
+	// acknowledging and the dump zone owns the buffer.
+	StateHalted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNormal:
+		return "normal"
+	case StateDegraded:
+		return "degraded"
+	case StateHalted:
+		return "halted"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
 // Config parameterises a Logger.
 type Config struct {
 	Name string
@@ -62,6 +98,16 @@ type Config struct {
 	// AckOverhead is the fixed cost of the buffered-write path (request
 	// validation, bookkeeping); default 2µs.
 	AckOverhead time.Duration
+	// DrainRetryLimit bounds how many times one backing write is attempted
+	// before the Logger gives up on the drain and degrades; default 6.
+	DrainRetryLimit int
+	// DrainRetryBase/DrainRetryCap shape the exponential backoff between
+	// attempts (base, base·2, base·4, … capped); defaults 2ms / 256ms.
+	DrainRetryBase time.Duration
+	DrainRetryCap  time.Duration
+	// DrainProbeEvery is how often a degraded Logger re-tries its stranded
+	// batch, hoping the fault cleared; default 1s.
+	DrainProbeEvery time.Duration
 	// Obs, when set, registers the Logger's instruments centrally and
 	// traces the buffer lifecycle (hv_ack through durable/dump_done) —
 	// the events the durability-exposure audit replays.
@@ -81,6 +127,18 @@ func (c *Config) applyDefaults() {
 	if c.AckOverhead == 0 {
 		c.AckOverhead = 2 * time.Microsecond
 	}
+	if c.DrainRetryLimit == 0 {
+		c.DrainRetryLimit = 6
+	}
+	if c.DrainRetryBase == 0 {
+		c.DrainRetryBase = 2 * time.Millisecond
+	}
+	if c.DrainRetryCap == 0 {
+		c.DrainRetryCap = 256 * time.Millisecond
+	}
+	if c.DrainProbeEvery == 0 {
+		c.DrainProbeEvery = time.Second
+	}
 }
 
 // Stats exposes the Logger's own counters (distinct from the backing
@@ -96,6 +154,16 @@ type Stats struct {
 	AckLatency    *metrics.Histogram // guest-visible write latency
 	EmergencyRuns *metrics.Counter
 	DumpedBytes   *metrics.Counter
+
+	// Media-fault path.
+	BackingRetries *metrics.Counter   // backing writes retried after a transient error
+	Degradations   *metrics.Counter   // times the drain gave up and went pass-through
+	Restores       *metrics.Counter   // times a degraded logger drained clean and recovered
+	PassThrough    *metrics.Counter   // synchronous writes served while degraded
+	PassLatency    *metrics.Histogram // guest-visible latency of those writes
+	Degraded       *metrics.Gauge     // 1 while in pass-through
+	DumpRetries    *metrics.Counter   // emergency-dump writes retried inside the hold-up window
+	DumpFailures   *metrics.Counter   // emergency dumps that never made it to the zone
 }
 
 func newStats(reg *obs.Registry, name string) *Stats {
@@ -110,6 +178,15 @@ func newStats(reg *obs.Registry, name string) *Stats {
 		AckLatency:    reg.Histogram(name + ".ack_latency"),
 		EmergencyRuns: reg.Counter(name + ".emergency_runs"),
 		DumpedBytes:   reg.Counter(name + ".dumped_bytes"),
+
+		BackingRetries: reg.Counter(name + ".backing_retries"),
+		Degradations:   reg.Counter(name + ".degradations"),
+		Restores:       reg.Counter(name + ".restores"),
+		PassThrough:    reg.Counter(name + ".pass_through_writes"),
+		PassLatency:    reg.Histogram(name + ".pass_through_latency"),
+		Degraded:       reg.Gauge(name + ".degraded"),
+		DumpRetries:    reg.Counter(name + ".dump_retries"),
+		DumpFailures:   reg.Counter(name + ".dump_failures"),
 	}
 }
 
@@ -135,13 +212,17 @@ type Logger struct {
 	dump    disk.Device // reserved emergency dump zone
 	stats   *Stats
 
-	space     *sim.Resource    // bytes of buffer budget
+	buffered  int64            // bytes buffered; bounded by cfg.MaxBuffer
+	spaceSig  *sim.Signal      // broadcast when buffered shrinks or the mode changes
 	pending   []*entry         // FIFO, including the batch being drained
 	draining  int              // entries at the head currently being drained
 	absorb    map[int64]*entry // pending (not draining) entries by lba, for write absorption
 	dirtySig  *sim.Signal
+	degraded  bool
 	emergency bool
-	never     *sim.Event // parked on by writers after emergency starts
+	never     *sim.Event  // parked on by writers after emergency starts
+	ioBusy    bool        // a logger-initiated backing write is in flight
+	ioSig     *sim.Signal // broadcast when ioBusy clears
 
 	entryPool []*entry         // retired entry headers, reused by Write
 	bufPool   map[int][][]byte // retired payload buffers by size class (exact length)
@@ -205,12 +286,18 @@ func NewLogger(m *power.Machine, hvDom *sim.Domain, backing, dumpZone disk.Devic
 		backing:  backing,
 		dump:     dumpZone,
 		stats:    newStats(cfg.Obs.Registry(), cfg.Name),
-		space:    s.NewResource(cfg.Name+".space", cfg.MaxBuffer),
 		absorb:   make(map[int64]*entry),
 		bufPool:  make(map[int][][]byte),
 		dirtySig: s.NewSignal(cfg.Name + ".dirty"),
+		spaceSig: s.NewSignal(cfg.Name + ".space"),
+		ioSig:    s.NewSignal(cfg.Name + ".io"),
 		never:    s.NewEvent(cfg.Name + ".halted"),
 	}
+	// The registry hands back the same instruments across logger rebuilds
+	// (a new power epoch reuses the names); the point-in-time gauges must
+	// restart with this logger's actual — empty — buffer.
+	l.stats.Occupancy.Set(0)
+	l.stats.Degraded.Set(0)
 	l.spawnDrainer(hvDom)
 	m.AddPowerFailHandler(func(p *sim.Proc) { l.EmergencyFlush(p) })
 	return l, nil
@@ -262,7 +349,22 @@ func (l *Logger) tracer() *obs.Tracer { return l.cfg.Obs.Tracer() }
 func (l *Logger) MaxBuffer() int64 { return l.cfg.MaxBuffer }
 
 // BufferedBytes returns the bytes currently buffered.
-func (l *Logger) BufferedBytes() int64 { return l.stats.Occupancy.Value() }
+func (l *Logger) BufferedBytes() int64 { return l.buffered }
+
+// State returns the Logger's current service mode.
+func (l *Logger) State() State {
+	switch {
+	case l.emergency:
+		return StateHalted
+	case l.degraded:
+		return StateDegraded
+	default:
+		return StateNormal
+	}
+}
+
+// IsDegraded reports whether the Logger is in synchronous pass-through.
+func (l *Logger) IsDegraded() bool { return l.degraded }
 
 // Name implements disk.Device.
 func (l *Logger) Name() string { return l.cfg.Name }
@@ -287,6 +389,8 @@ func (l *Logger) Stats() *disk.Stats { return l.backing.Stats() }
 // only when the buffer bound is reached (throttling) — and, after a
 // power-fail interrupt, forever: the device has stopped acknowledging, so
 // nothing the guest does in its last milliseconds can be half-promised.
+// While degraded, writes instead pass through to the backing device
+// synchronously — slow, but never acknowledged before they are durable.
 func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
 	if l.emergency {
 		l.never.Wait(p) // parks until the machine dies
@@ -297,6 +401,9 @@ func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
 	}
 	if lba < 0 || lba+int64(nsec) > l.Sectors() {
 		return fmt.Errorf("%w: lba=%d nsec=%d cap=%d", disk.ErrOutOfRange, lba, nsec, l.Sectors())
+	}
+	if l.degraded {
+		return l.passthroughWrite(p, lba, data)
 	}
 	if int64(len(data)) > l.cfg.MaxBuffer {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(data), l.cfg.MaxBuffer)
@@ -317,17 +424,23 @@ func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
 		return nil
 	}
 
-	if !l.space.TryAcquire(p, int64(len(data))) {
+	need := int64(len(data))
+	if l.buffered+need > l.cfg.MaxBuffer {
 		l.stats.Throttled.Inc()
-		l.tracer().Emit(p.Now().Duration(), obs.EvHvThrottle, 0, 0, lba, int64(len(data)))
-		l.space.Acquire(p, int64(len(data)))
-	}
-	if l.emergency {
-		// The power-fail interrupt arrived while we were throttled. The
-		// device has stopped acknowledging; give the acquired budget back
-		// before parking forever, or the accounting leaks those bytes.
-		l.space.Release(int64(len(data)))
-		l.never.Wait(p)
+		l.tracer().Emit(p.Now().Duration(), obs.EvHvThrottle, 0, 0, lba, need)
+		for l.buffered+need > l.cfg.MaxBuffer {
+			l.spaceSig.Wait(p)
+			if l.emergency {
+				// The power-fail interrupt arrived while we were
+				// throttled: the device has stopped acknowledging.
+				l.never.Wait(p)
+			}
+			if l.degraded {
+				// The drain gave up while we were parked; no space will
+				// free at buffered speed. Take the synchronous path.
+				return l.passthroughWrite(p, lba, data)
+			}
+		}
 	}
 	e := l.getEntry()
 	e.lba = lba
@@ -339,7 +452,8 @@ func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
 	l.tracer().Emit(p.Now().Duration(), obs.EvHvAck, e.span, 0, lba, int64(len(data)))
 	l.pending = append(l.pending, e)
 	l.absorb[lba] = e
-	l.stats.Occupancy.Add(int64(len(data)))
+	l.buffered += need
+	l.stats.Occupancy.Add(need)
 	l.dirtySig.Broadcast()
 
 	// The guest-visible cost: fixed overhead plus the memory copy.
@@ -347,6 +461,96 @@ func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
 	l.stats.Writes.Inc()
 	l.stats.AckLatency.Observe(p.Now().Sub(start))
 	return nil
+}
+
+// passthroughWrite is the degraded-mode write path: durability before
+// acknowledgement, at the backing device's own speed. Overlapping buffered
+// entries are patched in place first, so the newest bytes win everywhere
+// the buffer is still consulted — the read overlay, the probe drain, and
+// the emergency dump image.
+func (l *Logger) passthroughWrite(p *sim.Proc, lba int64, data []byte) error {
+	start := p.Now()
+	l.patchPending(lba, data)
+	l.acquireIO(p)
+	err := l.writeBackingRetry(p, lba, data)
+	l.releaseIO()
+	if errors.Is(err, errHalted) {
+		l.never.Wait(p)
+	}
+	if err != nil {
+		return fmt.Errorf("rapilog: degraded pass-through write at lba %d: %w", lba, err)
+	}
+	l.stats.PassThrough.Inc()
+	l.stats.PassLatency.Observe(p.Now().Sub(start))
+	return nil
+}
+
+// patchPending copies data over every overlapping buffered entry. Called
+// before a degraded pass-through write lands, it keeps the invariant that
+// buffered copies are never older than the media they shadow.
+func (l *Logger) patchPending(lba int64, data []byte) {
+	ss := int64(l.SectorSize())
+	lo, hi := lba, lba+int64(len(data))/ss
+	for _, e := range l.pending {
+		elo := e.lba
+		ehi := e.lba + int64(len(e.data))/ss
+		s0, s1 := lo, hi
+		if elo > s0 {
+			s0 = elo
+		}
+		if ehi < s1 {
+			s1 = ehi
+		}
+		if s0 >= s1 {
+			continue
+		}
+		copy(e.data[(s0-elo)*ss:(s1-elo)*ss], data[(s0-lo)*ss:(s1-lo)*ss])
+	}
+}
+
+// acquireIO serialises logger-initiated backing writes: the degraded
+// pass-through path and the probe drain must not interleave, or a stale
+// coalesced batch could land after (and over) a newer synchronous write.
+func (l *Logger) acquireIO(p *sim.Proc) {
+	for l.ioBusy {
+		l.ioSig.Wait(p)
+	}
+	l.ioBusy = true
+}
+
+func (l *Logger) releaseIO() {
+	l.ioBusy = false
+	l.ioSig.Broadcast()
+}
+
+// writeBackingRetry writes one FUA request to the backing device, riding
+// out transient media errors with bounded exponential backoff on virtual
+// time. It returns nil on success, errHalted when the machine is dying
+// (power loss or the emergency already declared), or the final classified
+// error once the retry budget is spent.
+func (l *Logger) writeBackingRetry(p *sim.Proc, lba int64, data []byte) error {
+	delay := l.cfg.DrainRetryBase
+	for attempt := 1; ; attempt++ {
+		err := l.backing.Write(p, lba, data, true)
+		if err == nil {
+			return nil
+		}
+		if l.emergency || errors.Is(err, disk.ErrNoPower) {
+			return errHalted
+		}
+		if attempt >= l.cfg.DrainRetryLimit || !disk.IsTransient(err) {
+			return err
+		}
+		l.stats.BackingRetries.Inc()
+		l.tracer().Emit(p.Now().Duration(), obs.EvDrainError, 0, 0, lba, int64(attempt))
+		p.Sleep(delay)
+		if l.emergency {
+			return errHalted
+		}
+		if delay *= 2; delay > l.cfg.DrainRetryCap {
+			delay = l.cfg.DrainRetryCap
+		}
+	}
 }
 
 // Flush implements disk.Device: a no-op. Acknowledged log data is already
@@ -395,6 +599,13 @@ func (l *Logger) Read(p *sim.Proc, lba int64, nsec int) ([]byte, error) {
 // into streaming writes. FUA bypasses the physical disk's volatile cache —
 // RapiLog's durability promise must not silently rest on another volatile
 // buffer.
+//
+// A failed backing write is retried with bounded exponential backoff
+// (writeBackingRetry). Power loss ends the daemon — the emergency dump
+// owns the buffer. A media fault that outlives the retry budget degrades
+// the device instead: the daemon stays armed, probing the stranded batch
+// at a gentle cadence, and restores buffered service the moment the
+// backlog finally lands.
 func (l *Logger) spawnDrainer(hvDom *sim.Domain) {
 	l.s.Spawn(hvDom, l.cfg.Name+".drain", func(p *sim.Proc) {
 		p.SetDaemon(true)
@@ -403,76 +614,130 @@ func (l *Logger) spawnDrainer(hvDom *sim.Domain) {
 				return // the emergency dump owns the buffer now
 			}
 			if len(l.pending) == 0 {
+				if l.degraded {
+					l.restore(p)
+				}
 				l.dirtySig.Wait(p)
 				continue
 			}
-			batch := len(l.pending)
-			if batch > l.cfg.DrainBatch {
-				batch = l.cfg.DrainBatch
-			}
-			l.draining = batch
-			// Entries entering the drain can no longer be absorbed into.
-			batchBytes := int64(0)
-			for _, e := range l.pending[:batch] {
-				if l.absorb[e.lba] == e {
-					delete(l.absorb, e.lba)
+			err := l.drainRound(p)
+			switch {
+			case err == nil:
+			case errors.Is(err, errHalted):
+				return
+			default:
+				// Retry budget spent (or a permanent media error). Degrade
+				// rather than strand acknowledged bytes silently, then keep
+				// probing: a cleared fault lets the backlog drain and the
+				// device return to normal service.
+				if !l.degraded {
+					l.degrade(p, err)
 				}
-				batchBytes += int64(len(e.data))
+				l.dirtySig.WaitTimeout(p, l.cfg.DrainProbeEvery)
 			}
-			l.tracer().Emit(p.Now().Duration(), obs.EvDrainStart, l.tracer().NewSpan(), 0, int64(batch), batchBytes)
-			drained := int64(0)
-			i := 0
-			for i < batch {
-				// Coalesce the contiguous run starting at i into the
-				// persistent scratch buffer (devices copy the data during
-				// the Write call, so the buffer is free again on return).
-				data := l.scratch[:0]
-				next := l.pending[i].lba
-				j := i
-				for j < batch && l.pending[j].lba == next {
-					data = append(data, l.pending[j].data...)
-					next += int64(len(l.pending[j].data)) / int64(l.SectorSize())
-					j++
-				}
-				l.scratch = data[:0]
-				if err := l.backing.Write(p, l.pending[i].lba, data, true); err != nil {
-					// Backing failure (power dying): stop; the emergency
-					// path or the dump recovery owns what remains.
-					l.draining = 0
-					return
-				}
-				if l.emergency {
-					// The power-fail interrupt fired during the write and
-					// snapshotted pending — the dump owns those buffers
-					// now; retiring them here would recycle live memory.
-					l.draining = 0
-					return
-				}
-				for _, e := range l.pending[i:j] {
-					drained += int64(len(e.data))
-					l.tracer().Emit(p.Now().Duration(), obs.EvDurable, 0, e.span, e.lba, int64(len(e.data)))
-				}
-				i = j
-			}
-			// Retire the batch: entries and their payload buffers return to
-			// the pools for the next writes, space is released, stats move.
-			// The survivors shift down so the backing array is reused rather
-			// than abandoned one batch at a time.
-			for _, e := range l.pending[:batch] {
-				l.putEntry(e)
-			}
-			rest := copy(l.pending, l.pending[batch:])
-			for k := rest; k < len(l.pending); k++ {
-				l.pending[k] = nil
-			}
-			l.pending = l.pending[:rest]
-			l.draining = 0
-			l.space.Release(drained)
-			l.stats.Occupancy.Add(-drained)
-			l.stats.DrainRounds.Inc()
-			l.stats.DrainedBytes.Add(drained)
 		}
 	})
+}
+
+// drainRound drains one batch from the head of the FIFO. On success the
+// batch is retired and space released; on failure everything stays pending
+// (writes are idempotent — a later round simply re-lands the same sectors).
+func (l *Logger) drainRound(p *sim.Proc) error {
+	batch := len(l.pending)
+	if batch > l.cfg.DrainBatch {
+		batch = l.cfg.DrainBatch
+	}
+	l.draining = batch
+	// Entries entering the drain can no longer be absorbed into.
+	batchBytes := int64(0)
+	for _, e := range l.pending[:batch] {
+		if l.absorb[e.lba] == e {
+			delete(l.absorb, e.lba)
+		}
+		batchBytes += int64(len(e.data))
+	}
+	l.tracer().Emit(p.Now().Duration(), obs.EvDrainStart, l.tracer().NewSpan(), 0, int64(batch), batchBytes)
+	drained := int64(0)
+	i := 0
+	for i < batch {
+		// Coalesce the contiguous run starting at i into the persistent
+		// scratch buffer (devices copy the data during the Write call, so
+		// the buffer is free again on return).
+		data := l.scratch[:0]
+		next := l.pending[i].lba
+		j := i
+		for j < batch && l.pending[j].lba == next {
+			data = append(data, l.pending[j].data...)
+			next += int64(len(l.pending[j].data)) / int64(l.SectorSize())
+			j++
+		}
+		l.scratch = data[:0]
+		l.acquireIO(p)
+		err := l.writeBackingRetry(p, l.pending[i].lba, data)
+		l.releaseIO()
+		if err != nil {
+			l.draining = 0
+			return err
+		}
+		if l.emergency {
+			// The power-fail interrupt fired during the write and
+			// snapshotted pending — the dump owns those buffers now;
+			// retiring them here would recycle live memory.
+			l.draining = 0
+			return errHalted
+		}
+		for _, e := range l.pending[i:j] {
+			drained += int64(len(e.data))
+			l.tracer().Emit(p.Now().Duration(), obs.EvDurable, 0, e.span, e.lba, int64(len(e.data)))
+		}
+		i = j
+	}
+	// Retire the batch: entries and their payload buffers return to the
+	// pools for the next writes, space is released, stats move. The
+	// survivors shift down so the backing array is reused rather than
+	// abandoned one batch at a time.
+	for _, e := range l.pending[:batch] {
+		l.putEntry(e)
+	}
+	rest := copy(l.pending, l.pending[batch:])
+	for k := rest; k < len(l.pending); k++ {
+		l.pending[k] = nil
+	}
+	l.pending = l.pending[:rest]
+	l.draining = 0
+	l.buffered -= drained
+	l.stats.Occupancy.Add(-drained)
+	l.stats.DrainRounds.Inc()
+	l.stats.DrainedBytes.Add(drained)
+	l.spaceSig.Broadcast()
+	return nil
+}
+
+// degrade switches the device to synchronous pass-through after the drain
+// retry budget is exhausted. Acknowledged entries stay buffered — visible
+// to reads, re-tried by the probe, covered by the emergency dump — so no
+// promise is abandoned; only future writes get slower.
+func (l *Logger) degrade(p *sim.Proc, cause error) {
+	l.degraded = true
+	l.stats.Degradations.Inc()
+	l.stats.Degraded.Set(1)
+	l.tracer().Emit(p.Now().Duration(), obs.EvDegraded, 0, 0, int64(len(l.pending)), l.buffered)
+	l.s.Tracef("%s: degraded to pass-through after retries exhausted (%d entries, %d bytes stranded): %v",
+		l.cfg.Name, len(l.pending), l.buffered, cause)
+	// Throttled writers must not wait for space that will never free at
+	// buffered speed; wake them into the pass-through path.
+	l.spaceSig.Broadcast()
+}
+
+// restore returns a degraded device to buffered service once the stranded
+// backlog has fully drained.
+func (l *Logger) restore(p *sim.Proc) {
+	l.degraded = false
+	l.stats.Restores.Inc()
+	l.stats.Degraded.Set(0)
+	l.tracer().Emit(p.Now().Duration(), obs.EvRestored, 0, 0, 0, 0)
+	l.s.Tracef("%s: backlog drained, restored to buffered operation", l.cfg.Name)
+	l.spaceSig.Broadcast()
 }
 
 // Dump-zone on-disk format. Everything is written as one sequential burst:
@@ -539,21 +804,43 @@ func (l *Logger) EmergencyFlush(p *sim.Proc) {
 		off += copy(image[off:], e.data)
 	}
 	l.s.Tracef("%s: emergency flush: dumping %d entries (%d bytes)", l.cfg.Name, len(snapshot), payloadLen)
-	if err := l.dump.Write(p, 0, image, true); err != nil {
-		l.s.Tracef("%s: emergency dump failed: %v", l.cfg.Name, err)
-		return
+	// Retry transient dump-zone errors within the remaining hold-up budget:
+	// the retry delay is tiny against the milliseconds the budget holds,
+	// and the race is physical anyway — DC loss kills this process
+	// mid-write if the deadline passes. Permanent errors and power death
+	// are surrendered immediately and counted, so recovery reports can
+	// tell "dump lost the race" (torn image) from "dump write failed".
+	const maxDumpAttempts = 64
+	const dumpRetryDelay = 100 * time.Microsecond
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = l.dump.Write(p, 0, image, true); err == nil {
+			break
+		}
+		if !disk.IsTransient(err) || attempt >= maxDumpAttempts {
+			l.stats.DumpFailures.Inc()
+			l.s.Tracef("%s: emergency dump failed after %d attempts: %v", l.cfg.Name, attempt, err)
+			return
+		}
+		l.stats.DumpRetries.Inc()
+		p.Sleep(dumpRetryDelay)
 	}
 	l.stats.DumpedBytes.Add(int64(payloadLen))
 	l.tracer().Emit(p.Now().Duration(), obs.EvDumpDone, 0, dumpSpan, int64(len(snapshot)), int64(payloadLen))
 	l.s.Tracef("%s: emergency flush complete at %v", l.cfg.Name, p.Now())
 }
 
-// RecoveryReport summarises what Recover replayed.
+// RecoveryReport summarises what Recover replayed. DumpRetries and
+// DumpFailures come from the previous power epoch's logger (the rig fills
+// them in): HadDump=false with DumpFailures>0 means the dump write itself
+// failed, distinct from Torn — the dump losing the hold-up race.
 type RecoveryReport struct {
-	Entries int
-	Bytes   int64
-	Torn    bool // the dump ended mid-entry (deadline hit mid-dump)
-	HadDump bool
+	Entries      int
+	Bytes        int64
+	Torn         bool // the dump ended mid-entry (deadline hit mid-dump)
+	HadDump      bool
+	DumpRetries  int
+	DumpFailures int
 }
 
 // Recover runs at boot, before the DBMS's own log recovery: if the dump

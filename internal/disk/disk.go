@@ -32,7 +32,21 @@ var (
 	ErrOutOfRange = errors.New("disk: access beyond device extent")
 	ErrMisaligned = errors.New("disk: length not a multiple of the sector size")
 	ErrNoPower    = errors.New("disk: device is powered off")
+	// ErrIO is a media-level I/O error: the request failed but the device
+	// is still there and a retry may succeed (or keep failing, for a grown
+	// defect — real controllers cannot tell the caller which).
+	ErrIO = errors.New("disk: I/O error")
+	// ErrTimeout is a request that the device gave up on. Like ErrIO it is
+	// retryable; unlike ErrIO the caller has also already paid a long wait.
+	ErrTimeout = errors.New("disk: request timed out")
 )
+
+// IsTransient reports whether err is a media fault worth retrying (ErrIO,
+// ErrTimeout). Power loss, range and alignment errors are not: retrying a
+// dead machine or a bad request can never succeed.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrIO) || errors.Is(err, ErrTimeout)
+}
 
 // Device is a block device on virtual time. Offsets and lengths are in
 // sectors; data lengths must be multiples of the sector size.

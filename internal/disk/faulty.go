@@ -1,0 +1,215 @@
+// Faulty wraps any Device with a deterministic media-fault model: seeded
+// transient read/write errors, per-LBA-range "grown bad sector" permanent
+// errors, and latency spikes. It is how the fault-injection campaigns turn
+// "the drive hiccuped" into a first-class, reproducible event.
+//
+// Faults are decided by the wrapper's own RNG (seeded independently of the
+// simulation's), so enabling injection does not perturb the random choices
+// every other component makes — two runs of the same seed differ only in
+// the faults themselves.
+
+package disk
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// FaultConfig parameterises a Faulty wrapper. The probabilities are the
+// steady state; campaigns usually start at zero and open a fault window at
+// runtime via the Set* methods.
+type FaultConfig struct {
+	// Enabled gates wrapping at the rig level: a zero FaultConfig means
+	// "no fault layer at all", not "a fault layer that never fires".
+	Enabled bool
+	// Name labels the wrapper's counters; default "<inner>.flt".
+	Name string
+	// Seed drives the fault decisions. Independent of the simulation seed.
+	Seed int64
+	// ReadErrProb/WriteErrProb are per-request transient error probabilities.
+	ReadErrProb  float64
+	WriteErrProb float64
+	// TimeoutFrac is the fraction of injected errors reported as ErrTimeout
+	// (after sleeping SpikeDelay — a timeout costs the caller its wait).
+	TimeoutFrac float64
+	// SpikeProb adds a latency spike of SpikeDelay to that fraction of
+	// requests; default delay 10ms.
+	SpikeProb  float64
+	SpikeDelay time.Duration
+	// Reg registers the inject_* counters; nil leaves them unregistered.
+	Reg *obs.Registry
+}
+
+// badRange is a grown defect: writes into it always fail; reads too when
+// reads is set.
+type badRange struct {
+	lo, hi int64
+	reads  bool
+}
+
+// Faulty is a Device that forwards to an inner device after consulting the
+// fault model. Injected errors fail the request before it reaches the inner
+// device — a failed write leaves no bytes on media, as on real hardware
+// when the controller rejects the transfer.
+type Faulty struct {
+	inner Device
+	cfg   FaultConfig
+	rng   *rand.Rand
+	bad   []badRange
+	storm bool
+
+	injReads  *metrics.Counter
+	injWrites *metrics.Counter
+	injSpikes *metrics.Counter
+	injBad    *metrics.Counter
+}
+
+// NewFaulty wraps inner with the fault model described by cfg.
+func NewFaulty(inner Device, cfg FaultConfig) *Faulty {
+	if cfg.Name == "" {
+		cfg.Name = inner.Name() + ".flt"
+	}
+	if cfg.SpikeDelay == 0 {
+		cfg.SpikeDelay = 10 * time.Millisecond
+	}
+	return &Faulty{
+		inner:     inner,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		injReads:  cfg.Reg.Counter(cfg.Name + ".inject_read_errors"),
+		injWrites: cfg.Reg.Counter(cfg.Name + ".inject_write_errors"),
+		injSpikes: cfg.Reg.Counter(cfg.Name + ".inject_latency_spikes"),
+		injBad:    cfg.Reg.Counter(cfg.Name + ".inject_bad_range_errors"),
+	}
+}
+
+// SetErrorProbs changes the transient error probabilities at runtime —
+// the campaign's fault window open/close switch.
+func (f *Faulty) SetErrorProbs(readP, writeP float64) {
+	f.cfg.ReadErrProb, f.cfg.WriteErrProb = readP, writeP
+}
+
+// SetSpike changes the latency-spike probability and delay at runtime.
+func (f *Faulty) SetSpike(prob float64, delay time.Duration) {
+	f.cfg.SpikeProb = prob
+	if delay > 0 {
+		f.cfg.SpikeDelay = delay
+	}
+}
+
+// SetStorm turns the latency storm on or off: while on, every request pays
+// the spike delay (congestion, firmware GC, a resetting expander — pick
+// your favourite), though none fail.
+func (f *Faulty) SetStorm(on bool) { f.storm = on }
+
+// AddBadRange grows a permanent defect over [lba, lba+nsec): writes into it
+// fail forever; reads too when failReads is set. Leaving reads intact
+// models the common case where previously written sectors remain readable
+// while the drive refuses to accept new data.
+func (f *Faulty) AddBadRange(lba, nsec int64, failReads bool) {
+	f.bad = append(f.bad, badRange{lo: lba, hi: lba + nsec, reads: failReads})
+}
+
+// ClearBadRanges forgets all grown defects (the drive was swapped).
+func (f *Faulty) ClearBadRanges() { f.bad = nil }
+
+// inBadRange reports whether [lba, lba+nsec) intersects a grown defect
+// that applies to the access direction.
+func (f *Faulty) inBadRange(lba int64, nsec int, write bool) bool {
+	hi := lba + int64(nsec)
+	for _, b := range f.bad {
+		if lba < b.hi && hi > b.lo && (write || b.reads) {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeFault runs the fault model for one request: a possible latency
+// spike, then a possible injected error. A nil return means the request
+// proceeds to the inner device.
+func (f *Faulty) maybeFault(p *sim.Proc, op string, lba int64, nsec int, write bool) error {
+	if f.storm || (f.cfg.SpikeProb > 0 && f.rng.Float64() < f.cfg.SpikeProb) {
+		f.injSpikes.Inc()
+		p.Sleep(f.cfg.SpikeDelay)
+	}
+	if f.inBadRange(lba, nsec, write) {
+		f.injBad.Inc()
+		return fmt.Errorf("%w: grown defect at lba %d+%d on %s", ErrIO, lba, nsec, f.inner.Name())
+	}
+	prob := f.cfg.ReadErrProb
+	if write {
+		prob = f.cfg.WriteErrProb
+	}
+	if prob > 0 && f.rng.Float64() < prob {
+		if write {
+			f.injWrites.Inc()
+		} else {
+			f.injReads.Inc()
+		}
+		if f.cfg.TimeoutFrac > 0 && f.rng.Float64() < f.cfg.TimeoutFrac {
+			p.Sleep(f.cfg.SpikeDelay)
+			return fmt.Errorf("%w: %s lba %d on %s", ErrTimeout, op, lba, f.inner.Name())
+		}
+		return fmt.Errorf("%w: %s lba %d on %s", ErrIO, op, lba, f.inner.Name())
+	}
+	return nil
+}
+
+// Name implements Device.
+func (f *Faulty) Name() string { return f.cfg.Name }
+
+// SectorSize implements Device.
+func (f *Faulty) SectorSize() int { return f.inner.SectorSize() }
+
+// Sectors implements Device.
+func (f *Faulty) Sectors() int64 { return f.inner.Sectors() }
+
+// Read implements Device.
+func (f *Faulty) Read(p *sim.Proc, lba int64, nsec int) ([]byte, error) {
+	if err := f.maybeFault(p, "read", lba, nsec, false); err != nil {
+		return nil, err
+	}
+	return f.inner.Read(p, lba, nsec)
+}
+
+// Write implements Device.
+func (f *Faulty) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
+	if err := f.maybeFault(p, "write", lba, len(data)/f.SectorSize(), true); err != nil {
+		return err
+	}
+	return f.inner.Write(p, lba, data, fua)
+}
+
+// Flush implements Device. Barriers are never failed: the model's unit of
+// failure is the transfer, and a flush carries no data of its own.
+func (f *Faulty) Flush(p *sim.Proc) error { return f.inner.Flush(p) }
+
+// SeqWriteBandwidth implements Device.
+func (f *Faulty) SeqWriteBandwidth() float64 { return f.inner.SeqWriteBandwidth() }
+
+// WorstCaseAccess implements Device.
+func (f *Faulty) WorstCaseAccess() time.Duration { return f.inner.WorstCaseAccess() }
+
+// Stats implements Device (the inner device's counters; injected faults
+// have their own inject_* set).
+func (f *Faulty) Stats() *Stats { return f.inner.Stats() }
+
+// PowerFail implements PowerAware when the inner device does.
+func (f *Faulty) PowerFail() {
+	if pa, ok := f.inner.(PowerAware); ok {
+		pa.PowerFail()
+	}
+}
+
+// PowerOn implements PowerAware when the inner device does.
+func (f *Faulty) PowerOn(dom *sim.Domain) {
+	if pa, ok := f.inner.(PowerAware); ok {
+		pa.PowerOn(dom)
+	}
+}

@@ -1,0 +1,145 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// run executes fn in a fresh process and drives the simulation to idle.
+func run(t *testing.T, s *sim.Sim, fn func(p *sim.Proc)) {
+	t.Helper()
+	s.Spawn(nil, "t", fn)
+	if err := s.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	for _, err := range []error{ErrIO, ErrTimeout} {
+		if !IsTransient(err) {
+			t.Errorf("IsTransient(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{ErrNoPower, ErrOutOfRange, ErrMisaligned, errors.New("other")} {
+		if IsTransient(err) {
+			t.Errorf("IsTransient(%v) = true, want false", err)
+		}
+	}
+}
+
+func TestFaultyDeterministicInjection(t *testing.T) {
+	sequence := func() []bool {
+		s := sim.New(1)
+		mem := NewMem(s, MemConfig{Name: "m", Persistent: true})
+		f := NewFaulty(mem, FaultConfig{Seed: 7, WriteErrProb: 0.5})
+		var errs []bool
+		run(t, s, func(p *sim.Proc) {
+			for i := 0; i < 64; i++ {
+				errs = append(errs, f.Write(p, int64(i*8), make([]byte, 512), true) != nil)
+			}
+		})
+		return errs
+	}
+	a, b := sequence(), sequence()
+	sawErr, sawOk := false, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+		sawErr = sawErr || a[i]
+		sawOk = sawOk || !a[i]
+	}
+	if !sawErr || !sawOk {
+		t.Fatalf("p=0.5 over 64 requests should mix errors and successes (err=%v ok=%v)", sawErr, sawOk)
+	}
+}
+
+func TestFaultyInjectedErrorsAreTransientAndLeaveNoData(t *testing.T) {
+	s := sim.New(1)
+	mem := NewMem(s, MemConfig{Name: "m", Persistent: true})
+	f := NewFaulty(mem, FaultConfig{Seed: 1, WriteErrProb: 1})
+	run(t, s, func(p *sim.Proc) {
+		data := []byte{1, 2, 3, 4}
+		err := f.Write(p, 0, append(data, make([]byte, 508)...), true)
+		if !errors.Is(err, ErrIO) {
+			t.Errorf("injected write error = %v, want wrapped ErrIO", err)
+		}
+		if !IsTransient(err) {
+			t.Error("injected error not classified transient")
+		}
+		// The request was rejected before reaching media.
+		got, rerr := mem.Read(p, 0, 1)
+		if rerr != nil {
+			t.Fatalf("read-back: %v", rerr)
+		}
+		for _, b := range got[:4] {
+			if b != 0 {
+				t.Fatal("failed write left bytes on media")
+			}
+		}
+	})
+	if v := f.injWrites.Value(); v != 1 {
+		t.Fatalf("inject_write_errors = %d, want 1", v)
+	}
+}
+
+func TestFaultyBadRange(t *testing.T) {
+	s := sim.New(1)
+	mem := NewMem(s, MemConfig{Name: "m", Persistent: true})
+	f := NewFaulty(mem, FaultConfig{Seed: 1})
+	f.AddBadRange(100, 10, false) // writes fail, reads survive
+	run(t, s, func(p *sim.Proc) {
+		buf := make([]byte, 512)
+		if err := f.Write(p, 105, buf, true); !errors.Is(err, ErrIO) {
+			t.Errorf("write into bad range: %v, want ErrIO", err)
+		}
+		if err := f.Write(p, 110, buf, true); err != nil {
+			t.Errorf("write just past bad range: %v", err)
+		}
+		if _, err := f.Read(p, 105, 1); err != nil {
+			t.Errorf("read of write-only bad range: %v", err)
+		}
+		f.ClearBadRanges()
+		if err := f.Write(p, 105, buf, true); err != nil {
+			t.Errorf("write after ClearBadRanges: %v", err)
+		}
+		f.AddBadRange(100, 10, true) // now reads fail too
+		if _, err := f.Read(p, 109, 4); !errors.Is(err, ErrIO) {
+			t.Errorf("read overlapping read-bad range: %v, want ErrIO", err)
+		}
+	})
+	if v := f.injBad.Value(); v != 2 {
+		t.Fatalf("inject_bad_range_errors = %d, want 2", v)
+	}
+}
+
+func TestFaultyLatencyStorm(t *testing.T) {
+	s := sim.New(1)
+	mem := NewMem(s, MemConfig{Name: "m", Persistent: true})
+	f := NewFaulty(mem, FaultConfig{Seed: 1, SpikeDelay: 10 * time.Millisecond})
+	var calm, stormy time.Duration
+	run(t, s, func(p *sim.Proc) {
+		buf := make([]byte, 512)
+		start := p.Now()
+		if err := f.Write(p, 0, buf, true); err != nil {
+			t.Fatal(err)
+		}
+		calm = p.Now().Sub(start)
+		f.SetStorm(true)
+		start = p.Now()
+		if err := f.Write(p, 8, buf, true); err != nil {
+			t.Fatal(err)
+		}
+		stormy = p.Now().Sub(start)
+		f.SetStorm(false)
+	})
+	if stormy < calm+10*time.Millisecond {
+		t.Fatalf("storm write took %v vs calm %v, want +10ms spike", stormy, calm)
+	}
+	if v := f.injSpikes.Value(); v != 1 {
+		t.Fatalf("inject_latency_spikes = %d, want 1", v)
+	}
+}

@@ -135,6 +135,7 @@ type Stats struct {
 	TxnLatency     *metrics.Histogram
 	Checkpoints    *metrics.Counter
 	RedoneTxns     *metrics.Counter // transactions replayed during recovery
+	ForceErrors    *metrics.Counter // commits aborted by a failed log force
 }
 
 func newStats(reg *obs.Registry) *Stats {
@@ -148,6 +149,7 @@ func newStats(reg *obs.Registry) *Stats {
 		TxnLatency:     reg.Histogram("engine.txn_latency"),
 		Checkpoints:    reg.Counter("engine.checkpoints"),
 		RedoneTxns:     reg.Counter("engine.redone_txns"),
+		ForceErrors:    reg.Counter("engine.commit.force_errors"),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/disk"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wal"
@@ -183,10 +184,18 @@ func (t *Tx) Commit() error {
 	// 2. Durability: the line the whole evaluation measures.
 	if e.cfg.CommitMode == CommitSync {
 		if err := e.log.Force(t.p, commitLSN+1); err != nil {
+			e.stats.ForceErrors.Inc()
 			e.dropPendingDurable(t.id)
 			delete(e.applying, t.id)
 			t.Abort()
-			return err
+			// Classify for the client: a transient media error means the
+			// commit was aborted cleanly and a retry may well succeed —
+			// nothing about the engine is broken. The %w chain keeps the
+			// disk sentinel visible to errors.Is all the way up.
+			if disk.IsTransient(err) {
+				return fmt.Errorf("engine: commit force failed (transient media error, retryable): %w", err)
+			}
+			return fmt.Errorf("engine: commit force failed: %w", err)
 		}
 	}
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/disk"
 	"repro/internal/engine"
 	"repro/internal/rig"
 	"repro/internal/sim"
@@ -24,7 +25,18 @@ const (
 	GuestCrash Fault = "guest-crash"
 	// PowerCut pulls the plug: the PSU hold-up race decides what survives.
 	PowerCut Fault = "power-cut"
+	// DiskError opens a window of transient log-device write errors while
+	// load continues (or, with PermanentFault, grows a bad-sector range
+	// over the whole log partition), then crashes the guest and audits.
+	DiskError Fault = "disk-error"
+	// LatencyStorm stalls every log-device request for the fault window —
+	// nothing fails, everything is late.
+	LatencyStorm Fault = "latency-storm"
 )
+
+// isMediaFault reports whether f injects through the disk.Faulty wrapper
+// (and therefore leaves the machine itself running).
+func (f Fault) isMediaFault() bool { return f == DiskError || f == LatencyStorm }
 
 // CampaignConfig parameterises a fault-injection campaign.
 type CampaignConfig struct {
@@ -37,6 +49,16 @@ type CampaignConfig struct {
 	// 200ms..2s.
 	InjectAfterMin time.Duration
 	InjectAfterMax time.Duration
+	// FaultWindow is how long an injected media fault lasts (DiskError,
+	// LatencyStorm); default 300ms.
+	FaultWindow time.Duration
+	// MediaErrProb is the per-request write-error probability inside a
+	// DiskError window; default 0.7.
+	MediaErrProb float64
+	// PermanentFault turns DiskError into a grown bad-sector range over
+	// the whole log partition: drain and WAL writes fail forever, forcing
+	// a RapiLog logger into degraded pass-through.
+	PermanentFault bool
 	// Workload factory; default: a small TPC-C.
 	NewWorkload func() workload.Workload
 }
@@ -54,11 +76,31 @@ func (c *CampaignConfig) applyDefaults() {
 	if c.InjectAfterMax == 0 {
 		c.InjectAfterMax = 2 * time.Second
 	}
+	if c.FaultWindow == 0 {
+		c.FaultWindow = 300 * time.Millisecond
+	}
+	if c.MediaErrProb == 0 {
+		c.MediaErrProb = 0.7
+	}
 	if c.NewWorkload == nil {
 		c.NewWorkload = func() workload.Workload {
 			return &workload.TPCC{Warehouses: 1, Districts: 4, Customers: 20, Items: 200}
 		}
 	}
+}
+
+// validate rejects configurations that could never run a sane trial.
+func (c *CampaignConfig) validate() error {
+	if c.InjectAfterMax < c.InjectAfterMin {
+		return fmt.Errorf("faultinject: InjectAfterMax %v < InjectAfterMin %v",
+			c.InjectAfterMax, c.InjectAfterMin)
+	}
+	switch c.Fault {
+	case GuestCrash, PowerCut, DiskError, LatencyStorm:
+	default:
+		return fmt.Errorf("faultinject: unknown fault %q", c.Fault)
+	}
+	return nil
 }
 
 // TrialResult is one trial's outcome.
@@ -69,7 +111,13 @@ type TrialResult struct {
 	Mismatched int
 	Torn       bool // RapiLog dump ended mid-entry (unsafe sizing only)
 	HadDump    bool // a valid dump header was found at recovery
-	Err        error
+	// Media-fault trials (RapiLog mode).
+	Degraded      bool  // the logger was in pass-through at audit time
+	BufferedAfter int64 // bytes still stranded after the settle window
+	// Power-cut trials: the dying epoch's dump-path counters.
+	DumpRetries  int
+	DumpFailures int
+	Err          error
 }
 
 // Ok reports whether the trial had zero durability violations.
@@ -77,33 +125,58 @@ func (t TrialResult) Ok() bool { return t.Err == nil && t.Missing == 0 && t.Mism
 
 // Summary aggregates a campaign.
 type Summary struct {
-	Config     CampaignConfig
-	Trials     []TrialResult
-	TotalAcked int
-	TotalLost  int
-	Violations int // trials with any loss or corruption
-	Errors     int
+	Config         CampaignConfig
+	Trials         []TrialResult
+	TotalAcked     int
+	TotalLost      int
+	Violations     int // trials with any loss or corruption
+	Errors         int
+	DegradedTrials int // trials that ended with the logger in pass-through
+	DumpFailures   int // emergency dumps that never reached the zone
+}
+
+// add folds one trial into the aggregate. Loss/corruption is counted
+// independently of the error flag: a trial can both error out and lose
+// data, and hiding the loss under the error would understate Violations.
+func (s *Summary) add(res TrialResult) {
+	s.Trials = append(s.Trials, res)
+	s.TotalAcked += res.Acked
+	s.TotalLost += res.Missing
+	if res.Missing > 0 || res.Mismatched > 0 {
+		s.Violations++
+	}
+	if res.Err != nil {
+		s.Errors++
+	}
+	if res.Degraded {
+		s.DegradedTrials++
+	}
+	s.DumpFailures += res.DumpFailures
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("%s/%s: %d trials, %d acked commits, %d lost, %d violating trials, %d errors",
-		s.Config.Rig.Mode, s.Config.Fault, len(s.Trials), s.TotalAcked, s.TotalLost, s.Violations, s.Errors)
+	extra := ""
+	if s.DegradedTrials > 0 {
+		extra += fmt.Sprintf(", %d degraded", s.DegradedTrials)
+	}
+	if s.DumpFailures > 0 {
+		extra += fmt.Sprintf(", %d dump failures", s.DumpFailures)
+	}
+	return fmt.Sprintf("%s/%s: %d trials, %d acked commits, %d lost, %d violating trials, %d errors%s",
+		s.Config.Rig.Mode, s.Config.Fault, len(s.Trials), s.TotalAcked, s.TotalLost, s.Violations, s.Errors, extra)
 }
 
 // RunCampaign executes cfg.Trials independent trials with seeds base+i.
 func RunCampaign(cfg CampaignConfig) Summary {
 	cfg.applyDefaults()
 	sum := Summary{Config: cfg}
+	if err := cfg.validate(); err != nil {
+		sum.Trials = append(sum.Trials, TrialResult{Err: err})
+		sum.Errors = 1
+		return sum
+	}
 	for i := 0; i < cfg.Trials; i++ {
-		res := RunTrial(cfg, cfg.Rig.Seed+int64(i)*7919)
-		sum.Trials = append(sum.Trials, res)
-		sum.TotalAcked += res.Acked
-		sum.TotalLost += res.Missing
-		if res.Err != nil {
-			sum.Errors++
-		} else if !res.Ok() {
-			sum.Violations++
-		}
+		sum.add(RunTrial(cfg, cfg.Rig.Seed+int64(i)*7919))
 	}
 	return sum
 }
@@ -117,10 +190,18 @@ var debugHook func(p *sim.Proc, r *rig.Rig, e *engine.Engine, j *workload.Journa
 func RunTrial(cfg CampaignConfig, seed int64) TrialResult {
 	cfg.applyDefaults()
 	res := TrialResult{Seed: seed}
+	if err := cfg.validate(); err != nil {
+		res.Err = err
+		return res
+	}
 
 	rigCfg := cfg.Rig
 	rigCfg.Seed = seed
 	rigCfg.NoDaemons = false
+	if cfg.Fault.isMediaFault() && !rigCfg.LogFault.Enabled {
+		// The fault layer starts quiet; the operator opens the window.
+		rigCfg.LogFault = disk.FaultConfig{Enabled: true, Seed: seed * 31}
+	}
 	r, err := rig.New(rigCfg)
 	if err != nil {
 		res.Err = err
@@ -131,7 +212,6 @@ func RunTrial(cfg CampaignConfig, seed int64) TrialResult {
 	w := cfg.NewWorkload()
 
 	loaded := s.NewEvent("loaded")
-	injected := s.NewEvent("injected")
 	audited := s.NewEvent("audited")
 
 	// Life 1: boot, load, serve until the fault kills us.
@@ -185,15 +265,23 @@ func RunTrial(cfg CampaignConfig, seed int64) TrialResult {
 			r.CrashOS()
 		case PowerCut:
 			r.CutPower()
-		default:
-			res.Err = fmt.Errorf("unknown fault %q", cfg.Fault)
-			audited.Fire()
-			return
+		case DiskError:
+			if cfg.PermanentFault {
+				r.FaultyLog.AddBadRange(0, r.LogPart.Sectors(), false)
+				p.Sleep(cfg.FaultWindow)
+			} else {
+				r.FaultyLog.SetErrorProbs(0, cfg.MediaErrProb)
+				p.Sleep(cfg.FaultWindow)
+				r.FaultyLog.SetErrorProbs(0, 0)
+			}
+		case LatencyStorm:
+			r.FaultyLog.SetStorm(true)
+			p.Sleep(cfg.FaultWindow)
+			r.FaultyLog.SetStorm(false)
 		}
-		injected.Fire()
 
-		// Let the dust settle (hold-up window, hypervisor drain), then
-		// recover and audit.
+		// Let the dust settle (hold-up window, hypervisor drain, backlog
+		// catch-up), then recover and audit.
 		p.Sleep(3 * time.Second)
 		if cfg.Fault == PowerCut {
 			rep, err := r.RecoverAfterPower(p)
@@ -204,7 +292,25 @@ func RunTrial(cfg CampaignConfig, seed int64) TrialResult {
 			}
 			res.Torn = rep.Torn
 			res.HadDump = rep.HadDump
+			res.DumpRetries = rep.DumpRetries
+			res.DumpFailures = rep.DumpFailures
 		} else {
+			if cfg.Fault.isMediaFault() {
+				// The machine never died: every acknowledgement up to this
+				// crash — including those made during the fault window — is
+				// an obligation the audit must see honoured.
+				res.Acked = j.Len()
+				r.CrashOS()
+				// The hypervisor outlives the guest; give its drainer (and,
+				// when degraded, the probe cadence) time to land the backlog
+				// before sampling what is still stranded. Only a fault that
+				// never cleared leaves bytes behind here.
+				p.Sleep(2 * time.Second)
+				if r.Logger != nil {
+					res.BufferedAfter = r.Logger.BufferedBytes()
+					res.Degraded = r.Logger.IsDegraded()
+				}
+			}
 			r.RebootAfterCrash()
 		}
 		s.Spawn(r.Plat.Domain(), "db2", func(p *sim.Proc) {

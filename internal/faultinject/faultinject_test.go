@@ -1,9 +1,11 @@
 package faultinject
 
 import (
-	"repro/internal/disk"
+	"fmt"
 	"testing"
 	"time"
+
+	"repro/internal/disk"
 
 	"repro/internal/core"
 	"repro/internal/power"
@@ -146,4 +148,114 @@ func TestSummaryString(t *testing.T) {
 	if sum.String() == "" {
 		t.Fatal("empty summary")
 	}
+}
+
+// TestSummaryCountsLossIndependentlyOfError: a trial that both errors out
+// and loses data must show up in Violations AND Errors — the old code hid
+// the loss behind the error flag.
+func TestSummaryCountsLossIndependentlyOfError(t *testing.T) {
+	var sum Summary
+	sum.add(TrialResult{Acked: 10, Missing: 3, Err: fmt.Errorf("audit: boom")})
+	sum.add(TrialResult{Acked: 5, Mismatched: 1})
+	sum.add(TrialResult{Acked: 7})
+	if sum.Violations != 2 {
+		t.Fatalf("violations = %d, want 2 (loss must count even when the trial errored)", sum.Violations)
+	}
+	if sum.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", sum.Errors)
+	}
+	if sum.TotalLost != 3 {
+		t.Fatalf("total lost = %d, want 3", sum.TotalLost)
+	}
+}
+
+// TestNegativeInjectSpanIsConfigError: InjectAfterMax < InjectAfterMin used
+// to reach rand.Int63n with a negative argument and panic mid-campaign. It
+// must now surface as a plain config error from both entry points.
+func TestNegativeInjectSpanIsConfigError(t *testing.T) {
+	cfg := quickCampaign(rig.RapiLog, PowerCut, 1)
+	cfg.InjectAfterMin = 2 * time.Second
+	cfg.InjectAfterMax = 500 * time.Millisecond
+	res := RunTrial(cfg, 1)
+	if res.Err == nil {
+		t.Fatal("RunTrial accepted a negative inject span")
+	}
+	sum := RunCampaign(cfg)
+	if sum.Errors != 1 || len(sum.Trials) != 1 || sum.Trials[0].Err == nil {
+		t.Fatalf("RunCampaign on a negative span: %+v", sum)
+	}
+}
+
+// TestUnknownFaultIsConfigError guards the fault-kind whitelist.
+func TestUnknownFaultIsConfigError(t *testing.T) {
+	cfg := quickCampaign(rig.RapiLog, Fault("meteor-strike"), 1)
+	if res := RunTrial(cfg, 1); res.Err == nil {
+		t.Fatal("RunTrial accepted an unknown fault kind")
+	}
+}
+
+// TestRapiLogSurvivesTransientDiskErrors: acked ⊆ durable holds across a
+// window of transient log-media write errors, and the backlog fully drains
+// once the window closes — no stranded bytes, no lingering degraded mode.
+func TestRapiLogSurvivesTransientDiskErrors(t *testing.T) {
+	sum := RunCampaign(quickCampaign(rig.RapiLog, DiskError, 3))
+	if sum.Violations != 0 || sum.Errors != 0 {
+		t.Fatalf("campaign: %v (first error: %v)", sum, firstTrialErr(sum))
+	}
+	if sum.TotalAcked == 0 {
+		t.Fatal("no transactions acked; campaign proves nothing")
+	}
+	for _, res := range sum.Trials {
+		if res.BufferedAfter != 0 {
+			t.Fatalf("seed %d: %d bytes still stranded after the fault cleared", res.Seed, res.BufferedAfter)
+		}
+		if res.Degraded {
+			t.Fatalf("seed %d: still degraded after a transient window", res.Seed)
+		}
+	}
+}
+
+// TestRapiLogDegradesOnPermanentFaultWithoutLoss: a grown bad-sector range
+// over the whole log partition forces pass-through; every previously acked
+// commit must still be recoverable (the stranded buffer survives the guest
+// crash — the hypervisor's copy is what the audit reads back).
+func TestRapiLogDegradesOnPermanentFaultWithoutLoss(t *testing.T) {
+	cfg := quickCampaign(rig.RapiLog, DiskError, 1)
+	cfg.PermanentFault = true
+	sum := RunCampaign(cfg)
+	if sum.Violations != 0 || sum.Errors != 0 {
+		t.Fatalf("campaign: %v (first error: %v)", sum, firstTrialErr(sum))
+	}
+	if sum.DegradedTrials != 1 {
+		t.Fatalf("degraded trials = %d, want 1 (permanent fault never degraded the logger?)", sum.DegradedTrials)
+	}
+}
+
+// TestRapiLogSurvivesLatencyStorm: a storm delays everything but fails
+// nothing; durability and drain-to-zero must hold exactly as in the calm.
+func TestRapiLogSurvivesLatencyStorm(t *testing.T) {
+	sum := RunCampaign(quickCampaign(rig.RapiLog, LatencyStorm, 2))
+	if sum.Violations != 0 || sum.Errors != 0 {
+		t.Fatalf("campaign: %v (first error: %v)", sum, firstTrialErr(sum))
+	}
+}
+
+// TestMediaFaultTrialDeterminism: same seed, same outcome — the fault layer
+// draws from its own seeded stream.
+func TestMediaFaultTrialDeterminism(t *testing.T) {
+	cfg := quickCampaign(rig.RapiLog, DiskError, 1)
+	a := RunTrial(cfg, 99)
+	b := RunTrial(cfg, 99)
+	if a.Acked != b.Acked || a.Missing != b.Missing || a.Degraded != b.Degraded || a.BufferedAfter != b.BufferedAfter {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func firstTrialErr(sum Summary) error {
+	for _, res := range sum.Trials {
+		if res.Err != nil {
+			return res.Err
+		}
+	}
+	return nil
 }

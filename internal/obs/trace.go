@@ -56,6 +56,16 @@ const (
 	EvPowerDC
 	// EvPowerRestore: power returned.
 	EvPowerRestore
+	// EvDrainError: a drain-path backing write failed and will be retried.
+	// Arg1 = lba, Arg2 = attempt number.
+	EvDrainError
+	// EvDegraded: the drain retry budget ran out; the RapiLog device fell
+	// back to synchronous pass-through. Arg1 = stranded entries,
+	// Arg2 = stranded bytes.
+	EvDegraded
+	// EvRestored: the stranded buffer finally drained; the device returned
+	// to buffered operation.
+	EvRestored
 )
 
 var kindNames = map[Kind]string{
@@ -75,6 +85,9 @@ var kindNames = map[Kind]string{
 	EvPowerFail:    "power_fail",
 	EvPowerDC:      "power_dc_loss",
 	EvPowerRestore: "power_restore",
+	EvDrainError:   "drain_error",
+	EvDegraded:     "degraded",
+	EvRestored:     "restored",
 }
 
 // String returns the stable wire name of the kind.

@@ -90,6 +90,11 @@ type Config struct {
 	// different storage model than the data disk — e.g. DiskMem for the
 	// battery-backed NVRAM log the paper positions RapiLog against.
 	LogDiskKind DiskKind
+	// LogFault, when Enabled, wraps the log partition in a disk.Faulty so
+	// campaigns and operators can inject media faults — transient I/O
+	// errors, grown bad sectors, latency storms — into the drain/WAL path.
+	// The dump zone and the data partition stay clean.
+	LogFault disk.FaultConfig
 	// Trace enables commit-lifecycle tracing; TraceCapacity sizes the event
 	// ring (default 1<<16). Metrics are always registered centrally on the
 	// rig's Obs bundle; only the tracer is gated, keeping the default rig
@@ -131,10 +136,14 @@ type Rig struct {
 	LogPart  *disk.Partition
 	DumpPart *disk.Partition
 	DataPart *disk.Partition
-	HV       *hv.Hypervisor // nil in native modes
-	Plat     hv.Platform
-	Logger   *core.Logger // nil unless Mode == RapiLog
-	Obs      *obs.Obs     // shared by every layer of the deployment
+	// LogDev is what the platform's log path actually consumes: LogPart,
+	// wrapped by FaultyLog when Config.LogFault is enabled.
+	LogDev    disk.Device
+	FaultyLog *disk.Faulty   // nil unless Config.LogFault.Enabled
+	HV        *hv.Hypervisor // nil in native modes
+	Plat      hv.Platform
+	Logger    *core.Logger // nil unless Mode == RapiLog
+	Obs       *obs.Obs     // shared by every layer of the deployment
 }
 
 // New builds a deployment. In RapiLog mode the hypervisor and the RapiLog
@@ -207,6 +216,16 @@ func New(cfg Config) (*Rig, error) {
 		LogPart: logPart, DumpPart: dumpPart, DataPart: dataPart,
 		Obs: o,
 	}
+	r.LogDev = logPart
+	if cfg.LogFault.Enabled {
+		fc := cfg.LogFault
+		fc.Reg = o.Registry()
+		if fc.Seed == 0 {
+			fc.Seed = cfg.Seed + 1
+		}
+		r.FaultyLog = disk.NewFaulty(logPart, fc)
+		r.LogDev = r.FaultyLog
+	}
 	if err := r.assemblePlatform(); err != nil {
 		return nil, err
 	}
@@ -220,7 +239,7 @@ func (r *Rig) assemblePlatform() error {
 	switch cfg.Mode {
 	case NativeSync, NativeAsync:
 		if r.Plat == nil {
-			r.Plat = hv.NewNative(r.Machine, r.LogPart, r.DataPart)
+			r.Plat = hv.NewNative(r.Machine, r.LogDev, r.DataPart)
 		}
 		return nil
 	case VirtSync:
@@ -230,7 +249,7 @@ func (r *Rig) assemblePlatform() error {
 			r.HV = hv.New(r.Machine, hvCfg)
 		}
 		if r.Plat == nil {
-			r.Plat = r.HV.NewGuest("db", r.LogPart, r.DataPart)
+			r.Plat = r.HV.NewGuest("db", r.LogDev, r.DataPart)
 		}
 		return nil
 	case RapiLog:
@@ -241,7 +260,7 @@ func (r *Rig) assemblePlatform() error {
 		}
 		rlCfg := cfg.RapiLog
 		rlCfg.Obs = r.Obs
-		logger, err := core.NewLogger(r.Machine, r.HV.Domain(), r.LogPart, r.DumpPart, rlCfg)
+		logger, err := core.NewLogger(r.Machine, r.HV.Domain(), r.LogDev, r.DumpPart, rlCfg)
 		if err != nil {
 			return err
 		}
@@ -327,9 +346,17 @@ func (r *Rig) RecoverAfterPower(p *sim.Proc) (core.RecoveryReport, error) {
 	r.Plat.Reboot()
 	if r.Cfg.Mode == RapiLog {
 		var err error
-		rep, err = core.Recover(p, r.LogPart, r.DumpPart)
+		rep, err = core.Recover(p, r.LogDev, r.DumpPart)
 		if err != nil {
 			return rep, err
+		}
+		// Carry the dying epoch's dump-path counters into the report before
+		// the logger is rebuilt: HadDump=false plus DumpFailures>0 is how an
+		// audit tells "the dump write failed" from "nothing was buffered".
+		if r.Logger != nil {
+			st := r.Logger.RapiStats()
+			rep.DumpRetries = int(st.DumpRetries.Value())
+			rep.DumpFailures = int(st.DumpFailures.Value())
 		}
 		// A fresh logger for the new power epoch.
 		if err := r.assemblePlatform(); err != nil {

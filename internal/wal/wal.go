@@ -90,6 +90,12 @@ type Config struct {
 	// CommitDelay is slept before each physical force to widen the group
 	// commit window (PostgreSQL's commit_delay). Default 0.
 	CommitDelay time.Duration
+	// ForceRetryLimit bounds attempts per block write when the device
+	// reports a transient media error (disk.IsTransient); default 3.
+	ForceRetryLimit int
+	// ForceRetryBase is the backoff before the first retry, doubling per
+	// attempt; default 1ms.
+	ForceRetryBase time.Duration
 	// Obs, when set, registers the log's instruments centrally and traces
 	// physical force rounds (log_submit/log_complete events).
 	Obs *obs.Obs
@@ -98,6 +104,12 @@ type Config struct {
 func (c *Config) applyDefaults() {
 	if c.BlockSize == 0 {
 		c.BlockSize = 4096
+	}
+	if c.ForceRetryLimit == 0 {
+		c.ForceRetryLimit = 3
+	}
+	if c.ForceRetryBase == 0 {
+		c.ForceRetryBase = time.Millisecond
 	}
 }
 
@@ -123,6 +135,8 @@ type Stats struct {
 	ForceWaits    *metrics.Counter // callers satisfied by piggybacking
 	BlocksWritten *metrics.Counter
 	ForceLatency  *metrics.Histogram
+	ForceRetries  *metrics.Counter // block writes retried after a transient error
+	ForceErrors   *metrics.Counter // forces surrendered with an error
 }
 
 func newStats(reg *obs.Registry) *Stats {
@@ -132,6 +146,8 @@ func newStats(reg *obs.Registry) *Stats {
 		ForceWaits:    reg.Counter("wal.force_waits"),
 		BlocksWritten: reg.Counter("wal.blocks_written"),
 		ForceLatency:  reg.Histogram("wal.force_latency"),
+		ForceRetries:  reg.Counter("wal.force_retries"),
+		ForceErrors:   reg.Counter("wal.force_errors"),
 	}
 }
 
@@ -178,11 +194,11 @@ func New(s *sim.Sim, dev disk.Device, cfg Config) (*Log, error) {
 		return nil, fmt.Errorf("wal: device too small (%d blocks)", nBlocks)
 	}
 	l := &Log{
-		s:          s,
-		dev:        dev,
-		cfg:        cfg,
-		nBlocks:    nBlocks,
-		sectorsPer: cfg.BlockSize / dev.SectorSize(),
+		s:           s,
+		dev:         dev,
+		cfg:         cfg,
+		nBlocks:     nBlocks,
+		sectorsPer:  cfg.BlockSize / dev.SectorSize(),
 		curData:     make([]byte, cfg.BlockSize),
 		curOff:      blockHdrLen,
 		flushedSig:  s.NewSignal("wal.flushed"),
@@ -401,10 +417,10 @@ func (l *Log) physicalForce(p *sim.Proc) error {
 		tr.Emit(p.Now().Duration(), obs.EvLogSubmit, forceSpan, 0, int64(target), int64(nBlocks)*int64(l.cfg.BlockSize))
 	}
 	for i, b := range sealed {
-		if err := l.dev.Write(p, l.blockLBA(b.seq), b.data, true); err != nil {
+		if err := l.writeBlock(p, b.seq, b.data); err != nil {
 			// Requeue the unwritten suffix so a later force retries it.
 			l.sealed = append(sealed[i:], l.sealed...)
-			return err
+			return fmt.Errorf("wal: force of block seq %d: %w", b.seq, err)
 		}
 		// The device copied the image during Write; the buffer is free to
 		// back a future tail block.
@@ -412,8 +428,8 @@ func (l *Log) physicalForce(p *sim.Proc) error {
 		l.stats.BlocksWritten.Inc()
 	}
 	if tail != nil {
-		if err := l.dev.Write(p, l.blockLBA(tailSeq), tail, true); err != nil {
-			return err
+		if err := l.writeBlock(p, tailSeq, tail); err != nil {
+			return fmt.Errorf("wal: force of tail block seq %d: %w", tailSeq, err)
 		}
 		l.stats.BlocksWritten.Inc()
 	}
@@ -426,6 +442,30 @@ func (l *Log) physicalForce(p *sim.Proc) error {
 		l.onDurable(l.flushedLSN)
 	}
 	return nil
+}
+
+// writeBlock writes one block image with FUA, riding out transient media
+// errors (disk.IsTransient) with bounded exponential backoff. Anything
+// else — power loss, range errors — is surrendered immediately: the error
+// reaches the committer, which classifies it for its client. The %w chain
+// preserves the disk sentinel the whole way up.
+func (l *Log) writeBlock(p *sim.Proc, seq uint64, data []byte) error {
+	delay := l.cfg.ForceRetryBase
+	for attempt := 1; ; attempt++ {
+		err := l.dev.Write(p, l.blockLBA(seq), data, true)
+		if err == nil {
+			return nil
+		}
+		if !disk.IsTransient(err) || attempt >= l.cfg.ForceRetryLimit {
+			l.stats.ForceErrors.Inc()
+			return err
+		}
+		l.stats.ForceRetries.Inc()
+		p.Sleep(delay)
+		if delay *= 2; delay > 64*time.Millisecond {
+			delay = 64 * time.Millisecond
+		}
+	}
 }
 
 // ScanResult is what recovery finds in the log.

@@ -443,3 +443,110 @@ func TestScanReturnsForcedPrefixProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// flakyDev fails the first failN writes with a wrapped transient error, then
+// behaves normally.
+type flakyDev struct {
+	disk.Device
+	failN int
+}
+
+func (f *flakyDev) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
+	if f.failN > 0 {
+		f.failN--
+		return fmt.Errorf("flaky: %w", disk.ErrIO)
+	}
+	return f.Device.Write(p, lba, data, fua)
+}
+
+// TestForceRetriesTransientMediaError: a force whose block write fails
+// transiently inside the retry budget must still succeed, count its retries,
+// and leave the records recoverable.
+func TestForceRetriesTransientMediaError(t *testing.T) {
+	s := sim.New(11)
+	mem := disk.NewMem(s, disk.MemConfig{Name: "log", Persistent: true, Capacity: 1 << 16})
+	fd := &flakyDev{Device: mem, failN: 2}
+	l, err := New(s, fd, Config{}) // default budget: 3 attempts
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("survives-the-flap")
+	s.Spawn(nil, "w", func(p *sim.Proc) {
+		if _, err := l.Append(p, RecUpdate, 1, payload); err != nil {
+			t.Errorf("append: %v", err)
+			return
+		}
+		if err := l.Force(p, l.AppendedLSN()); err != nil {
+			t.Errorf("force with transient errors: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v := l.Stats().ForceRetries.Value(); v != 2 {
+		t.Fatalf("force retries = %d, want 2", v)
+	}
+	if v := l.Stats().ForceErrors.Value(); v != 0 {
+		t.Fatalf("force errors = %d, want 0", v)
+	}
+	var res ScanResult
+	s2 := sim.New(12)
+	s2.Spawn(nil, "r", func(p *sim.Proc) {
+		res, _ = Scan(p, mem, Config{}, FirstLSN(Config{}))
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 || !bytes.Equal(res.Records[0].Payload, payload) {
+		t.Fatal("forced record not recoverable after retried write")
+	}
+}
+
+// TestForceSurrendersAfterRetryBudget: when the fault outlives the budget the
+// force must return an error that still carries the disk sentinel (so the
+// engine can classify it), and a later force must land the requeued block.
+func TestForceSurrendersAfterRetryBudget(t *testing.T) {
+	s := sim.New(13)
+	mem := disk.NewMem(s, disk.MemConfig{Name: "log", Persistent: true, Capacity: 1 << 16})
+	fd := &flakyDev{Device: mem, failN: 10} // longer than the 3-attempt budget
+	l, err := New(s, fd, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("lands-on-the-second-force")
+	s.Spawn(nil, "w", func(p *sim.Proc) {
+		if _, err := l.Append(p, RecUpdate, 1, payload); err != nil {
+			t.Errorf("append: %v", err)
+			return
+		}
+		err := l.Force(p, l.AppendedLSN())
+		if err == nil {
+			t.Error("force succeeded with the fault still raging")
+			return
+		}
+		if !errors.Is(err, disk.ErrIO) {
+			t.Errorf("force error %v does not expose the disk sentinel", err)
+		}
+		fd.failN = 0 // fault clears
+		if err := l.Force(p, l.AppendedLSN()); err != nil {
+			t.Errorf("force after fault cleared: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v := l.Stats().ForceErrors.Value(); v != 1 {
+		t.Fatalf("force errors = %d, want 1", v)
+	}
+	var res ScanResult
+	s2 := sim.New(14)
+	s2.Spawn(nil, "r", func(p *sim.Proc) {
+		res, _ = Scan(p, mem, Config{}, FirstLSN(Config{}))
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 || !bytes.Equal(res.Records[0].Payload, payload) {
+		t.Fatal("record not recoverable after the fault cleared")
+	}
+}

@@ -213,9 +213,25 @@ type (
 
 // Fault kinds.
 const (
-	FaultGuestCrash = faultinject.GuestCrash
-	FaultPowerCut   = faultinject.PowerCut
+	FaultGuestCrash   = faultinject.GuestCrash
+	FaultPowerCut     = faultinject.PowerCut
+	FaultDiskError    = faultinject.DiskError
+	FaultLatencyStorm = faultinject.LatencyStorm
 )
+
+// Media-fault modelling.
+type (
+	// FaultConfig parameterises a fault-injecting device wrapper.
+	FaultConfig = disk.FaultConfig
+	// FaultyDevice injects seeded transient errors, grown bad-sector
+	// ranges, and latency spikes in front of any Device.
+	FaultyDevice = disk.Faulty
+)
+
+// NewFaultyDevice wraps a device in the media-fault injection layer.
+func NewFaultyDevice(inner Device, cfg FaultConfig) *FaultyDevice {
+	return disk.NewFaulty(inner, cfg)
+}
 
 // RunCampaign executes a fault-injection campaign.
 func RunCampaign(cfg CampaignConfig) CampaignSummary { return faultinject.RunCampaign(cfg) }

@@ -66,7 +66,7 @@ func TestQuickstart(t *testing.T) {
 }
 
 func TestFacadeSurface(t *testing.T) {
-	if len(Modes) != 4 || len(Experiments) != 17 {
+	if len(Modes) != 4 || len(Experiments) != 18 {
 		t.Fatalf("facade lists: %d modes, %d experiments", len(Modes), len(Experiments))
 	}
 	if ExperimentByID("e1") == nil || ExperimentByID("nope") != nil {
