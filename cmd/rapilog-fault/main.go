@@ -1,7 +1,9 @@
 // Command rapilog-fault runs destructive durability campaigns: repeated
-// guest crashes, plug-pulls, or media-fault windows under load, each
-// followed by recovery and a client-side durability audit. This is the tool
-// behind the paper's "pull the plug N times, lose nothing" claim.
+// guest crashes, plug-pulls, media-fault windows, or replication-fabric
+// outages under load, each followed by recovery and a client-side
+// durability audit. This is the tool behind the paper's "pull the plug N
+// times, lose nothing" claim — and this reproduction's replicated
+// extension of it.
 //
 // Usage:
 //
@@ -10,6 +12,8 @@
 //	rapilog-fault -mode rapilog -fault disk-error -trials 50 -err-prob 0.9
 //	rapilog-fault -mode rapilog -fault disk-error -permanent -trials 5
 //	rapilog-fault -mode rapilog -fault latency-storm -fault-window 500ms
+//	rapilog-fault -mode rapilog-replica -fault partition -then power-cut \
+//	    -break-dump -ack-policy quorum -quorum 1 -replicas 2 -trials 10
 package main
 
 import (
@@ -22,9 +26,9 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "rapilog", "native-sync | native-async | virt-sync | rapilog")
+		mode      = flag.String("mode", "rapilog", "native-sync | native-async | virt-sync | rapilog | rapilog-replica")
 		engine    = flag.String("engine", "pg", "engine personality: pg | my | cx")
-		fault     = flag.String("fault", "power-cut", "power-cut | guest-crash | disk-error | latency-storm")
+		fault     = flag.String("fault", "power-cut", "power-cut | guest-crash | disk-error | latency-storm | partition | replica-crash")
 		trials    = flag.Int("trials", 20, "independent trials")
 		clients   = flag.Int("clients", 4, "clients under load during injection")
 		seed      = flag.Int64("seed", 42, "base deterministic seed")
@@ -33,6 +37,15 @@ func main() {
 		window    = flag.Duration("fault-window", 0, "how long a media fault lasts (disk-error, latency-storm; default 300ms)")
 		errProb   = flag.Float64("err-prob", 0, "per-request write-error probability inside a disk-error window (default 0.7)")
 		permanent = flag.Bool("permanent", false, "disk-error grows a permanent bad-sector range instead (forces degraded pass-through)")
+		// Replication (rapilog-replica mode).
+		replicas  = flag.Int("replicas", 0, "standby replicas in rapilog-replica mode (default 2)")
+		ackPolicy = flag.String("ack-policy", "local", "commit ack policy: local | quorum | remote-only")
+		quorum    = flag.Int("quorum", 0, "replicas that must hold a commit before it acks (quorum/remote-only; default 1)")
+		netLat    = flag.Duration("net-latency", 0, "fabric link latency (default 200µs)")
+		partWin   = flag.Duration("partition-window", 0, "how long a partition or replica-crash outage lasts (default fault-window)")
+		then      = flag.String("then", "", "second fault at the outage midpoint: power-cut | guest-crash (partition, replica-crash)")
+		crashReps = flag.Int("crash-replicas", 0, "standbys a replica-crash takes down (default 1)")
+		breakDump = flag.Bool("break-dump", false, "grow a bad-sector range over the whole dump zone: emergency dumps fail")
 	)
 	flag.Parse()
 
@@ -41,30 +54,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rapilog-fault: unknown engine %q\n", *engine)
 		os.Exit(2)
 	}
+	policy, err := rapilog.ParseAckPolicy(*ackPolicy, *quorum)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapilog-fault: %v\n", err)
+		os.Exit(2)
+	}
+	rigCfg := rapilog.Config{Seed: *seed, Mode: rapilog.Mode(*mode), Personality: pers,
+		Replicas: *replicas, AckPolicy: policy}
+	rigCfg.Net.Latency = *netLat
 	cfg := rapilog.CampaignConfig{
-		Rig:            rapilog.Config{Seed: *seed, Mode: rapilog.Mode(*mode), Personality: pers},
-		Fault:          rapilog.Fault(*fault),
-		Trials:         *trials,
-		Clients:        *clients,
-		FaultWindow:    *window,
-		MediaErrProb:   *errProb,
-		PermanentFault: *permanent,
+		Rig:             rigCfg,
+		Fault:           rapilog.Fault(*fault),
+		Compose:         rapilog.Fault(*then),
+		Trials:          *trials,
+		Clients:         *clients,
+		FaultWindow:     *window,
+		MediaErrProb:    *errProb,
+		PermanentFault:  *permanent,
+		PartitionWindow: *partWin,
+		CrashReplicas:   *crashReps,
+		BreakDump:       *breakDump,
 	}
 	if *wl == "stress" {
 		cfg.NewWorkload = func() rapilog.Workload { return &rapilog.Stress{} }
 	}
 
+	if rapilog.Mode(*mode) == rapilog.ModeRapiLogReplica {
+		n := *replicas
+		if n == 0 {
+			n = 2
+		}
+		fmt.Printf("replication: %d standbys, ack policy %s\n", n, policy)
+	}
 	sum := rapilog.RunCampaign(cfg)
 	if *perTrial {
-		fmt.Printf("%-6s %-12s %-8s %-8s %-6s %-9s %-10s %-8s\n",
-			"trial", "seed", "acked", "lost", "torn", "degraded", "stranded", "err")
+		fmt.Printf("%-6s %-12s %-8s %-8s %-6s %-9s %-10s %-9s %-8s\n",
+			"trial", "seed", "acked", "lost", "torn", "degraded", "stranded", "repl_lag", "err")
 		for i, tr := range sum.Trials {
 			errStr := "-"
 			if tr.Err != nil {
 				errStr = tr.Err.Error()
 			}
-			fmt.Printf("%-6d %-12d %-8d %-8d %-6v %-9v %-10d %-8s\n",
-				i, tr.Seed, tr.Acked, tr.Missing, tr.Torn, tr.Degraded, tr.BufferedAfter, errStr)
+			fmt.Printf("%-6d %-12d %-8d %-8d %-6v %-9v %-10d %-9d %-8s\n",
+				i, tr.Seed, tr.Acked, tr.Missing, tr.Torn, tr.Degraded, tr.BufferedAfter, tr.ReplLagMax, errStr)
 		}
 	}
 	fmt.Println(sum)

@@ -8,6 +8,7 @@
 //	rapilog-sim -mode rapilog -engine pg -disk hdd -clients 8 -duration 10s
 //	rapilog-sim -mode native-sync -workload tpcb -trace
 //	rapilog-sim -commit-trace -trace-out trace.json -metrics-out metrics.json
+//	rapilog-sim -mode rapilog-replica -ack-policy quorum -quorum 1 -replicas 2
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "rapilog", "native-sync | native-async | virt-sync | rapilog")
+		mode     = flag.String("mode", "rapilog", "native-sync | native-async | virt-sync | rapilog | rapilog-replica")
 		engine   = flag.String("engine", "pg", "engine personality: pg | my | cx")
 		diskKind = flag.String("disk", "hdd", "hdd | ssd | mem")
 		psu      = flag.String("psu", "measured", "atx-spec | typical | measured")
@@ -33,6 +34,11 @@ func main() {
 		warmup   = flag.Duration("warmup", time.Second, "virtual warmup excluded from stats")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		trace    = flag.Bool("trace", false, "print kernel trace events")
+
+		replicas  = flag.Int("replicas", 0, "standby replicas in rapilog-replica mode (default 2)")
+		ackPolicy = flag.String("ack-policy", "local", "commit ack policy: local | quorum | remote-only")
+		quorum    = flag.Int("quorum", 0, "replicas that must hold a commit before it acks (quorum/remote-only; default 1)")
+		netLat    = flag.Duration("net-latency", 0, "fabric link latency (default 200µs)")
 
 		commitTrace = flag.Bool("commit-trace", false, "record commit-lifecycle trace events")
 		traceCap    = flag.Int("trace-cap", 0, "trace ring capacity (default 65536)")
@@ -60,15 +66,23 @@ func main() {
 		fatalf("unknown psu %q", *psu)
 	}
 
-	dep, err := rapilog.New(rapilog.Config{
+	policy, err := rapilog.ParseAckPolicy(*ackPolicy, *quorum)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := rapilog.Config{
 		Seed:          *seed,
 		Mode:          rapilog.Mode(*mode),
 		Personality:   pers,
 		Disk:          rapilog.DiskKind(*diskKind),
 		PSU:           psuCfg,
+		Replicas:      *replicas,
+		AckPolicy:     policy,
 		Trace:         *commitTrace,
 		TraceCapacity: *traceCap,
-	})
+	}
+	cfg.Net.Latency = *netLat
+	dep, err := rapilog.New(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -141,6 +155,20 @@ func main() {
 	fmt.Printf("disk:           %d reads, %d writes, %d flushes, write p99 %v\n",
 		ds.Reads.Value(), ds.Writes.Value(), ds.Flushes.Value(),
 		ds.WriteLatency.Quantile(0.99).Round(time.Microsecond))
+	if dep.Shipper != nil {
+		reg := dep.Obs.Registry()
+		fmt.Printf("replication:    policy=%s, %d standbys, %d records shipped (%d KiB), %d resends, lag peak %d\n",
+			policy, len(dep.Standbys), reg.Counter("repl.shipped").Value(),
+			reg.Counter("repl.shipped_bytes").Value()/1024,
+			reg.Counter("repl.resends").Value(), reg.Gauge("repl.lag").Peak())
+		for _, pr := range dep.Shipper.Progress() {
+			lat := reg.Histogram("repl." + pr.Name + ".ack_latency")
+			fmt.Printf("                %s: acked %d/%d, ack latency p50=%v p99=%v\n",
+				pr.Name, pr.Acked, dep.Shipper.LastSeq(),
+				lat.Quantile(0.50).Round(time.Microsecond),
+				lat.Quantile(0.99).Round(time.Microsecond))
+		}
+	}
 
 	if *commitTrace {
 		tr := dep.Obs.Tracer()

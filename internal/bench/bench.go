@@ -95,6 +95,7 @@ var All = []Experiment{
 	{"a6", "hardware alternatives: NVRAM log vs RapiLog", runA6},
 	{"a7", "recovery time vs checkpoint age", runA7},
 	{"a8", "media faults under load: retry, degrade, lose nothing", runA8},
+	{"a9", "replicated durability: quorum acks under partition + power-fail", runA9},
 }
 
 // ByID returns the experiment with the given id, or nil.

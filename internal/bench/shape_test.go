@@ -213,7 +213,7 @@ func TestShapeA3SizingRuleMatters(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(All) != 18 {
+	if len(All) != 19 {
 		t.Fatalf("experiment count %d", len(All))
 	}
 	seen := map[string]bool{}
@@ -321,5 +321,42 @@ func TestShapeA8MediaFaults(t *testing.T) {
 	// A defect that never clears must degrade every trial.
 	if d := v(t, rep, "permanent-defect/degraded_trials"); d == 0 {
 		t.Error("permanent-defect: no trial degraded (fault never bit?)")
+	}
+}
+
+func TestShapeA9Replication(t *testing.T) {
+	rep := runExp(t, "a9")
+	// Every campaign must have real load behind it.
+	for _, label := range []string{
+		"local/power-cut", "quorum1/power-cut", "remote1/power-cut+dump-broken",
+		"local/partition+cut+dump-broken", "quorum1/partition+cut+dump-broken",
+		"quorum1/replica-crash+cut",
+	} {
+		if v(t, rep, label+"/acked") == 0 {
+			t.Errorf("%s: no commits acked, campaign proves nothing", label)
+		}
+	}
+	// Wherever the policy's invariant holds, zero acked commits are lost.
+	for _, label := range []string{
+		"local/power-cut", "quorum1/power-cut", "remote1/power-cut+dump-broken",
+		"quorum1/partition+cut+dump-broken", "quorum1/replica-crash+cut",
+	} {
+		if lost := v(t, rep, label+"/lost"); lost != 0 {
+			t.Errorf("%s: %.0f acked commits lost", label, lost)
+		}
+	}
+	// The ablation: AckLocal under the double fault demonstrably loses —
+	// without this, the quorum rows prove nothing.
+	if v(t, rep, "local/partition+cut+dump-broken/lost") == 0 {
+		t.Error("local acks lost nothing under partition+cut+dump-broken")
+	}
+	// The cost: a quorum ack pays a fabric round trip over a local ack.
+	local := v(t, rep, "latency/local/p50_us")
+	quorum := v(t, rep, "latency/quorum1/p50_us")
+	if local == 0 || quorum == 0 {
+		t.Fatal("latency stage missing")
+	}
+	if quorum <= local {
+		t.Errorf("quorum p50 %.0fµs not above local p50 %.0fµs — no replication cost visible", quorum, local)
 	}
 }

@@ -112,6 +112,12 @@ type Config struct {
 	// traces the buffer lifecycle (hv_ack through durable/dump_done) —
 	// the events the durability-exposure audit replays.
 	Obs *obs.Obs
+	// Policy selects the durability domain that must hold a commit before
+	// it is acknowledged; zero value is AckLocal, the paper's contract.
+	Policy AckPolicy
+	// Replicator, when set, receives every write the Logger makes durable.
+	// Required for any non-local Policy.
+	Replicator Replicator
 }
 
 func (c *Config) applyDefaults() {
@@ -138,6 +144,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.DrainProbeEvery == 0 {
 		c.DrainProbeEvery = time.Second
+	}
+	if c.Policy.Remote() && c.Policy.K == 0 {
+		c.Policy.K = 1
 	}
 }
 
@@ -264,19 +273,32 @@ func zonePayloadCapacity(zone disk.Device) int64 {
 // wired to the emergency dump.
 func NewLogger(m *power.Machine, hvDom *sim.Domain, backing, dumpZone disk.Device, cfg Config) (*Logger, error) {
 	cfg.applyDefaults()
+	if cfg.Policy.Remote() && cfg.Replicator == nil {
+		return nil, fmt.Errorf("rapilog: ack policy %v requires a replicator", cfg.Policy)
+	}
 	safe := SafeBufferSize(m, dumpZone)
+	remoteOnly := cfg.Policy.Kind == AckKindRemoteOnly
 	if cfg.MaxBuffer == 0 {
 		cfg.MaxBuffer = safe
+		if remoteOnly && cfg.MaxBuffer <= 0 {
+			// The replicas are the durability domain: the buffer no longer
+			// needs to fit the hold-up window, so a machine with no safe
+			// local bound at all still gets a working (generous) buffer.
+			cfg.MaxBuffer = 8 << 20
+		}
 	}
 	if cfg.MaxBuffer <= 0 {
 		return nil, fmt.Errorf("rapilog: no safe buffer possible (hold-up budget %v)", m.InterruptBudget())
 	}
-	if !cfg.Unsafe {
+	// With AckRemoteOnly the dump zone is out of the durability argument
+	// entirely — the SafeBufferSize bound and the zone-capacity check are
+	// local-dump constraints and do not apply.
+	if !cfg.Unsafe && !remoteOnly {
 		if cfg.MaxBuffer > safe {
 			return nil, fmt.Errorf("rapilog: MaxBuffer %d exceeds safe bound %d", cfg.MaxBuffer, safe)
 		}
 	}
-	if cfg.MaxBuffer > zonePayloadCapacity(dumpZone) {
+	if !remoteOnly && cfg.MaxBuffer > zonePayloadCapacity(dumpZone) {
 		return nil, fmt.Errorf("%w: bound %d, zone payload %d", ErrZoneSmall, cfg.MaxBuffer, zonePayloadCapacity(dumpZone))
 	}
 	s := m.Sim()
@@ -418,7 +440,12 @@ func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
 		copy(e.data, data)
 		l.stats.Absorbed.Inc()
 		l.tracer().Emit(p.Now().Duration(), obs.EvHvAbsorb, 0, e.span, lba, int64(len(data)))
+		// An absorbed rewrite mutates the buffered entry in place, so the
+		// replicas must see the new bytes too — their copy of the old
+		// version is now a stale shadow of what will reach the disk.
+		seq := l.ship(lba, data)
 		p.Sleep(l.cfg.AckOverhead + time.Duration(float64(len(data))/l.cfg.CopyBandwidth*float64(time.Second)))
+		l.waitPolicy(p, seq)
 		l.stats.Writes.Inc()
 		l.stats.AckLatency.Observe(p.Now().Sub(start))
 		return nil
@@ -454,10 +481,13 @@ func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
 	l.absorb[lba] = e
 	l.buffered += need
 	l.stats.Occupancy.Add(need)
+	seq := l.ship(lba, data)
 	l.dirtySig.Broadcast()
 
-	// The guest-visible cost: fixed overhead plus the memory copy.
+	// The guest-visible cost: fixed overhead plus the memory copy — plus,
+	// under a quorum policy, the replication round trip.
 	p.Sleep(l.cfg.AckOverhead + time.Duration(float64(len(data))/l.cfg.CopyBandwidth*float64(time.Second)))
+	l.waitPolicy(p, seq)
 	l.stats.Writes.Inc()
 	l.stats.AckLatency.Observe(p.Now().Sub(start))
 	return nil
@@ -470,6 +500,11 @@ func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
 // the emergency dump image.
 func (l *Logger) passthroughWrite(p *sim.Proc, lba int64, data []byte) error {
 	start := p.Now()
+	// Pass-through writes must ship too: replica replay rewrites every lba
+	// the replicas hold, so any write they never saw would be rolled back
+	// to its previous contents at recovery. No quorum wait is needed — the
+	// write below is synchronously durable on local media before the ack.
+	l.ship(lba, data)
 	l.patchPending(lba, data)
 	l.acquireIO(p)
 	err := l.writeBackingRetry(p, lba, data)
@@ -768,6 +803,15 @@ func (l *Logger) EmergencyFlush(p *sim.Proc) {
 	snapshot := l.pending // includes the draining head: replay is idempotent
 	dumpSpan := l.tracer().NewSpan()
 	l.tracer().Emit(p.Now().Duration(), obs.EvDumpStart, dumpSpan, 0, int64(len(snapshot)), l.stats.Occupancy.Value())
+	if l.cfg.Policy.Kind == AckKindRemoteOnly {
+		// The replicas are the durability domain: every acked byte is
+		// already held by K standbys, and boot-time recovery replays from
+		// them. Writing a dump here would just burn hold-up budget.
+		l.s.Tracef("%s: emergency flush: remote-only policy, dump skipped (%d entries held by replicas)",
+			l.cfg.Name, len(snapshot))
+		l.tracer().Emit(p.Now().Duration(), obs.EvDumpDone, 0, dumpSpan, 0, 0)
+		return
+	}
 	if len(snapshot) == 0 {
 		l.s.Tracef("%s: emergency flush: buffer empty", l.cfg.Name)
 		l.tracer().Emit(p.Now().Duration(), obs.EvDumpDone, 0, dumpSpan, 0, 0)

@@ -32,11 +32,22 @@ const (
 	// LatencyStorm stalls every log-device request for the fault window —
 	// nothing fails, everything is late.
 	LatencyStorm Fault = "latency-storm"
+	// Partition isolates the primary from every standby for
+	// PartitionWindow, then heals (rapilog-replica mode only). Composable
+	// with PowerCut/GuestCrash via Compose.
+	Partition Fault = "partition"
+	// ReplicaCrash crashes CrashReplicas standbys for PartitionWindow,
+	// then restarts them (rapilog-replica mode only). Composable like
+	// Partition.
+	ReplicaCrash Fault = "replica-crash"
 )
 
 // isMediaFault reports whether f injects through the disk.Faulty wrapper
 // (and therefore leaves the machine itself running).
 func (f Fault) isMediaFault() bool { return f == DiskError || f == LatencyStorm }
+
+// isReplicaFault reports whether f injects into the replication fabric.
+func (f Fault) isReplicaFault() bool { return f == Partition || f == ReplicaCrash }
 
 // CampaignConfig parameterises a fault-injection campaign.
 type CampaignConfig struct {
@@ -59,6 +70,21 @@ type CampaignConfig struct {
 	// the whole log partition: drain and WAL writes fail forever, forcing
 	// a RapiLog logger into degraded pass-through.
 	PermanentFault bool
+	// Compose, for replica faults, fires a second fault (PowerCut or
+	// GuestCrash) at the midpoint of the partition/outage window — the
+	// double-fault scenario the ack policies differ on.
+	Compose Fault
+	// PartitionWindow is how long a Partition or ReplicaCrash outage
+	// lasts; default FaultWindow.
+	PartitionWindow time.Duration
+	// CrashReplicas is how many standbys a ReplicaCrash takes down;
+	// default 1.
+	CrashReplicas int
+	// BreakDump grows a bad-sector range over the entire dump zone before
+	// the workload starts: emergency dumps fail, recovery finds nothing.
+	// This is the "local durability domain is gone" half of the A9
+	// double-fault; only a remote policy survives it with data buffered.
+	BreakDump bool
 	// Workload factory; default: a small TPC-C.
 	NewWorkload func() workload.Workload
 }
@@ -82,6 +108,12 @@ func (c *CampaignConfig) applyDefaults() {
 	if c.MediaErrProb == 0 {
 		c.MediaErrProb = 0.7
 	}
+	if c.PartitionWindow == 0 {
+		c.PartitionWindow = c.FaultWindow
+	}
+	if c.CrashReplicas == 0 {
+		c.CrashReplicas = 1
+	}
 	if c.NewWorkload == nil {
 		c.NewWorkload = func() workload.Workload {
 			return &workload.TPCC{Warehouses: 1, Districts: 4, Customers: 20, Items: 200}
@@ -97,8 +129,21 @@ func (c *CampaignConfig) validate() error {
 	}
 	switch c.Fault {
 	case GuestCrash, PowerCut, DiskError, LatencyStorm:
+	case Partition, ReplicaCrash:
+		if !c.Rig.Mode.Replicated() {
+			return fmt.Errorf("faultinject: fault %q needs mode %q", c.Fault, rig.RapiLogReplica)
+		}
 	default:
 		return fmt.Errorf("faultinject: unknown fault %q", c.Fault)
+	}
+	switch c.Compose {
+	case "":
+	case PowerCut, GuestCrash:
+		if !c.Fault.isReplicaFault() {
+			return fmt.Errorf("faultinject: Compose only applies to replica faults, not %q", c.Fault)
+		}
+	default:
+		return fmt.Errorf("faultinject: Compose must be %q or %q, got %q", PowerCut, GuestCrash, c.Compose)
 	}
 	return nil
 }
@@ -117,7 +162,10 @@ type TrialResult struct {
 	// Power-cut trials: the dying epoch's dump-path counters.
 	DumpRetries  int
 	DumpFailures int
-	Err          error
+	// Replica-mode trials: the replication stream's peak unacked depth
+	// (records shipped but not yet held by every standby).
+	ReplLagMax int64
+	Err        error
 }
 
 // Ok reports whether the trial had zero durability violations.
@@ -131,8 +179,9 @@ type Summary struct {
 	TotalLost      int
 	Violations     int // trials with any loss or corruption
 	Errors         int
-	DegradedTrials int // trials that ended with the logger in pass-through
-	DumpFailures   int // emergency dumps that never reached the zone
+	DegradedTrials int   // trials that ended with the logger in pass-through
+	DumpFailures   int   // emergency dumps that never reached the zone
+	MaxReplLag     int64 // worst per-trial replication lag peak
 }
 
 // add folds one trial into the aggregate. Loss/corruption is counted
@@ -152,6 +201,9 @@ func (s *Summary) add(res TrialResult) {
 		s.DegradedTrials++
 	}
 	s.DumpFailures += res.DumpFailures
+	if res.ReplLagMax > s.MaxReplLag {
+		s.MaxReplLag = res.ReplLagMax
+	}
 }
 
 func (s Summary) String() string {
@@ -162,8 +214,15 @@ func (s Summary) String() string {
 	if s.DumpFailures > 0 {
 		extra += fmt.Sprintf(", %d dump failures", s.DumpFailures)
 	}
+	if s.MaxReplLag > 0 {
+		extra += fmt.Sprintf(", repl lag max %d", s.MaxReplLag)
+	}
+	fault := string(s.Config.Fault)
+	if s.Config.Compose != "" {
+		fault += "+" + string(s.Config.Compose)
+	}
 	return fmt.Sprintf("%s/%s: %d trials, %d acked commits, %d lost, %d violating trials, %d errors%s",
-		s.Config.Rig.Mode, s.Config.Fault, len(s.Trials), s.TotalAcked, s.TotalLost, s.Violations, s.Errors, extra)
+		s.Config.Rig.Mode, fault, len(s.Trials), s.TotalAcked, s.TotalLost, s.Violations, s.Errors, extra)
 }
 
 // RunCampaign executes cfg.Trials independent trials with seeds base+i.
@@ -202,10 +261,20 @@ func RunTrial(cfg CampaignConfig, seed int64) TrialResult {
 		// The fault layer starts quiet; the operator opens the window.
 		rigCfg.LogFault = disk.FaultConfig{Enabled: true, Seed: seed * 31}
 	}
+	if cfg.BreakDump && !rigCfg.DumpFault.Enabled {
+		rigCfg.DumpFault = disk.FaultConfig{Enabled: true, Seed: seed*31 + 7}
+	}
 	r, err := rig.New(rigCfg)
 	if err != nil {
 		res.Err = err
 		return res
+	}
+	if cfg.BreakDump {
+		// Every dump-zone write fails permanently; reads still succeed
+		// (returning whatever is there — zeros), so recovery sees "no dump"
+		// rather than an I/O error, exactly like a zone that silently
+		// rotted.
+		r.FaultyDump.AddBadRange(0, r.DumpPart.Sectors(), false)
 	}
 	s := r.S
 	j := workload.NewJournal()
@@ -260,6 +329,24 @@ func RunTrial(cfg CampaignConfig, seed int64) TrialResult {
 		}
 		p.Sleep(delay)
 		res.Acked = j.Len()
+		powerCut := cfg.Fault == PowerCut
+		guestDown := cfg.Fault == GuestCrash
+		// composeMid fires the composed second fault at the midpoint of a
+		// replica outage. The obligation set is re-sampled first: commits
+		// acked during the outage are legitimate promises of whatever
+		// policy is active (under AckLocal the partition doesn't slow acks
+		// at all — which is exactly the exposure A9 demonstrates).
+		composeMid := func() {
+			res.Acked = j.Len()
+			switch cfg.Compose {
+			case PowerCut:
+				r.CutPower()
+				powerCut = true
+			case GuestCrash:
+				r.CrashOS()
+				guestDown = true
+			}
+		}
 		switch cfg.Fault {
 		case GuestCrash:
 			r.CrashOS()
@@ -278,12 +365,33 @@ func RunTrial(cfg CampaignConfig, seed int64) TrialResult {
 			r.FaultyLog.SetStorm(true)
 			p.Sleep(cfg.FaultWindow)
 			r.FaultyLog.SetStorm(false)
+		case Partition:
+			w := cfg.PartitionWindow
+			r.Fabric.Isolate(rig.PrimaryEndpoint)
+			p.Sleep(w / 2)
+			composeMid()
+			p.Sleep(w - w/2)
+			r.Fabric.Heal()
+		case ReplicaCrash:
+			n := cfg.CrashReplicas
+			if n > len(r.Standbys) {
+				n = len(r.Standbys)
+			}
+			for _, st := range r.Standbys[:n] {
+				st.Crash()
+			}
+			p.Sleep(cfg.PartitionWindow / 2)
+			composeMid()
+			p.Sleep(cfg.PartitionWindow - cfg.PartitionWindow/2)
+			for _, st := range r.Standbys[:n] {
+				st.Restart()
+			}
 		}
 
 		// Let the dust settle (hold-up window, hypervisor drain, backlog
 		// catch-up), then recover and audit.
 		p.Sleep(3 * time.Second)
-		if cfg.Fault == PowerCut {
+		if powerCut {
 			rep, err := r.RecoverAfterPower(p)
 			if err != nil {
 				res.Err = fmt.Errorf("power recovery: %w", err)
@@ -295,7 +403,7 @@ func RunTrial(cfg CampaignConfig, seed int64) TrialResult {
 			res.DumpRetries = rep.DumpRetries
 			res.DumpFailures = rep.DumpFailures
 		} else {
-			if cfg.Fault.isMediaFault() {
+			if cfg.Fault.isMediaFault() || (cfg.Fault.isReplicaFault() && !guestDown) {
 				// The machine never died: every acknowledgement up to this
 				// crash — including those made during the fault window — is
 				// an obligation the audit must see honoured.
@@ -335,9 +443,13 @@ func RunTrial(cfg CampaignConfig, seed int64) TrialResult {
 		})
 	})
 
-	if err := s.RunFor(10 * time.Minute); err != nil {
+	runErr := s.RunFor(10 * time.Minute)
+	if r.Fabric != nil {
+		res.ReplLagMax = r.Obs.Registry().Gauge("repl.lag").Peak()
+	}
+	if runErr != nil {
 		if res.Err == nil {
-			res.Err = err
+			res.Err = runErr
 		}
 		return res
 	}

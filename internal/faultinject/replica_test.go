@@ -1,0 +1,132 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/power"
+	"repro/internal/rig"
+	"repro/internal/workload"
+)
+
+// doubleFaultCampaign is the A9 regime: slow spindle, measured PSU, a
+// commit-heavy workload keeping the buffer near its bound — and then the
+// double fault the local durability domain cannot absorb: a network
+// partition that outlasts the hold-up window, a power cut at its midpoint,
+// and a dump zone that fails every write. What survives is exactly what a
+// standby already holds.
+func doubleFaultCampaign(policy core.AckPolicy, trials int) CampaignConfig {
+	return CampaignConfig{
+		Rig: rig.Config{
+			Seed:      42,
+			Mode:      rig.RapiLogReplica,
+			Replicas:  2,
+			AckPolicy: policy,
+			PSU:       power.PSUMeasured,
+			HDD:       disk.HDDConfig{RPM: 3600, SectorsPerTrack: 250},
+		},
+		Fault:   Partition,
+		Compose: PowerCut,
+		// The power dies at the window midpoint; the remaining second of
+		// partition comfortably outlasts PSUMeasured's 250–380ms hold-up,
+		// so nothing buffered escapes over the network post-cut either.
+		PartitionWindow: 2 * time.Second,
+		BreakDump:       true,
+		Trials:          trials,
+		Clients:         16,
+		InjectAfterMin:  1500 * time.Millisecond,
+		InjectAfterMax:  2500 * time.Millisecond,
+		NewWorkload:     func() workload.Workload { return &workload.Stress{ValueSize: 6000} },
+	}
+}
+
+// TestQuorumSurvivesPartitionPlusPowerFail is the A9 invariant: with
+// quorum acks, every acknowledged commit is already held by a standby, so
+// the simultaneous loss of the machine AND its dump zone loses nothing.
+func TestQuorumSurvivesPartitionPlusPowerFail(t *testing.T) {
+	sum := RunCampaign(doubleFaultCampaign(core.AckQuorum(1), 3))
+	if sum.Errors > 0 {
+		t.Fatalf("campaign errors: %+v", sum.Trials)
+	}
+	if sum.TotalAcked == 0 {
+		t.Fatal("no transactions acked before faults")
+	}
+	if sum.Violations != 0 || sum.TotalLost != 0 {
+		t.Fatalf("quorum acks lost commits under partition+power-cut+broken-dump: %s", sum)
+	}
+	if sum.MaxReplLag == 0 {
+		t.Fatal("replication lag never observed — was anything shipped?")
+	}
+}
+
+// TestLocalAcksLoseUnderSameDoubleFault is the ablation: AckLocal keeps
+// acknowledging at buffer speed through the partition, so commits pile up
+// that neither the (unreachable) standbys nor the (broken) dump zone hold
+// when the power dies. Asserted both ways, like A3.
+func TestLocalAcksLoseUnderSameDoubleFault(t *testing.T) {
+	sum := RunCampaign(doubleFaultCampaign(core.AckLocal(), 3))
+	if sum.Errors > 0 {
+		t.Fatalf("campaign errors: %+v", sum.Trials)
+	}
+	if sum.TotalLost == 0 {
+		t.Fatalf("local acks lost nothing under partition+power-cut+broken-dump — the quorum test proves nothing: %s", sum)
+	}
+}
+
+// TestQuorumSurvivesReplicaCrashPlusPowerFail: same double fault, but the
+// outage is one crashed standby instead of a full partition. quorum(1) of
+// 2 replicas means the survivor still holds every acked commit.
+func TestQuorumSurvivesReplicaCrashPlusPowerFail(t *testing.T) {
+	cfg := doubleFaultCampaign(core.AckQuorum(1), 2)
+	cfg.Fault = ReplicaCrash
+	cfg.CrashReplicas = 1
+	sum := RunCampaign(cfg)
+	if sum.Errors > 0 {
+		t.Fatalf("campaign errors: %+v", sum.Trials)
+	}
+	if sum.TotalAcked == 0 {
+		t.Fatal("no transactions acked before faults")
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("quorum acks lost commits when one standby crashed: %s", sum)
+	}
+}
+
+func TestReplicaFaultValidation(t *testing.T) {
+	cfg := quickCampaign(rig.RapiLog, Partition, 1)
+	if err := cfg.validate(); err == nil {
+		t.Fatal("partition fault accepted outside rapilog-replica mode")
+	}
+	cfg = quickCampaign(rig.RapiLogReplica, PowerCut, 1)
+	cfg.Compose = GuestCrash
+	if err := cfg.validate(); err == nil {
+		t.Fatal("Compose accepted on a non-replica fault")
+	}
+	cfg = quickCampaign(rig.RapiLogReplica, Partition, 1)
+	cfg.Compose = DiskError
+	if err := cfg.validate(); err == nil {
+		t.Fatal("non-crash Compose accepted")
+	}
+}
+
+// TestBarePartitionIsHarmless: a partition with no second fault must never
+// cost a commit under any policy — the stream catches up after the heal.
+func TestBarePartitionIsHarmless(t *testing.T) {
+	for _, pol := range []core.AckPolicy{core.AckLocal(), core.AckQuorum(1)} {
+		cfg := doubleFaultCampaign(pol, 2)
+		cfg.Compose = ""
+		cfg.BreakDump = false
+		sum := RunCampaign(cfg)
+		if sum.Errors > 0 {
+			t.Fatalf("%v: campaign errors: %+v", pol, sum.Trials)
+		}
+		if sum.Violations != 0 {
+			t.Fatalf("%v: bare partition lost commits: %s", pol, sum)
+		}
+		if sum.TotalAcked == 0 {
+			t.Fatalf("%v: nothing acked", pol)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package netsim is a deterministic network fabric on the simulation's
+// virtual clock: named endpoints exchange messages over point-to-point
+// links with modelled latency, jitter and bandwidth, plus seeded loss,
+// duplication and reordering, and explicit partition/heal controls.
+//
+// The fabric exists so the replication subsystem can be exercised under
+// exactly the faults that make replication protocols hard — lost acks,
+// duplicated records, records arriving out of order, a standby unreachable
+// for a window — while every run stays bit-for-bit reproducible: all
+// randomness comes from the fabric's own seeded generator and all delivery
+// is scheduled on sim timers, so the same seed and the same send schedule
+// produce the same delivery order, drops included.
+//
+// The fabric itself spawns no processes: Send schedules delivery callbacks
+// on the simulation and returns immediately, so it is safe to call from
+// any process (including interrupt-style contexts). Receivers block on
+// their endpoint's signal, which keeps an idle fabric event-free — a
+// simulation with nothing else to do still terminates.
+package netsim
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// LinkConfig models one direction of a point-to-point link.
+type LinkConfig struct {
+	// Latency is the propagation delay; default 200µs (same-datacenter).
+	Latency time.Duration
+	// Jitter adds a uniform [0, Jitter) extra delay per message; default
+	// Latency/4.
+	Jitter time.Duration
+	// Bandwidth serialises messages on the link, bytes/s; default 125 MB/s
+	// (a 1 Gbit NIC).
+	Bandwidth float64
+	// DropProb is the probability a message is lost in flight.
+	DropProb float64
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability a message is held back by an extra
+	// ReorderDelay, letting later sends overtake it.
+	ReorderProb float64
+	// ReorderDelay is the hold-back applied to reordered messages; default
+	// 4 × Latency.
+	ReorderDelay time.Duration
+}
+
+func (c *LinkConfig) applyDefaults() {
+	if c.Latency == 0 {
+		c.Latency = 200 * time.Microsecond
+	}
+	if c.Jitter == 0 {
+		c.Jitter = c.Latency / 4
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 125e6
+	}
+	if c.ReorderDelay == 0 {
+		c.ReorderDelay = 4 * c.Latency
+	}
+}
+
+// Config parameterises a Fabric.
+type Config struct {
+	// Seed drives the fabric's private generator (drops, jitter, dup,
+	// reorder). A fabric never touches the simulation's generator, so
+	// enabling network faults does not perturb any other component.
+	Seed int64
+	// Link is the default config applied to every directed link; per-link
+	// overrides via SetLink.
+	Link LinkConfig
+	// Reg, when set, registers the fabric's instruments centrally.
+	Reg *obs.Registry
+}
+
+// Message is one delivered datagram.
+type Message struct {
+	From, To string
+	// Size in bytes; what the bandwidth model charged.
+	Size    int
+	Payload any
+	// SentAt/DeliveredAt stamp the virtual-time flight.
+	SentAt      sim.Time
+	DeliveredAt sim.Time
+}
+
+type linkKey struct{ from, to string }
+
+// link carries per-directed-link state: the config and the time the link's
+// transmitter frees up (bandwidth serialisation).
+type link struct {
+	cfg       LinkConfig
+	busyUntil sim.Time
+}
+
+// Stats exposes the fabric's counters.
+type Stats struct {
+	Sent           *metrics.Counter
+	Delivered      *metrics.Counter
+	Dropped        *metrics.Counter // lost to DropProb
+	Duplicated     *metrics.Counter
+	Reordered      *metrics.Counter
+	PartitionDrops *metrics.Counter // lost to an active partition
+	InFlightBytes  *metrics.Gauge
+}
+
+// Fabric is the message switch. All state is owned by the single-threaded
+// simulation; no locking.
+type Fabric struct {
+	s     *sim.Sim
+	cfg   Config
+	rng   *rand.Rand
+	eps   map[string]*Endpoint
+	links map[linkKey]*link
+	// isolated nodes cannot send or receive; the map is the partition.
+	isolated map[string]bool
+	stats    *Stats
+}
+
+// New creates a fabric. The default link config applies to every pair of
+// endpoints until overridden with SetLink.
+func New(s *sim.Sim, cfg Config) *Fabric {
+	cfg.Link.applyDefaults()
+	reg := cfg.Reg
+	return &Fabric{
+		s:        s,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		eps:      make(map[string]*Endpoint),
+		links:    make(map[linkKey]*link),
+		isolated: make(map[string]bool),
+		stats: &Stats{
+			Sent:           reg.Counter("net.sent"),
+			Delivered:      reg.Counter("net.delivered"),
+			Dropped:        reg.Counter("net.dropped"),
+			Duplicated:     reg.Counter("net.duplicated"),
+			Reordered:      reg.Counter("net.reordered"),
+			PartitionDrops: reg.Counter("net.partition_drops"),
+			InFlightBytes:  reg.Gauge("net.inflight_bytes"),
+		},
+	}
+}
+
+// Stats returns the fabric's counters (live; not a copy).
+func (f *Fabric) Stats() *Stats { return f.stats }
+
+// Endpoint returns the named endpoint, creating it on first use.
+func (f *Fabric) Endpoint(name string) *Endpoint {
+	if ep, ok := f.eps[name]; ok {
+		return ep
+	}
+	ep := &Endpoint{f: f, name: name, sig: f.s.NewSignal("net." + name + ".inbox")}
+	f.eps[name] = ep
+	return ep
+}
+
+// SetLink overrides the link config for both directions between a and b.
+func (f *Fabric) SetLink(a, b string, cfg LinkConfig) {
+	cfg.applyDefaults()
+	f.link(a, b).cfg = cfg
+	f.link(b, a).cfg = cfg
+}
+
+func (f *Fabric) link(from, to string) *link {
+	k := linkKey{from, to}
+	if l, ok := f.links[k]; ok {
+		return l
+	}
+	l := &link{cfg: f.cfg.Link}
+	f.links[k] = l
+	return l
+}
+
+// Isolate cuts the named nodes off from the fabric: anything they send,
+// and anything sent to them, is dropped at transmission time. Messages
+// already in flight still arrive — the wire does not eat a packet because
+// a switch port went down after it left.
+func (f *Fabric) Isolate(names ...string) {
+	for _, n := range names {
+		f.isolated[n] = true
+	}
+}
+
+// Heal lifts every isolation. Retransmission is the sender's problem, as
+// on a real network.
+func (f *Fabric) Heal() {
+	for n := range f.isolated {
+		delete(f.isolated, n)
+	}
+}
+
+// Restore lifts the isolation of specific nodes, leaving any others cut
+// off — a crashed standby rejoining a fabric that is still partitioned
+// elsewhere.
+func (f *Fabric) Restore(names ...string) {
+	for _, n := range names {
+		delete(f.isolated, n)
+	}
+}
+
+// Isolated reports whether a node is currently cut off.
+func (f *Fabric) Isolated(name string) bool { return f.isolated[name] }
+
+// Send transmits size bytes of payload from one endpoint to another. It
+// never blocks: delivery (or loss) is decided now, scheduled on the
+// simulation, and Send returns. The payload is delivered by reference —
+// senders must not reuse the backing memory after Send.
+func (f *Fabric) Send(from, to string, size int, payload any) {
+	f.stats.Sent.Inc()
+	if f.isolated[from] || f.isolated[to] {
+		f.stats.PartitionDrops.Inc()
+		return
+	}
+	lk := f.link(from, to)
+	if lk.cfg.DropProb > 0 && f.rng.Float64() < lk.cfg.DropProb {
+		f.stats.Dropped.Inc()
+		return
+	}
+	f.deliver(lk, from, to, size, payload, false)
+	if lk.cfg.DupProb > 0 && f.rng.Float64() < lk.cfg.DupProb {
+		f.stats.Duplicated.Inc()
+		f.deliver(lk, from, to, size, payload, true)
+	}
+}
+
+// deliver schedules one copy of a message: serialise on the link's
+// transmitter, add propagation latency and jitter, optionally hold the
+// message back so later sends overtake it.
+func (f *Fabric) deliver(lk *link, from, to string, size int, payload any, dup bool) {
+	xfer := time.Duration(float64(size) / lk.cfg.Bandwidth * float64(time.Second))
+	start := f.s.Now()
+	if lk.busyUntil > start {
+		start = lk.busyUntil
+	}
+	lk.busyUntil = start.Add(xfer)
+	delay := start.Sub(f.s.Now()) + xfer + lk.cfg.Latency
+	if lk.cfg.Jitter > 0 {
+		delay += time.Duration(f.rng.Int63n(int64(lk.cfg.Jitter)))
+	}
+	if !dup && lk.cfg.ReorderProb > 0 && f.rng.Float64() < lk.cfg.ReorderProb {
+		f.stats.Reordered.Inc()
+		delay += lk.cfg.ReorderDelay
+	}
+	m := Message{From: from, To: to, Size: size, Payload: payload, SentAt: f.s.Now()}
+	f.stats.InFlightBytes.Add(int64(size))
+	f.s.After(delay, func() {
+		f.stats.InFlightBytes.Add(-int64(size))
+		if f.isolated[to] {
+			// The port came down while the packet was in flight.
+			f.stats.PartitionDrops.Inc()
+			return
+		}
+		f.stats.Delivered.Inc()
+		m.DeliveredAt = f.s.Now()
+		ep := f.Endpoint(to)
+		ep.inbox = append(ep.inbox, m)
+		ep.sig.Broadcast()
+	})
+}
+
+// Endpoint is one named attachment point: an inbox plus a wakeup signal.
+type Endpoint struct {
+	f     *Fabric
+	name  string
+	inbox []Message
+	head  int // consumed prefix of inbox
+	sig   *sim.Signal
+}
+
+// Name returns the endpoint's fabric-wide name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Pending returns the number of undelivered messages in the inbox.
+func (e *Endpoint) Pending() int { return len(e.inbox) - e.head }
+
+// TryRecv pops the oldest queued message without blocking.
+func (e *Endpoint) TryRecv() (Message, bool) {
+	if e.head == len(e.inbox) {
+		return Message{}, false
+	}
+	m := e.inbox[e.head]
+	e.inbox[e.head] = Message{}
+	e.head++
+	if e.head == len(e.inbox) {
+		e.inbox = e.inbox[:0]
+		e.head = 0
+	}
+	return m, true
+}
+
+// Recv blocks p until a message is available and returns it.
+func (e *Endpoint) Recv(p *sim.Proc) Message {
+	for {
+		if m, ok := e.TryRecv(); ok {
+			return m
+		}
+		e.sig.Wait(p)
+	}
+}
+
+// Send transmits from this endpoint.
+func (e *Endpoint) Send(to string, size int, payload any) {
+	e.f.Send(e.name, to, size, payload)
+}

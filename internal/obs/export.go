@@ -89,6 +89,41 @@ func (r *Registry) Snapshot() Snapshot {
 	return snap
 }
 
+// Diff returns the per-instrument change from prev to s, so a long
+// campaign can report per-interval rates instead of lifetime totals
+// (replication lag per phase, drained bytes per window, …).
+//
+// Counters subtract. Gauges report the level change, with Peak carrying
+// s's absolute high-water mark — a peak is not a rate and cannot be
+// meaningfully subtracted. Histograms report the interval's Count/Sum and
+// the Mean recomputed from those deltas; the order statistics (min,
+// quantiles, max) are whole-run properties with no subtractive form and
+// are zeroed. Series are omitted — they are already time-indexed.
+// Instruments absent from prev (registered mid-interval) diff against
+// zero.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]GaugeSnap),
+		Histograms: make(map[string]HistogramSnap),
+	}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - prev.Counters[name]
+	}
+	for name, g := range s.Gauges {
+		d.Gauges[name] = GaugeSnap{Value: g.Value - prev.Gauges[name].Value, Peak: g.Peak}
+	}
+	for name, h := range s.Histograms {
+		p := prev.Histograms[name]
+		dh := HistogramSnap{Count: h.Count - p.Count, SumNs: h.SumNs - p.SumNs}
+		if dh.Count > 0 {
+			dh.MeanNs = dh.SumNs / int64(dh.Count)
+		}
+		d.Histograms[name] = dh
+	}
+	return d
+}
+
 // WriteJSON writes the snapshot as indented JSON.
 func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

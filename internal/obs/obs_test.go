@@ -218,3 +218,46 @@ func TestExposureSeries(t *testing.T) {
 		t.Fatalf("series points = %v", pts)
 	}
 }
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("drained")
+	g := r.Gauge("occupancy")
+	h := r.Histogram("ack")
+	c.Add(10)
+	g.Set(100) // peak 100
+	h.Observe(10 * time.Microsecond)
+	h.Observe(30 * time.Microsecond)
+	prev := r.Snapshot()
+
+	c.Add(5)
+	g.Set(40) // level drops; peak stays 100
+	h.Observe(50 * time.Microsecond)
+	h.Observe(70 * time.Microsecond)
+	r.Counter("late") // registered mid-interval
+	r.Counter("late").Add(2)
+	d := r.Snapshot().Diff(prev)
+
+	if d.Counters["drained"] != 5 {
+		t.Fatalf("counter delta = %d, want 5", d.Counters["drained"])
+	}
+	if d.Counters["late"] != 2 {
+		t.Fatalf("mid-interval counter delta = %d, want 2", d.Counters["late"])
+	}
+	if got := d.Gauges["occupancy"]; got.Value != -60 || got.Peak != 100 {
+		t.Fatalf("gauge delta = %+v, want {-60 100}", got)
+	}
+	dh := d.Histograms["ack"]
+	if dh.Count != 2 {
+		t.Fatalf("histogram delta count = %d, want 2", dh.Count)
+	}
+	if want := int64(60 * time.Microsecond); dh.MeanNs != want {
+		t.Fatalf("interval mean = %d, want %d (mean of 50µs and 70µs)", dh.MeanNs, want)
+	}
+	if dh.MinNs != 0 || dh.P99Ns != 0 || dh.MaxNs != 0 {
+		t.Fatal("order statistics must be zeroed in a diff — they have no subtractive form")
+	}
+	if d.Series != nil {
+		t.Fatal("diff must omit series")
+	}
+}

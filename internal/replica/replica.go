@@ -1,0 +1,716 @@
+// Package replica implements the replicated durability domain: log shipping
+// from the RapiLog buffer to N standby replicas over the simulated network
+// fabric, with a sequence-numbered stream protocol, cumulative acks, and
+// per-replica catch-up after partitions heal.
+//
+// The protocol is deliberately minimal — the subsystem exists to extend the
+// paper's safety argument, not to reinvent consensus:
+//
+//   - The Shipper assigns every shipped write a sequence number within the
+//     current power epoch and sends a copy to every standby. Records are
+//     retained until every standby has cumulatively acknowledged them.
+//   - A Standby applies records strictly in sequence order (out-of-order
+//     arrivals are buffered, duplicates re-acknowledged) and replies with a
+//     cumulative ack: "I durably hold everything up to seq S". The ack also
+//     carries the highest sequence the standby has seen, so the shipper can
+//     tell a hole (retransmit now) from a tail still in flight.
+//   - Lost records and lost acks are repaired by retransmission: a hole
+//     reported by an ack is refilled immediately, and a probe resends the
+//     oldest unacknowledged window whenever a replica has been silent for a
+//     full retransmit interval — which is how a replica catches back up
+//     after a partition heals or after it restarts.
+//
+// Epochs make power cycles safe: each Logger rebuild gets a fresh Shipper
+// with the next epoch number, standbys track applied prefixes per epoch,
+// and recovery replays epochs in order — so a record from a dead epoch can
+// never overwrite a newer one.
+//
+// Standbys live in their own simulation-level crash domains, NOT in the
+// machine's: they model separate machines in separate failure domains, and
+// surviving the primary's power loss is their entire purpose.
+package replica
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Wire-size model: per-record framing (epoch, seq, lba, length, CRC) and
+// the fixed size of a cumulative ack.
+const (
+	recordOverhead = 32
+	ackBytes       = 24
+)
+
+// Config tunes the shipping protocol. The same Config parameterises the
+// Shipper and every Standby so both sides agree on names.
+type Config struct {
+	// PrimaryName is the shipper's endpoint on the fabric; default "primary".
+	PrimaryName string
+	// RetransmitEvery is the silent-replica probe interval: a replica whose
+	// acks have stalled for this long gets its oldest unacknowledged window
+	// resent. Default 10ms.
+	RetransmitEvery time.Duration
+	// HoleResendMin rate-limits hole-triggered retransmissions per replica
+	// (an ack reporting seen > acked means a gap lost on the wire). Default
+	// 2ms — about two RTTs on the default link.
+	HoleResendMin time.Duration
+	// ResendWindow bounds records resent to one replica per repair round;
+	// default 128.
+	ResendWindow int
+	// ApplyDelay is the standby-side cost of processing one record
+	// (validate, append to its durable log); default 2µs.
+	ApplyDelay time.Duration
+	// Reg, when set, registers the subsystem's instruments centrally.
+	Reg *obs.Registry
+}
+
+func (c *Config) applyDefaults() {
+	if c.PrimaryName == "" {
+		c.PrimaryName = "primary"
+	}
+	if c.RetransmitEvery == 0 {
+		c.RetransmitEvery = 10 * time.Millisecond
+	}
+	if c.HoleResendMin == 0 {
+		c.HoleResendMin = 2 * time.Millisecond
+	}
+	if c.ResendWindow == 0 {
+		c.ResendWindow = 128
+	}
+	if c.ApplyDelay == 0 {
+		c.ApplyDelay = 2 * time.Microsecond
+	}
+}
+
+// Record is one shipped log write: a copy of the payload plus where it
+// belongs on the log partition. Records double as the wire format.
+type Record struct {
+	Epoch int
+	Seq   uint64
+	Lba   int64
+	Data  []byte
+}
+
+// ackMsg is a standby's cumulative acknowledgement for one epoch.
+type ackMsg struct {
+	Epoch int
+	Seq   uint64 // everything ≤ Seq is durably applied
+	Seen  uint64 // highest seq received (Seen > Seq ⇒ a hole the shipper should refill)
+	From  string
+}
+
+// shipRec is a retained record plus its ship time (for ack latency).
+type shipRec struct {
+	rec Record
+	at  sim.Time
+}
+
+// repState is the shipper's view of one replica.
+type repState struct {
+	name       string
+	ack        uint64   // cumulative ack received
+	lastHeard  sim.Time // last ack arrival (stalls during partitions)
+	lastFill   sim.Time // last hole-triggered resend
+	fillHi     uint64   // highest seq already resent to this replica
+	progressAt sim.Time // last time ack advanced (repair go-back deadline)
+	ackGauge   *metrics.Gauge
+	ackLat     *metrics.Histogram // ship → covered-by-cumulative-ack, per record
+}
+
+// Shipper is the primary-side half: it runs in the hypervisor's crash
+// domain (it must survive guest crashes, and keeps shipping through the
+// PSU hold-up window), retains unacknowledged records, and repairs losses.
+type Shipper struct {
+	s     *sim.Sim
+	cfg   Config
+	epoch int
+	ep    *netsim.Endpoint
+
+	next     uint64 // seq the next Ship call gets; first record is seq 1
+	base     uint64 // seq of retained[0]
+	retained []shipRec
+	reps     []*repState
+
+	quorumSig *sim.Signal // broadcast whenever any replica's ack advances
+	workSig   *sim.Signal // wakes the probe when records are outstanding
+
+	lag       *metrics.Gauge // newest shipped seq − slowest replica ack, records
+	retainedB *metrics.Gauge // bytes retained awaiting full acknowledgement
+	shipped   *metrics.Counter
+	shippedB  *metrics.Counter
+	resends   *metrics.Counter
+}
+
+// NewShipper creates the primary side for one power epoch and starts its
+// ack receiver and retransmit probe in dom (the hypervisor domain — both
+// die with the machine, and a recovered machine builds a fresh Shipper
+// under the next epoch).
+func NewShipper(s *sim.Sim, fab *netsim.Fabric, dom *sim.Domain, epoch int, replicas []string, cfg Config) *Shipper {
+	cfg.applyDefaults()
+	reg := cfg.Reg
+	sh := &Shipper{
+		s:         s,
+		cfg:       cfg,
+		epoch:     epoch,
+		ep:        fab.Endpoint(cfg.PrimaryName),
+		next:      1,
+		base:      1,
+		quorumSig: s.NewSignal("repl.quorum"),
+		workSig:   s.NewSignal("repl.work"),
+		lag:       reg.Gauge("repl.lag"),
+		retainedB: reg.Gauge("repl.retained_bytes"),
+		shipped:   reg.Counter("repl.shipped"),
+		shippedB:  reg.Counter("repl.shipped_bytes"),
+		resends:   reg.Counter("repl.resends"),
+	}
+	for _, name := range replicas {
+		sh.reps = append(sh.reps, &repState{
+			name:     name,
+			ackGauge: reg.Gauge("repl." + name + ".acked"),
+			ackLat:   reg.Histogram("repl." + name + ".ack_latency"),
+		})
+	}
+	// A new epoch starts with nothing outstanding; the gauges are shared
+	// across logger rebuilds and must restart from this shipper's reality
+	// (peaks are preserved by the registry).
+	sh.lag.Set(0)
+	sh.retainedB.Set(0)
+	s.Spawn(dom, fmt.Sprintf("repl.ack.e%d", epoch), sh.ackLoop)
+	s.Spawn(dom, fmt.Sprintf("repl.probe.e%d", epoch), sh.probeLoop)
+	return sh
+}
+
+// Epoch returns the shipper's power epoch.
+func (sh *Shipper) Epoch() int { return sh.epoch }
+
+// LastSeq returns the newest sequence number shipped this epoch.
+func (sh *Shipper) LastSeq() uint64 { return sh.next - 1 }
+
+// Lag returns the current replication lag in records: newest shipped seq
+// minus the slowest replica's cumulative ack.
+func (sh *Shipper) Lag() uint64 {
+	minAck := sh.minAck()
+	return sh.next - 1 - minAck
+}
+
+func (sh *Shipper) minAck() uint64 {
+	m := sh.next - 1
+	for _, r := range sh.reps {
+		if r.ack < m {
+			m = r.ack
+		}
+	}
+	return m
+}
+
+// Ship copies data (callers reuse their buffers) into a retained,
+// sequence-numbered record and transmits it to every replica. It never
+// blocks — durability waiting is WaitQuorum's job — so it is safe on the
+// Logger's hot path and inside degraded pass-through.
+func (sh *Shipper) Ship(lba int64, data []byte) uint64 {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	seq := sh.next
+	sh.next++
+	rec := Record{Epoch: sh.epoch, Seq: seq, Lba: lba, Data: cp}
+	sh.retained = append(sh.retained, shipRec{rec: rec, at: sh.s.Now()})
+	sh.retainedB.Add(int64(len(cp)))
+	sh.shipped.Inc()
+	sh.shippedB.Add(int64(len(cp)))
+	for _, r := range sh.reps {
+		sh.ep.Send(r.name, len(cp)+recordOverhead, rec)
+	}
+	sh.updateLag()
+	sh.workSig.Broadcast()
+	return seq
+}
+
+// QuorumSeq returns the highest sequence number held by at least k
+// replicas (0 when k exceeds the replica count).
+func (sh *Shipper) QuorumSeq(k int) uint64 {
+	if k <= 0 {
+		return sh.next - 1
+	}
+	if k > len(sh.reps) {
+		return 0
+	}
+	acks := make([]uint64, len(sh.reps))
+	for i, r := range sh.reps {
+		acks[i] = r.ack
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i] > acks[j] })
+	return acks[k-1]
+}
+
+// WaitQuorum parks p until at least k replicas hold seq. This is the ack
+// policy's blocking point: the caller is a guest writer, and a partition
+// stalls it here — no ack is ever issued that the policy cannot honour.
+func (sh *Shipper) WaitQuorum(p *sim.Proc, seq uint64, k int) {
+	for sh.QuorumSeq(k) < seq {
+		sh.quorumSig.Wait(p)
+	}
+}
+
+// ReplicaProgress is one replica's view for reports.
+type ReplicaProgress struct {
+	Name  string
+	Acked uint64
+}
+
+// Progress returns per-replica cumulative acks in replica order.
+func (sh *Shipper) Progress() []ReplicaProgress {
+	out := make([]ReplicaProgress, len(sh.reps))
+	for i, r := range sh.reps {
+		out[i] = ReplicaProgress{Name: r.name, Acked: r.ack}
+	}
+	return out
+}
+
+func (sh *Shipper) rep(name string) *repState {
+	for _, r := range sh.reps {
+		if r.name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+func (sh *Shipper) updateLag() {
+	sh.lag.Set(int64(sh.next - 1 - sh.minAck()))
+}
+
+// truncate drops retained records every replica has acknowledged.
+func (sh *Shipper) truncate() {
+	minAck := sh.minAck()
+	if minAck < sh.base {
+		return
+	}
+	n := int(minAck - sh.base + 1)
+	if n > len(sh.retained) {
+		n = len(sh.retained)
+	}
+	freed := int64(0)
+	for _, sr := range sh.retained[:n] {
+		freed += int64(len(sr.rec.Data))
+	}
+	sh.retained = append(sh.retained[:0:0], sh.retained[n:]...)
+	sh.base += uint64(n)
+	sh.retainedB.Add(-freed)
+}
+
+// ackLoop receives cumulative acks, advances per-replica state, observes
+// ack latency for newly covered records, and refills reported holes.
+func (sh *Shipper) ackLoop(p *sim.Proc) {
+	p.SetDaemon(true)
+	for {
+		m := sh.ep.Recv(p)
+		am, ok := m.Payload.(ackMsg)
+		if !ok || am.Epoch != sh.epoch {
+			continue // stale epoch: a standby acking a dead shipper's stream
+		}
+		r := sh.rep(am.From)
+		if r == nil {
+			continue
+		}
+		now := sh.s.Now()
+		r.lastHeard = now
+		if am.Seq > r.ack {
+			for seq := r.ack + 1; seq <= am.Seq; seq++ {
+				if seq >= sh.base && int(seq-sh.base) < len(sh.retained) {
+					r.ackLat.Observe(now.Sub(sh.retained[int(seq-sh.base)].at))
+				}
+			}
+			r.ack = am.Seq
+			r.progressAt = now
+			r.ackGauge.Set(int64(am.Seq))
+			sh.truncate()
+			sh.updateLag()
+			sh.quorumSig.Broadcast()
+		}
+		// The standby has received past a gap it cannot apply: refill the
+		// window right away instead of waiting out the probe interval.
+		if am.Seen > am.Seq && r.ack < sh.next-1 && now.Sub(r.lastFill) >= sh.cfg.HoleResendMin {
+			r.lastFill = now
+			sh.resendWindow(r)
+		}
+	}
+}
+
+// probeLoop resends the oldest unacknowledged window to any replica that
+// has been silent for a full retransmit interval — the slow path that
+// catches a replica back up after a partition heals or a restart, when no
+// acks are flowing to trigger hole repair. It parks when nothing is
+// outstanding, so an idle deployment schedules no timer churn.
+func (sh *Shipper) probeLoop(p *sim.Proc) {
+	p.SetDaemon(true)
+	for {
+		if !sh.anyBehind() {
+			sh.workSig.Wait(p)
+			continue
+		}
+		p.Sleep(sh.cfg.RetransmitEvery)
+		now := sh.s.Now()
+		for _, r := range sh.reps {
+			if r.ack >= sh.next-1 {
+				continue
+			}
+			if now.Sub(r.lastHeard) < sh.cfg.RetransmitEvery {
+				continue // acks are flowing; hole repair owns the fast path
+			}
+			sh.resendWindow(r)
+		}
+	}
+}
+
+func (sh *Shipper) anyBehind() bool {
+	for _, r := range sh.reps {
+		if r.ack < sh.next-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// resendWindow retransmits up to ResendWindow retained records towards one
+// replica's first unacknowledged sequence. Repair is pipelined: while the
+// replica's cumulative ack is advancing, each round extends past what was
+// already resent instead of resending overlapping windows — overlapping
+// windows saturate the link's bandwidth exactly when it is trying to catch
+// up, and the resulting duplicate flood collapses the repair rate. Only
+// when progress stalls for a full retransmit interval does the window go
+// back to ack+1 (the earlier refill evidently died on the wire). The total
+// repair pipeline is bounded so a slow replica cannot accumulate unbounded
+// in-flight bytes.
+func (sh *Shipper) resendWindow(r *repState) {
+	now := sh.s.Now()
+	lo := r.ack + 1
+	if lo < sh.base {
+		lo = sh.base
+	}
+	if r.fillHi >= lo && now.Sub(r.progressAt) < sh.cfg.RetransmitEvery {
+		lo = r.fillHi + 1
+	}
+	hi := sh.next - 1
+	if maxAhead := uint64(sh.cfg.ResendWindow) * 8; hi > r.ack+maxAhead {
+		hi = r.ack + maxAhead
+	}
+	if span := uint64(sh.cfg.ResendWindow); hi >= lo && hi-lo+1 > span {
+		hi = lo + span - 1
+	}
+	if hi < lo {
+		return
+	}
+	for seq := lo; seq <= hi; seq++ {
+		rec := sh.retained[int(seq-sh.base)].rec
+		sh.ep.Send(r.name, len(rec.Data)+recordOverhead, rec)
+		sh.resends.Inc()
+	}
+	r.fillHi = hi
+}
+
+// Standby is one remote replica: a receiver in its own crash domain that
+// applies the record stream in order and holds the applied log durably
+// (its store survives its own crashes; only the receiver process dies).
+type Standby struct {
+	s    *sim.Sim
+	fab  *netsim.Fabric
+	name string
+	cfg  Config
+	dom  *sim.Domain
+	ep   *netsim.Endpoint
+
+	alive   bool
+	applied map[int]uint64            // per-epoch contiguous applied prefix
+	seen    map[int]uint64            // per-epoch highest seq ever received
+	ooo     map[int]map[uint64]Record // buffered out-of-order arrivals
+	log     []Record                  // applied records, in apply order
+
+	appliedC *metrics.Counter
+	dupC     *metrics.Counter
+	oooC     *metrics.Counter
+}
+
+// NewStandby creates a standby replica and starts its receiver. The domain
+// is created directly on the simulation — deliberately outside the
+// machine's crash domains, because the standby models a different machine.
+func NewStandby(s *sim.Sim, fab *netsim.Fabric, name string, cfg Config) *Standby {
+	cfg.applyDefaults()
+	reg := cfg.Reg
+	st := &Standby{
+		s:        s,
+		fab:      fab,
+		name:     name,
+		cfg:      cfg,
+		dom:      s.NewDomain("replica." + name),
+		ep:       fab.Endpoint(name),
+		alive:    true,
+		applied:  make(map[int]uint64),
+		seen:     make(map[int]uint64),
+		ooo:      make(map[int]map[uint64]Record),
+		appliedC: reg.Counter("repl." + name + ".applied"),
+		dupC:     reg.Counter("repl." + name + ".dups"),
+		oooC:     reg.Counter("repl." + name + ".out_of_order"),
+	}
+	st.spawnReceiver()
+	return st
+}
+
+// Name returns the standby's fabric endpoint name.
+func (st *Standby) Name() string { return st.name }
+
+// Alive reports whether the standby is up (its receiver running).
+func (st *Standby) Alive() bool { return st.alive }
+
+// AppliedSeq returns the contiguous applied prefix for an epoch.
+func (st *Standby) AppliedSeq(epoch int) uint64 { return st.applied[epoch] }
+
+// Records returns the standby's applied log (live; callers must not
+// mutate). Records survive crashes — the store is durable, the process is
+// not.
+func (st *Standby) Records() []Record { return st.log }
+
+// Epochs returns the epochs this standby holds records for, ascending.
+func (st *Standby) Epochs() []int {
+	out := make([]int, 0, len(st.applied))
+	for e := range st.applied {
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Crash kills the standby: its receiver dies, its network port goes down
+// (in-flight packets to it are lost), but its applied log — durable
+// storage — survives for Restart and for recovery.
+func (st *Standby) Crash() {
+	if !st.alive {
+		return
+	}
+	st.alive = false
+	st.fab.Isolate(st.name)
+	st.dom.Kill()
+	st.s.Tracef("replica %s: crashed (%d records held)", st.name, len(st.log))
+}
+
+// Restart brings a crashed standby back: the NIC queue that died with the
+// node is discarded, the port comes back up, and a fresh receiver resumes
+// from the durable applied state. Catch-up is the shipper's retransmit
+// protocol doing its job.
+func (st *Standby) Restart() {
+	if st.alive {
+		return
+	}
+	st.alive = true
+	for {
+		if _, ok := st.ep.TryRecv(); !ok {
+			break
+		}
+	}
+	st.fab.Restore(st.name)
+	st.dom.Revive()
+	st.spawnReceiver()
+	st.s.Tracef("replica %s: restarted at %v", st.name, st.s.Now())
+}
+
+func (st *Standby) spawnReceiver() {
+	st.s.Spawn(st.dom, "replica."+st.name, func(p *sim.Proc) {
+		p.SetDaemon(true)
+		for {
+			m := st.ep.Recv(p)
+			var epochs []int
+			applied := 0
+			st.handle(m, &epochs, &applied)
+			for {
+				m2, ok := st.ep.TryRecv()
+				if !ok {
+					break
+				}
+				st.handle(m2, &epochs, &applied)
+			}
+			if applied > 0 && st.cfg.ApplyDelay > 0 {
+				p.Sleep(time.Duration(applied) * st.cfg.ApplyDelay)
+			}
+			// One cumulative ack per epoch touched in this batch.
+			sort.Ints(epochs)
+			for _, e := range epochs {
+				st.ep.Send(st.cfg.PrimaryName, ackBytes, ackMsg{
+					Epoch: e, Seq: st.applied[e], Seen: st.maxSeen(e), From: st.name,
+				})
+			}
+		}
+	})
+}
+
+// handle processes one inbound record: apply in order, buffer ahead-of-
+// order arrivals, re-acknowledge duplicates.
+func (st *Standby) handle(m netsim.Message, epochs *[]int, applied *int) {
+	rec, ok := m.Payload.(Record)
+	if !ok {
+		return
+	}
+	e := rec.Epoch
+	touched := false
+	for _, seen := range *epochs {
+		if seen == e {
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		*epochs = append(*epochs, e)
+	}
+	if rec.Seq > st.seen[e] {
+		st.seen[e] = rec.Seq
+	}
+	switch ap := st.applied[e]; {
+	case rec.Seq <= ap:
+		st.dupC.Inc() // duplicate or already-covered resend: just re-ack
+	case rec.Seq == ap+1:
+		st.apply(rec)
+		*applied++
+		for {
+			nxt, ok := st.ooo[e][st.applied[e]+1]
+			if !ok {
+				break
+			}
+			delete(st.ooo[e], st.applied[e]+1)
+			st.apply(nxt)
+			*applied++
+		}
+	default:
+		if st.ooo[e] == nil {
+			st.ooo[e] = make(map[uint64]Record)
+		}
+		if _, dup := st.ooo[e][rec.Seq]; !dup {
+			st.ooo[e][rec.Seq] = rec
+			st.oooC.Inc()
+		}
+	}
+}
+
+func (st *Standby) apply(rec Record) {
+	st.applied[rec.Epoch] = rec.Seq
+	st.log = append(st.log, rec)
+	st.appliedC.Inc()
+}
+
+// maxSeen returns the highest sequence this standby has received for an
+// epoch — applied prefix or anything that ever arrived ahead of it. Tracked
+// incrementally: the receiver acks often, and scanning the out-of-order
+// stash per ack is quadratic in the backlog a partition leaves behind.
+func (st *Standby) maxSeen(epoch int) uint64 {
+	if m := st.seen[epoch]; m > st.applied[epoch] {
+		return m
+	}
+	return st.applied[epoch]
+}
+
+// RecoverReport summarises a replica-side recovery replay.
+type RecoverReport struct {
+	Epochs  int   // epochs replayed
+	Entries int   // records contributing to the image
+	Bytes   int64 // record payload bytes
+	Runs    int   // coalesced sequential writes issued
+	From    []string
+}
+
+// Recover replays the replicated log into the log partition at boot: for
+// every epoch any alive standby holds, the standby with the longest
+// applied prefix contributes its records. Because each standby applies
+// strictly in order, its log is a contiguous prefix of the stream — the
+// longest prefix is a superset of every ack the dead primary ever issued
+// against surviving replicas.
+//
+// Records are folded into a sector image in (epoch, seq) order — later
+// writes win, exactly the order the drain would have used — and the image
+// lands in coalesced sequential bursts rather than per-record seeks, like
+// any sane restore path. Replaying more than was acknowledged is harmless:
+// log-partition writes are idempotent sector rewrites, and the engine's
+// own scan decides what the log tail means.
+func Recover(p *sim.Proc, standbys []*Standby, logDev disk.Device) (RecoverReport, error) {
+	var rep RecoverReport
+	epochSet := make(map[int]bool)
+	for _, st := range standbys {
+		if !st.Alive() {
+			continue
+		}
+		for _, e := range st.Epochs() {
+			epochSet[e] = true
+		}
+	}
+	epochs := make([]int, 0, len(epochSet))
+	for e := range epochSet {
+		epochs = append(epochs, e)
+	}
+	sort.Ints(epochs)
+	rep.Epochs = len(epochs)
+
+	ss := int64(logDev.SectorSize())
+	img := make(map[int64][]byte) // sector → newest data for it
+	for _, e := range epochs {
+		var best *Standby
+		for _, st := range standbys {
+			if st.Alive() && (best == nil || st.AppliedSeq(e) > best.AppliedSeq(e)) {
+				best = st
+			}
+		}
+		rep.From = append(rep.From, fmt.Sprintf("%s:e%d≤%d", best.Name(), e, best.AppliedSeq(e)))
+		for _, rec := range best.Records() {
+			if rec.Epoch != e {
+				continue
+			}
+			rep.Entries++
+			rep.Bytes += int64(len(rec.Data))
+			nsec := int64(len(rec.Data)) / ss
+			for i := int64(0); i < nsec; i++ {
+				img[rec.Lba+i] = rec.Data[i*ss : (i+1)*ss]
+			}
+		}
+	}
+	if len(img) == 0 {
+		return rep, nil
+	}
+
+	lbas := make([]int64, 0, len(img))
+	for lba := range img {
+		lbas = append(lbas, lba)
+	}
+	sort.Slice(lbas, func(i, j int) bool { return lbas[i] < lbas[j] })
+	run := make([]byte, 0, 1<<20)
+	start := lbas[0]
+	flush := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		rep.Runs++
+		err := logDev.Write(p, start, run, true)
+		run = run[:0]
+		return err
+	}
+	for i, lba := range lbas {
+		if i > 0 && lba != lbas[i-1]+1 {
+			if err := flush(); err != nil {
+				return rep, fmt.Errorf("replica recover: %w", err)
+			}
+			start = lba
+		}
+		run = append(run, img[lba]...)
+	}
+	if err := flush(); err != nil {
+		return rep, fmt.Errorf("replica recover: %w", err)
+	}
+	return rep, nil
+}
+
+func (r RecoverReport) String() string {
+	return fmt.Sprintf("replica replay: %d entries (%d bytes) from %d epochs in %d writes %v",
+		r.Entries, r.Bytes, r.Epochs, r.Runs, r.From)
+}

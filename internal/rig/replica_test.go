@@ -1,0 +1,93 @@
+package rig
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+
+	"repro/internal/sim"
+)
+
+func TestReplicaModeProperties(t *testing.T) {
+	if !RapiLogReplica.Virtualised() {
+		t.Fatal("rapilog-replica must be virtualised")
+	}
+	if !RapiLogReplica.Replicated() || RapiLog.Replicated() {
+		t.Fatal("Replicated() wrong")
+	}
+	for _, m := range Modes {
+		if m == RapiLogReplica {
+			t.Fatal("RapiLogReplica must not join the paper's four-mode sweep")
+		}
+	}
+	if _, err := New(Config{Seed: 1, Mode: RapiLogReplica, Replicas: 1, AckPolicy: core.AckQuorum(2), NoDaemons: true}); err == nil {
+		t.Fatal("quorum larger than replica set accepted")
+	}
+}
+
+func TestReplicaModeBootCommitPowerCycle(t *testing.T) {
+	r, err := New(Config{Seed: 5, Mode: RapiLogReplica, AckPolicy: core.AckQuorum(1), NoDaemons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fabric == nil || r.Shipper == nil || len(r.Standbys) != 2 {
+		t.Fatalf("replication stack not assembled: fabric=%v shipper=%v standbys=%d",
+			r.Fabric != nil, r.Shipper != nil, len(r.Standbys))
+	}
+	j := workload.NewJournal()
+	w := &workload.Stress{}
+	r.S.Spawn(r.Plat.Domain(), "db", func(p *sim.Proc) {
+		e, err := r.Boot(p)
+		if err != nil {
+			t.Errorf("boot: %v", err)
+			return
+		}
+		for i := 0; i < 30; i++ {
+			if err := w.Do(p, e, j); err != nil {
+				return
+			}
+		}
+		r.CutPower()
+		p.Sleep(time.Hour)
+	})
+	var res workload.VerifyResult
+	r.S.Spawn(nil, "op", func(p *sim.Proc) {
+		p.Sleep(5 * time.Second)
+		if _, err := r.RecoverAfterPower(p); err != nil {
+			t.Errorf("power recovery: %v", err)
+			return
+		}
+		r.S.Spawn(r.Plat.Domain(), "db2", func(p *sim.Proc) {
+			e, err := r.Boot(p)
+			if err != nil {
+				t.Errorf("reboot: %v", err)
+				return
+			}
+			res, err = j.Verify(p, e)
+			if err != nil {
+				t.Errorf("verify: %v", err)
+			}
+		})
+	})
+	if err := r.S.RunFor(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 30 {
+		t.Fatalf("acked %d/30 before power cut", j.Len())
+	}
+	if !res.Ok() {
+		t.Fatalf("durability violated: %v", res)
+	}
+	// Every committed byte went through the shipper, and the rebuild after
+	// the power cycle must have advanced the stream epoch.
+	if r.Shipper.Epoch() != 2 {
+		t.Fatalf("shipper epoch = %d after one power cycle, want 2", r.Shipper.Epoch())
+	}
+	for _, st := range r.Standbys {
+		if st.AppliedSeq(1) == 0 {
+			t.Fatalf("%s never applied anything from epoch 1", st.Name())
+		}
+	}
+}

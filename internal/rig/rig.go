@@ -22,8 +22,10 @@ import (
 	"repro/internal/disk"
 	"repro/internal/engine"
 	"repro/internal/hv"
+	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/power"
+	"repro/internal/replica"
 	"repro/internal/sim"
 )
 
@@ -36,13 +38,25 @@ const (
 	NativeAsync Mode = "native-async"
 	VirtSync    Mode = "virt-sync"
 	RapiLog     Mode = "rapilog"
+	// RapiLogReplica extends RapiLog with a simulated network fabric and N
+	// standby replicas: every buffered write is shipped to the standbys and
+	// the ack policy decides which durability domain gates the commit.
+	RapiLogReplica Mode = "rapilog-replica"
 )
 
-// Modes lists all configurations in evaluation order.
+// Modes lists the paper's four evaluation configurations in evaluation
+// order. RapiLogReplica is the replication extension, not part of the
+// original comparison sweep.
 var Modes = []Mode{NativeSync, NativeAsync, VirtSync, RapiLog}
 
 // Virtualised reports whether the mode runs under the hypervisor.
-func (m Mode) Virtualised() bool { return m == VirtSync || m == RapiLog }
+func (m Mode) Virtualised() bool { return m == VirtSync || m == RapiLog || m == RapiLogReplica }
+
+// Replicated reports whether the mode ships the log to standby replicas.
+func (m Mode) Replicated() bool { return m == RapiLogReplica }
+
+// PrimaryEndpoint is the primary machine's name on the replication fabric.
+const PrimaryEndpoint = "primary"
 
 // CommitMode returns the engine commit policy the mode implies.
 func (m Mode) CommitMode() engine.CommitMode {
@@ -95,6 +109,17 @@ type Config struct {
 	// errors, grown bad sectors, latency storms — into the drain/WAL path.
 	// The dump zone and the data partition stay clean.
 	LogFault disk.FaultConfig
+	// DumpFault, when Enabled, wraps the dump zone the same way — the
+	// fault the replication campaigns compose with power loss to show what
+	// a remote durability domain buys when the local one fails.
+	DumpFault disk.FaultConfig
+	// Replication (Mode == RapiLogReplica only).
+	Replicas  int            // standby count; default 2
+	AckPolicy core.AckPolicy // default AckLocal
+	Net       netsim.LinkConfig
+	// NetSeed drives the fabric's private fault generator; default Seed+2.
+	NetSeed int64
+	Replica replica.Config
 	// Trace enables commit-lifecycle tracing; TraceCapacity sizes the event
 	// ring (default 1<<16). Metrics are always registered centrally on the
 	// rig's Obs bundle; only the tracer is gated, keeping the default rig
@@ -125,6 +150,14 @@ func (c *Config) applyDefaults() {
 	if c.DumpSectors == 0 {
 		c.DumpSectors = 131072 // 64 MiB
 	}
+	if c.Mode.Replicated() {
+		if c.Replicas == 0 {
+			c.Replicas = 2
+		}
+		if c.NetSeed == 0 {
+			c.NetSeed = c.Seed + 2
+		}
+	}
 }
 
 // Rig is an assembled deployment.
@@ -139,11 +172,26 @@ type Rig struct {
 	// LogDev is what the platform's log path actually consumes: LogPart,
 	// wrapped by FaultyLog when Config.LogFault is enabled.
 	LogDev    disk.Device
-	FaultyLog *disk.Faulty   // nil unless Config.LogFault.Enabled
-	HV        *hv.Hypervisor // nil in native modes
-	Plat      hv.Platform
-	Logger    *core.Logger // nil unless Mode == RapiLog
-	Obs       *obs.Obs     // shared by every layer of the deployment
+	FaultyLog *disk.Faulty // nil unless Config.LogFault.Enabled
+	// DumpDev is what the emergency dump actually writes to (and Recover
+	// reads from): DumpPart, wrapped by FaultyDump when Config.DumpFault
+	// is enabled.
+	DumpDev    disk.Device
+	FaultyDump *disk.Faulty   // nil unless Config.DumpFault.Enabled
+	HV         *hv.Hypervisor // nil in native modes
+	Plat       hv.Platform
+	Logger     *core.Logger // nil unless Mode is RapiLog or RapiLogReplica
+	Obs        *obs.Obs     // shared by every layer of the deployment
+
+	// Replication state (Mode == RapiLogReplica only). The fabric and the
+	// standbys model remote machines: they are built once and survive the
+	// primary's power cycles; the shipper belongs to the primary's
+	// hypervisor and is rebuilt — under a new epoch — with each logger.
+	Fabric            *netsim.Fabric
+	Standbys          []*replica.Standby
+	Shipper           *replica.Shipper
+	epoch             int
+	LastReplicaReplay replica.RecoverReport
 }
 
 // New builds a deployment. In RapiLog mode the hypervisor and the RapiLog
@@ -226,6 +274,28 @@ func New(cfg Config) (*Rig, error) {
 		r.FaultyLog = disk.NewFaulty(logPart, fc)
 		r.LogDev = r.FaultyLog
 	}
+	r.DumpDev = dumpPart
+	if cfg.DumpFault.Enabled {
+		fc := cfg.DumpFault
+		fc.Reg = o.Registry()
+		if fc.Seed == 0 {
+			fc.Seed = cfg.Seed + 3
+		}
+		r.FaultyDump = disk.NewFaulty(dumpPart, fc)
+		r.DumpDev = r.FaultyDump
+	}
+	if cfg.Mode.Replicated() {
+		if k := cfg.AckPolicy.K; k > cfg.Replicas {
+			return nil, fmt.Errorf("rig: ack policy %v needs %d replicas, have %d", cfg.AckPolicy, k, cfg.Replicas)
+		}
+		r.Fabric = netsim.New(s, netsim.Config{Seed: cfg.NetSeed, Link: cfg.Net, Reg: o.Registry()})
+		rc := cfg.Replica
+		rc.PrimaryName = PrimaryEndpoint
+		rc.Reg = o.Registry()
+		for i := 0; i < cfg.Replicas; i++ {
+			r.Standbys = append(r.Standbys, replica.NewStandby(s, r.Fabric, fmt.Sprintf("standby%d", i), rc))
+		}
+	}
 	if err := r.assemblePlatform(); err != nil {
 		return nil, err
 	}
@@ -252,7 +322,7 @@ func (r *Rig) assemblePlatform() error {
 			r.Plat = r.HV.NewGuest("db", r.LogDev, r.DataPart)
 		}
 		return nil
-	case RapiLog:
+	case RapiLog, RapiLogReplica:
 		if r.HV == nil {
 			hvCfg := cfg.HV
 			hvCfg.Obs = r.Obs
@@ -260,7 +330,25 @@ func (r *Rig) assemblePlatform() error {
 		}
 		rlCfg := cfg.RapiLog
 		rlCfg.Obs = r.Obs
-		logger, err := core.NewLogger(r.Machine, r.HV.Domain(), r.LogDev, r.DumpPart, rlCfg)
+		if cfg.Mode.Replicated() {
+			// A new power epoch gets a new shipper: the stream restarts at
+			// seq 1 under the next epoch number and the standbys keep both
+			// (recovery replays epochs in order). The ack/probe daemons run
+			// in the hypervisor domain, dying with the machine like the
+			// drain does.
+			r.epoch++
+			names := make([]string, len(r.Standbys))
+			for i, st := range r.Standbys {
+				names[i] = st.Name()
+			}
+			rc := cfg.Replica
+			rc.PrimaryName = PrimaryEndpoint
+			rc.Reg = r.Obs.Registry()
+			r.Shipper = replica.NewShipper(r.S, r.Fabric, r.HV.Domain(), r.epoch, names, rc)
+			rlCfg.Replicator = r.Shipper
+			rlCfg.Policy = cfg.AckPolicy
+		}
+		logger, err := core.NewLogger(r.Machine, r.HV.Domain(), r.LogDev, r.DumpDev, rlCfg)
 		if err != nil {
 			return err
 		}
@@ -344,9 +432,20 @@ func (r *Rig) RecoverAfterPower(p *sim.Proc) (core.RecoveryReport, error) {
 		r.HV.Reboot()
 	}
 	r.Plat.Reboot()
-	if r.Cfg.Mode == RapiLog {
+	if r.Cfg.Mode == RapiLog || r.Cfg.Mode.Replicated() {
+		// Replica replay runs first, dump replay second: the dump holds the
+		// newest buffered state (it was snapshotted at the interrupt), so
+		// where both domains cover an lba the dump's version must win — and
+		// later writes win by write order on the same device.
+		if r.Cfg.Mode.Replicated() {
+			rr, err := replica.Recover(p, r.Standbys, r.LogDev)
+			if err != nil {
+				return rep, err
+			}
+			r.LastReplicaReplay = rr
+		}
 		var err error
-		rep, err = core.Recover(p, r.LogDev, r.DumpPart)
+		rep, err = core.Recover(p, r.LogDev, r.DumpDev)
 		if err != nil {
 			return rep, err
 		}

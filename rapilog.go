@@ -35,7 +35,9 @@ import (
 	"repro/internal/disk"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
+	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/replica"
 	"repro/internal/power"
 	"repro/internal/rig"
 	"repro/internal/sim"
@@ -59,15 +61,18 @@ type (
 // New assembles a deployment.
 func New(cfg Config) (*Deployment, error) { return rig.New(cfg) }
 
-// The four evaluation configurations.
+// The four evaluation configurations, plus the replicated extension.
 const (
-	ModeNativeSync  = rig.NativeSync
-	ModeNativeAsync = rig.NativeAsync
-	ModeVirtSync    = rig.VirtSync
-	ModeRapiLog     = rig.RapiLog
+	ModeNativeSync     = rig.NativeSync
+	ModeNativeAsync    = rig.NativeAsync
+	ModeVirtSync       = rig.VirtSync
+	ModeRapiLog        = rig.RapiLog
+	ModeRapiLogReplica = rig.RapiLogReplica
 )
 
-// Modes lists all configurations in evaluation order.
+// Modes lists the paper's four evaluation configurations in evaluation
+// order. ModeRapiLogReplica is deliberately absent: the sweeps that
+// iterate Modes reproduce the paper's four-column figures.
 var Modes = rig.Modes
 
 // Storage models.
@@ -131,6 +136,42 @@ type (
 	// RecoveryReport summarises a dump-zone replay.
 	RecoveryReport = core.RecoveryReport
 )
+
+// Replicated durability domain: acknowledgement policies, the simulated
+// network fabric, and the log-shipping replication layer behind
+// ModeRapiLogReplica.
+type (
+	// AckPolicy selects when a commit is acknowledged: local buffer,
+	// quorum of standbys, or remote-only.
+	AckPolicy = core.AckPolicy
+	// LinkConfig parameterises the simulated fabric's links.
+	LinkConfig = netsim.LinkConfig
+	// Fabric is the deterministic simulated network.
+	Fabric = netsim.Fabric
+	// Shipper streams log writes from the primary to the standbys.
+	Shipper = replica.Shipper
+	// Standby is one remote replica of the log stream.
+	Standby = replica.Standby
+	// ReplicaRecoverReport summarises a standby-stream replay.
+	ReplicaRecoverReport = replica.RecoverReport
+)
+
+// Acknowledgement policies.
+var (
+	AckLocal      = core.AckLocal
+	AckQuorum     = core.AckQuorum
+	AckRemoteOnly = core.AckRemoteOnly
+)
+
+// PrimaryEndpoint is the primary's name on the replication fabric (for
+// Fabric.Isolate in partition experiments).
+const PrimaryEndpoint = rig.PrimaryEndpoint
+
+// ParseAckPolicy parses an ack-policy name ("local", "quorum",
+// "remote-only") plus quorum size.
+func ParseAckPolicy(kind string, k int) (AckPolicy, error) {
+	return core.ParseAckPolicy(kind, k)
+}
 
 // SafeBufferSize computes the paper's buffer-sizing rule for a machine's
 // PSU and dump device.
@@ -217,6 +258,8 @@ const (
 	FaultPowerCut     = faultinject.PowerCut
 	FaultDiskError    = faultinject.DiskError
 	FaultLatencyStorm = faultinject.LatencyStorm
+	FaultPartition    = faultinject.Partition
+	FaultReplicaCrash = faultinject.ReplicaCrash
 )
 
 // Media-fault modelling.

@@ -66,8 +66,13 @@ func TestQuickstart(t *testing.T) {
 }
 
 func TestFacadeSurface(t *testing.T) {
-	if len(Modes) != 4 || len(Experiments) != 18 {
+	if len(Modes) != 4 || len(Experiments) != 19 {
 		t.Fatalf("facade lists: %d modes, %d experiments", len(Modes), len(Experiments))
+	}
+	for _, m := range Modes {
+		if m == ModeRapiLogReplica {
+			t.Fatal("the replicated extension must not join the paper's four-mode sweep")
+		}
 	}
 	if ExperimentByID("e1") == nil || ExperimentByID("nope") != nil {
 		t.Fatal("ExperimentByID broken")
