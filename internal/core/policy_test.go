@@ -202,3 +202,37 @@ func TestParseAckPolicy(t *testing.T) {
 		t.Fatal("bogus policy accepted")
 	}
 }
+
+// countedReplicator exposes how many replicas back the fake, the way the
+// real Shipper does via ReplicaCount.
+type countedReplicator struct {
+	*fakeReplicator
+	n int
+}
+
+func (c countedReplicator) ReplicaCount() int { return c.n }
+
+// TestQuorumPolicyRejectsOverlargeK: a quorum the replica set can never
+// form would park every writer forever; NewLogger must reject it up front.
+func TestQuorumPolicyRejectsOverlargeK(t *testing.T) {
+	s := sim.New(29)
+	m := power.NewMachine(s, "m0", 4, power.PSUMeasured)
+	hdd := disk.NewHDD(s, m.HardwareDomain(), disk.HDDConfig{})
+	m.AttachDevice(hdd)
+	logPart, err := disk.NewPartition(hdd, "log", 0, 262144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, err := disk.NewPartition(hdd, "dump", 262144, 262144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := countedReplicator{newFakeReplicator(s), 1}
+	hv := m.NewDomain("hv")
+	if _, err := NewLogger(m, hv, logPart, dump, Config{Policy: AckQuorum(2), Replicator: fr}); err == nil {
+		t.Fatal("quorum k=2 accepted with a 1-replica replicator")
+	}
+	if _, err := NewLogger(m, hv, logPart, dump, Config{Policy: AckQuorum(1), Replicator: fr}); err != nil {
+		t.Fatalf("k within the replica set rejected: %v", err)
+	}
+}

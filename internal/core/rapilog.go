@@ -273,8 +273,16 @@ func zonePayloadCapacity(zone disk.Device) int64 {
 // wired to the emergency dump.
 func NewLogger(m *power.Machine, hvDom *sim.Domain, backing, dumpZone disk.Device, cfg Config) (*Logger, error) {
 	cfg.applyDefaults()
-	if cfg.Policy.Remote() && cfg.Replicator == nil {
-		return nil, fmt.Errorf("rapilog: ack policy %v requires a replicator", cfg.Policy)
+	if cfg.Policy.Remote() {
+		if cfg.Replicator == nil {
+			return nil, fmt.Errorf("rapilog: ack policy %v requires a replicator", cfg.Policy)
+		}
+		// A quorum the replica set can never form would park every writer
+		// forever in WaitQuorum; reject it here where direct API users hit
+		// it, not just in rig config validation.
+		if rc, ok := cfg.Replicator.(interface{ ReplicaCount() int }); ok && cfg.Policy.K > rc.ReplicaCount() {
+			return nil, fmt.Errorf("rapilog: ack policy %v needs %d replicas, replicator has %d", cfg.Policy, cfg.Policy.K, rc.ReplicaCount())
+		}
 	}
 	safe := SafeBufferSize(m, dumpZone)
 	remoteOnly := cfg.Policy.Kind == AckKindRemoteOnly
@@ -887,38 +895,63 @@ type RecoveryReport struct {
 	DumpFailures int
 }
 
-// Recover runs at boot, before the DBMS's own log recovery: if the dump
-// zone holds a valid dump, replay every intact entry into the log
-// partition (FUA), then invalidate the zone. Replaying is idempotent —
-// entries rewrite the same sectors the drain would have.
-func Recover(p *sim.Proc, logPartition, dumpZone disk.Device) (RecoveryReport, error) {
-	var rep RecoveryReport
+// Dump is a parsed dump-zone image: every entry that survived intact, plus
+// the validity flags a recovery policy needs. ReadDump produces it without
+// writing anything, so a caller coordinating several durability domains
+// (rig.RecoverAfterPower with standby replicas) can decide what to replay —
+// and in which order — before the first sector changes.
+type Dump struct {
+	HadDump bool
+	Torn    bool // the image ended mid-entry (hold-up deadline hit mid-dump)
+	Entries []DumpEntry
+}
+
+// DumpEntry is one intact buffered write recovered from the dump zone.
+type DumpEntry struct {
+	Lba  int64
+	Data []byte
+}
+
+// Complete reports whether the image fully accounts for what was buffered
+// at the power-fail interrupt: a valid header with no tear. A machine that
+// had nothing buffered writes no dump at all — that case is HadDump=false
+// and the buffer was trivially covered, but only the dying logger's
+// DumpFailures counter can tell it apart from "the dump write itself
+// failed"; callers deciding whether local recovery is complete must consult
+// both.
+func (d Dump) Complete() bool { return d.HadDump && !d.Torn }
+
+// ReadDump parses the dump zone without modifying anything. A zone with no
+// dump header returns HadDump=false and no error; a corrupt header returns
+// ErrBadDump; a torn payload returns the intact prefix with Torn set.
+func ReadDump(p *sim.Proc, dumpZone disk.Device) (Dump, error) {
+	var d Dump
 	ss := dumpZone.SectorSize()
 	header, err := dumpZone.Read(p, 0, 1)
 	if err != nil {
-		return rep, err
+		return d, err
 	}
 	if string(header[:8]) != dumpMagic {
-		return rep, nil // no dump: clean shutdown or nothing buffered
+		return d, nil // no dump: clean shutdown or nothing buffered
 	}
 	if crc32.ChecksumIEEE(header[:24]) != binary.LittleEndian.Uint32(header[24:28]) {
-		return rep, fmt.Errorf("%w: header CRC mismatch", ErrBadDump)
+		return d, fmt.Errorf("%w: header CRC mismatch", ErrBadDump)
 	}
 	if v := binary.LittleEndian.Uint32(header[8:12]); v != dumpVersion {
-		return rep, fmt.Errorf("%w: version %d", ErrBadDump, v)
+		return d, fmt.Errorf("%w: version %d", ErrBadDump, v)
 	}
-	rep.HadDump = true
+	d.HadDump = true
 	count := int(binary.LittleEndian.Uint32(header[12:16]))
 	payloadLen := int64(binary.LittleEndian.Uint64(header[16:24]))
 	payloadSectors := int((payloadLen + int64(ss) - 1) / int64(ss))
 	if int64(payloadSectors) > dumpZone.Sectors()-1 {
-		return rep, fmt.Errorf("%w: payload length %d exceeds zone", ErrBadDump, payloadLen)
+		return d, fmt.Errorf("%w: payload length %d exceeds zone", ErrBadDump, payloadLen)
 	}
 	payload := []byte{}
 	if payloadSectors > 0 {
 		payload, err = dumpZone.Read(p, 1, payloadSectors)
 		if err != nil {
-			return rep, err
+			return d, err
 		}
 		payload = payload[:min64(payloadLen, int64(len(payload)))]
 	}
@@ -926,12 +959,12 @@ func Recover(p *sim.Proc, logPartition, dumpZone disk.Device) (RecoveryReport, e
 	off := 0
 	for i := 0; i < count; i++ {
 		if off+entHeadLen > len(payload) {
-			rep.Torn = true
+			d.Torn = true
 			break
 		}
 		h := payload[off : off+entHeadLen]
 		if binary.LittleEndian.Uint32(h[0:4]) != entMagic {
-			rep.Torn = true
+			d.Torn = true
 			break
 		}
 		lba := int64(binary.LittleEndian.Uint64(h[4:12]))
@@ -939,25 +972,56 @@ func Recover(p *sim.Proc, logPartition, dumpZone disk.Device) (RecoveryReport, e
 		wantCRC := binary.LittleEndian.Uint32(h[16:20])
 		off += entHeadLen
 		if off+dlen > len(payload) {
-			rep.Torn = true
+			d.Torn = true
 			break
 		}
 		data := payload[off : off+dlen]
 		off += dlen
 		if crc32.ChecksumIEEE(data) != wantCRC {
-			rep.Torn = true
+			d.Torn = true
 			break
 		}
-		if err := logPartition.Write(p, lba, data, true); err != nil {
-			return rep, fmt.Errorf("rapilog: replaying dump entry %d: %v", i, err)
-		}
-		rep.Entries++
-		rep.Bytes += int64(dlen)
+		d.Entries = append(d.Entries, DumpEntry{Lba: lba, Data: data})
 	}
+	return d, nil
+}
 
-	// Invalidate the dump so a second boot does not replay it over a log
-	// that has moved on.
-	if err := dumpZone.Write(p, 0, make([]byte, ss), true); err != nil {
+// Replay writes every intact entry into the log partition (FUA), in dump
+// order. Replaying is idempotent — entries rewrite the same sectors the
+// drain would have — and, because the dump snapshotted the newest buffered
+// version of each sector, its entries must land AFTER any other recovery
+// source (a standby replica replay) that covers the same sectors.
+func (d Dump) Replay(p *sim.Proc, logPartition disk.Device) (entries int, bytes int64, err error) {
+	for i, e := range d.Entries {
+		if err := logPartition.Write(p, e.Lba, e.Data, true); err != nil {
+			return entries, bytes, fmt.Errorf("rapilog: replaying dump entry %d: %v", i, err)
+		}
+		entries++
+		bytes += int64(len(e.Data))
+	}
+	return entries, bytes, nil
+}
+
+// InvalidateDump zeroes the dump-zone header so a second boot does not
+// replay a stale image over a log that has moved on.
+func InvalidateDump(p *sim.Proc, dumpZone disk.Device) error {
+	return dumpZone.Write(p, 0, make([]byte, dumpZone.SectorSize()), true)
+}
+
+// Recover runs at boot, before the DBMS's own log recovery: if the dump
+// zone holds a valid dump, replay every intact entry into the log
+// partition (FUA), then invalidate the zone.
+func Recover(p *sim.Proc, logPartition, dumpZone disk.Device) (RecoveryReport, error) {
+	d, err := ReadDump(p, dumpZone)
+	rep := RecoveryReport{HadDump: d.HadDump, Torn: d.Torn}
+	if err != nil || !d.HadDump {
+		return rep, err
+	}
+	rep.Entries, rep.Bytes, err = d.Replay(p, logPartition)
+	if err != nil {
+		return rep, err
+	}
+	if err := InvalidateDump(p, dumpZone); err != nil {
 		return rep, err
 	}
 	return rep, nil

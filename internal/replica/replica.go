@@ -8,7 +8,11 @@
 //
 //   - The Shipper assigns every shipped write a sequence number within the
 //     current power epoch and sends a copy to every standby. Records are
-//     retained until every standby has cumulatively acknowledged them.
+//     retained until every standby has cumulatively acknowledged them —
+//     bounded by Config.RetainLimit: a standby whose acks stall while
+//     retention exceeds the bound is evicted (lost for the epoch once the
+//     stream is trimmed past it) and re-syncs when the next epoch restarts
+//     the stream at seq 1.
 //   - A Standby applies records strictly in sequence order (out-of-order
 //     arrivals are buffered, duplicates re-acknowledged) and replies with a
 //     cumulative ack: "I durably hold everything up to seq S". The ack also
@@ -68,6 +72,25 @@ type Config struct {
 	// ApplyDelay is the standby-side cost of processing one record
 	// (validate, append to its durable log); default 2µs.
 	ApplyDelay time.Duration
+	// SectorSize is the log device's sector granularity. Shipped records are
+	// sector images — recovery folds them back onto sector boundaries — so
+	// Ship panics on a payload that is not a whole number of sectors: that
+	// is a protocol violation by the caller, not a runtime condition.
+	// Default 512.
+	SectorSize int
+	// RetainLimit bounds the bytes of shipped-but-unacknowledged records the
+	// shipper retains for retransmission. While every standby keeps acking,
+	// retention trails the slowest cumulative ack and stays tiny; a standby
+	// that stops acking (crash, long partition) would otherwise pin the
+	// whole stream in memory at the write rate for the whole outage. When
+	// retained bytes exceed RetainLimit and a standby's ack has not advanced
+	// for DeadAfter, that standby is evicted: retention is trimmed past it,
+	// and it is lost for the epoch — it re-syncs naturally at the next
+	// epoch, when the stream restarts from seq 1. Default 64 MiB.
+	RetainLimit int64
+	// DeadAfter is the ack-stall threshold for eviction; it only applies
+	// while retention exceeds RetainLimit. Default 500ms.
+	DeadAfter time.Duration
 	// Reg, when set, registers the subsystem's instruments centrally.
 	Reg *obs.Registry
 }
@@ -87,6 +110,15 @@ func (c *Config) applyDefaults() {
 	}
 	if c.ApplyDelay == 0 {
 		c.ApplyDelay = 2 * time.Microsecond
+	}
+	if c.SectorSize == 0 {
+		c.SectorSize = 512
+	}
+	if c.RetainLimit == 0 {
+		c.RetainLimit = 64 << 20
+	}
+	if c.DeadAfter == 0 {
+		c.DeadAfter = 500 * time.Millisecond
 	}
 }
 
@@ -121,6 +153,8 @@ type repState struct {
 	lastFill   sim.Time // last hole-triggered resend
 	fillHi     uint64   // highest seq already resent to this replica
 	progressAt sim.Time // last time ack advanced (repair go-back deadline)
+	dead       bool     // ack stalled past DeadAfter under retention pressure
+	lost       bool     // retention trimmed past its ack: unrecoverable this epoch
 	ackGauge   *metrics.Gauge
 	ackLat     *metrics.Histogram // ship → covered-by-cumulative-ack, per record
 }
@@ -147,6 +181,7 @@ type Shipper struct {
 	shipped   *metrics.Counter
 	shippedB  *metrics.Counter
 	resends   *metrics.Counter
+	evictions *metrics.Counter
 }
 
 // NewShipper creates the primary side for one power epoch and starts its
@@ -170,6 +205,7 @@ func NewShipper(s *sim.Sim, fab *netsim.Fabric, dom *sim.Domain, epoch int, repl
 		shipped:   reg.Counter("repl.shipped"),
 		shippedB:  reg.Counter("repl.shipped_bytes"),
 		resends:   reg.Counter("repl.resends"),
+		evictions: reg.Counter("repl.evictions"),
 	}
 	for _, name := range replicas {
 		sh.reps = append(sh.reps, &repState{
@@ -216,6 +252,9 @@ func (sh *Shipper) minAck() uint64 {
 // blocks — durability waiting is WaitQuorum's job — so it is safe on the
 // Logger's hot path and inside degraded pass-through.
 func (sh *Shipper) Ship(lba int64, data []byte) uint64 {
+	if ss := sh.cfg.SectorSize; len(data) == 0 || len(data)%ss != 0 {
+		panic(fmt.Sprintf("replica: Ship(lba %d) payload of %d bytes is not a whole number of %d-byte sectors", lba, len(data), ss))
+	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	seq := sh.next
@@ -252,12 +291,23 @@ func (sh *Shipper) QuorumSeq(k int) uint64 {
 
 // WaitQuorum parks p until at least k replicas hold seq. This is the ack
 // policy's blocking point: the caller is a guest writer, and a partition
-// stalls it here — no ack is ever issued that the policy cannot honour.
+// stalls it here — no ack is ever issued that the policy cannot honour. A
+// quorum the replica set can never form (k > replica count) is a config
+// bug, not a wait: panic rather than park the writer forever.
+// core.NewLogger rejects such configs up front via ReplicaCount.
 func (sh *Shipper) WaitQuorum(p *sim.Proc, seq uint64, k int) {
+	if k > len(sh.reps) {
+		panic(fmt.Sprintf("replica: WaitQuorum(k=%d) with %d replicas can never be satisfied", k, len(sh.reps)))
+	}
 	for sh.QuorumSeq(k) < seq {
 		sh.quorumSig.Wait(p)
 	}
 }
+
+// ReplicaCount returns the number of standby replicas this shipper feeds.
+// core.NewLogger uses it to reject an ack policy whose quorum the replica
+// set can never satisfy.
+func (sh *Shipper) ReplicaCount() int { return len(sh.reps) }
 
 // ReplicaProgress is one replica's view for reports.
 type ReplicaProgress struct {
@@ -287,9 +337,26 @@ func (sh *Shipper) updateLag() {
 	sh.lag.Set(int64(sh.next - 1 - sh.minAck()))
 }
 
-// truncate drops retained records every replica has acknowledged.
+// retainMin is the truncation frontier: the slowest cumulative ack among
+// replicas still participating. Dead replicas are excluded — that is the
+// whole point of eviction — so trimming can pass them.
+func (sh *Shipper) retainMin() uint64 {
+	m := sh.next - 1
+	for _, r := range sh.reps {
+		if !r.dead && r.ack < m {
+			m = r.ack
+		}
+	}
+	return m
+}
+
+// truncate drops retained records every participating replica has
+// acknowledged. A replica the trim passed (its first missing record is
+// gone) is marked lost for the epoch: no amount of retransmission can fill
+// its gap now, so repair stops targeting it and it re-syncs at the next
+// epoch's stream.
 func (sh *Shipper) truncate() {
-	minAck := sh.minAck()
+	minAck := sh.retainMin()
 	if minAck < sh.base {
 		return
 	}
@@ -304,6 +371,39 @@ func (sh *Shipper) truncate() {
 	sh.retained = append(sh.retained[:0:0], sh.retained[n:]...)
 	sh.base += uint64(n)
 	sh.retainedB.Add(-freed)
+	for _, r := range sh.reps {
+		if !r.lost && r.ack+1 < sh.base {
+			r.lost = true
+			sh.s.Tracef("repl: %s lost for epoch %d (ack %d, stream trimmed to %d)", r.name, sh.epoch, r.ack, sh.base)
+		}
+	}
+}
+
+// reapStalled enforces RetainLimit: while retained bytes exceed the bound,
+// any replica whose ack has not advanced for DeadAfter is marked dead and
+// the stream is trimmed past it. Dead is reversible — a late ack revives
+// the replica if the stream still reaches back to its first missing record
+// (see ackLoop); otherwise the trim has made it lost for the epoch.
+func (sh *Shipper) reapStalled(now sim.Time) {
+	if sh.retainedB.Value() <= sh.cfg.RetainLimit {
+		return
+	}
+	evicted := false
+	for _, r := range sh.reps {
+		if r.dead || r.ack >= sh.next-1 {
+			continue
+		}
+		if now.Sub(r.progressAt) >= sh.cfg.DeadAfter {
+			r.dead = true
+			evicted = true
+			sh.evictions.Inc()
+			sh.s.Tracef("repl: evicting %s (ack %d stalled %v, %d bytes retained)",
+				r.name, r.ack, now.Sub(r.progressAt), sh.retainedB.Value())
+		}
+	}
+	if evicted {
+		sh.truncate()
+	}
 }
 
 // ackLoop receives cumulative acks, advances per-replica state, observes
@@ -331,13 +431,21 @@ func (sh *Shipper) ackLoop(p *sim.Proc) {
 			r.ack = am.Seq
 			r.progressAt = now
 			r.ackGauge.Set(int64(am.Seq))
+			// A late ack revives an evicted replica — but only if the
+			// retained stream still reaches back to its first missing
+			// record; past that, it stays lost until the next epoch.
+			if r.ack+1 >= sh.base {
+				r.dead, r.lost = false, false
+			}
 			sh.truncate()
 			sh.updateLag()
 			sh.quorumSig.Broadcast()
 		}
 		// The standby has received past a gap it cannot apply: refill the
-		// window right away instead of waiting out the probe interval.
-		if am.Seen > am.Seq && r.ack < sh.next-1 && now.Sub(r.lastFill) >= sh.cfg.HoleResendMin {
+		// window right away instead of waiting out the probe interval. A
+		// lost replica's gap starts before the retained stream — there is
+		// nothing to refill it with.
+		if !r.lost && am.Seen > am.Seq && r.ack < sh.next-1 && now.Sub(r.lastFill) >= sh.cfg.HoleResendMin {
 			r.lastFill = now
 			sh.resendWindow(r)
 		}
@@ -358,8 +466,9 @@ func (sh *Shipper) probeLoop(p *sim.Proc) {
 		}
 		p.Sleep(sh.cfg.RetransmitEvery)
 		now := sh.s.Now()
+		sh.reapStalled(now)
 		for _, r := range sh.reps {
-			if r.ack >= sh.next-1 {
+			if r.lost || r.ack >= sh.next-1 {
 				continue
 			}
 			if now.Sub(r.lastHeard) < sh.cfg.RetransmitEvery {
@@ -372,7 +481,7 @@ func (sh *Shipper) probeLoop(p *sim.Proc) {
 
 func (sh *Shipper) anyBehind() bool {
 	for _, r := range sh.reps {
-		if r.ack < sh.next-1 {
+		if !r.lost && r.ack < sh.next-1 {
 			return true
 		}
 	}
@@ -669,6 +778,10 @@ func Recover(p *sim.Proc, standbys []*Standby, logDev disk.Device) (RecoverRepor
 			}
 			rep.Entries++
 			rep.Bytes += int64(len(rec.Data))
+			if int64(len(rec.Data))%ss != 0 {
+				return rep, fmt.Errorf("replica recover: record e%d seq %d at lba %d: %d bytes is not a whole number of %d-byte sectors",
+					e, rec.Seq, rec.Lba, len(rec.Data), ss)
+			}
 			nsec := int64(len(rec.Data)) / ss
 			for i := int64(0); i < nsec; i++ {
 				img[rec.Lba+i] = rec.Data[i*ss : (i+1)*ss]

@@ -347,3 +347,119 @@ func TestStaleEpochAcksIgnored(t *testing.T) {
 		t.Fatalf("stale-epoch ack advanced quorum to %d", got)
 	}
 }
+
+// TestStalledReplicaEvictionBoundsRetention: a standby that stops acking
+// (here: a partition that never heals in-epoch) must not pin the retained
+// stream at the write rate forever. Once retention exceeds RetainLimit and
+// the standby's ack has stalled past DeadAfter, it is evicted and the
+// stream trims to the live standby's ack; the evicted standby is lost for
+// the epoch and re-syncs when the next epoch restarts the stream.
+func TestStalledReplicaEvictionBoundsRetention(t *testing.T) {
+	cfg := Config{RetainLimit: 64 << 10, DeadAfter: 20 * time.Millisecond}
+	h := newHarness(t, 21, 2, netsim.LinkConfig{}, cfg)
+	h.s.Spawn(nil, "writer", func(p *sim.Proc) {
+		h.fab.Isolate("standby1")
+		for i := 0; i < 300; i++ { // 150 KB shipped, well past the 64 KB bound
+			h.sh.Ship(int64(i*8), payload(i, 512))
+			p.Sleep(100 * time.Microsecond)
+		}
+	})
+	if err := h.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	checkPrefix(t, h.sts[0], 1, 300)
+	if got := h.sh.retainedB.Value(); got != 0 {
+		t.Fatalf("retained %d bytes after the live standby acked everything — the stalled standby still pins the stream", got)
+	}
+	if h.sh.evictions.Value() == 0 {
+		t.Fatal("stalled standby was never evicted")
+	}
+	r1 := h.sh.rep("standby1")
+	if !r1.dead || !r1.lost {
+		t.Fatalf("standby1 dead=%v lost=%v, want evicted and lost for the epoch", r1.dead, r1.lost)
+	}
+	// Healing mid-epoch cannot resurrect it: the records it needs are gone.
+	// The probe must stop targeting it rather than resending a window it
+	// can never apply.
+	resends := h.sh.resends.Value()
+	h.fab.Heal()
+	if err := h.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.sts[1].AppliedSeq(1); got != 0 {
+		t.Fatalf("lost standby applied %d epoch-1 records from a trimmed stream", got)
+	}
+	if got := h.sh.resends.Value(); got != resends {
+		t.Fatalf("probe kept resending to a lost replica (%d new resends)", got-resends)
+	}
+	// The next epoch restarts the stream at seq 1; the lost standby rejoins
+	// it cleanly. (In the rig the old shipper's daemons died with the
+	// machine before the new epoch exists; here the epoch-1 loops are still
+	// live on the shared endpoint, so assert via the applied prefix rather
+	// than epoch-2 acks.)
+	h.s.Spawn(nil, "writer2", func(p *sim.Proc) {
+		sh2 := NewShipper(h.s, h.fab, nil, 2, []string{"standby0", "standby1"}, cfg)
+		for i := 0; i < 5; i++ {
+			sh2.Ship(int64(i*8), payload(i, 512))
+		}
+	})
+	if err := h.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	checkPrefix(t, h.sts[1], 2, 5)
+}
+
+// TestShipRejectsUnalignedPayload: shipped records are sector images —
+// recovery folds them onto sector boundaries — so a payload that is not a
+// whole number of sectors is a caller bug Ship must refuse loudly.
+func TestShipRejectsUnalignedPayload(t *testing.T) {
+	h := newHarness(t, 23, 1, netsim.LinkConfig{}, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ship accepted a 700-byte payload on a 512-byte-sector stream")
+		}
+	}()
+	h.sh.Ship(0, make([]byte, 700))
+}
+
+// TestWaitQuorumPanicsOnImpossibleQuorum: k beyond the replica count can
+// never be satisfied; parking the writer forever would be a silent
+// deadlock, so WaitQuorum panics instead.
+func TestWaitQuorumPanicsOnImpossibleQuorum(t *testing.T) {
+	h := newHarness(t, 25, 1, netsim.LinkConfig{}, Config{})
+	done := h.s.NewEvent("panicked")
+	h.s.Spawn(nil, "writer", func(p *sim.Proc) {
+		defer done.Fire()
+		defer func() {
+			if recover() == nil {
+				t.Error("WaitQuorum(k=2) with 1 replica parked instead of panicking")
+			}
+		}()
+		seq := h.sh.Ship(0, payload(0, 512))
+		h.sh.WaitQuorum(p, seq, 2)
+	})
+	if err := h.s.RunUntilEvent(done); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverRejectsUnalignedRecord: defense in depth behind the Ship
+// check — a record that is not a whole number of the log device's sectors
+// must fail replay loudly, not silently drop its tail.
+func TestRecoverRejectsUnalignedRecord(t *testing.T) {
+	s := sim.New(27)
+	fab := netsim.New(s, netsim.Config{Seed: 28})
+	st := NewStandby(s, fab, "standby0", Config{})
+	st.apply(Record{Epoch: 1, Seq: 1, Lba: 0, Data: make([]byte, 700)})
+	mem := disk.NewMem(s, disk.MemConfig{Name: "log", Persistent: true, Capacity: 1 << 20})
+	done := s.NewEvent("done")
+	s.Spawn(nil, "driver", func(p *sim.Proc) {
+		defer done.Fire()
+		if _, err := Recover(p, []*Standby{st}, mem); err == nil {
+			t.Error("Recover accepted a 700-byte record on a 512-byte-sector device")
+		}
+	})
+	if err := s.RunUntilEvent(done); err != nil {
+		t.Fatal(err)
+	}
+}

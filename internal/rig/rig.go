@@ -292,6 +292,7 @@ func New(cfg Config) (*Rig, error) {
 		rc := cfg.Replica
 		rc.PrimaryName = PrimaryEndpoint
 		rc.Reg = o.Registry()
+		rc.SectorSize = r.LogDev.SectorSize()
 		for i := 0; i < cfg.Replicas; i++ {
 			r.Standbys = append(r.Standbys, replica.NewStandby(s, r.Fabric, fmt.Sprintf("standby%d", i), rc))
 		}
@@ -344,6 +345,7 @@ func (r *Rig) assemblePlatform() error {
 			rc := cfg.Replica
 			rc.PrimaryName = PrimaryEndpoint
 			rc.Reg = r.Obs.Registry()
+			rc.SectorSize = r.LogDev.SectorSize()
 			r.Shipper = replica.NewShipper(r.S, r.Fabric, r.HV.Domain(), r.epoch, names, rc)
 			rlCfg.Replicator = r.Shipper
 			rlCfg.Policy = cfg.AckPolicy
@@ -433,19 +435,12 @@ func (r *Rig) RecoverAfterPower(p *sim.Proc) (core.RecoveryReport, error) {
 	}
 	r.Plat.Reboot()
 	if r.Cfg.Mode == RapiLog || r.Cfg.Mode.Replicated() {
-		// Replica replay runs first, dump replay second: the dump holds the
-		// newest buffered state (it was snapshotted at the interrupt), so
-		// where both domains cover an lba the dump's version must win — and
-		// later writes win by write order on the same device.
-		if r.Cfg.Mode.Replicated() {
-			rr, err := replica.Recover(p, r.Standbys, r.LogDev)
-			if err != nil {
-				return rep, err
-			}
-			r.LastReplicaReplay = rr
-		}
 		var err error
-		rep, err = core.Recover(p, r.LogDev, r.DumpDev)
+		if r.Cfg.Mode.Replicated() {
+			rep, err = r.replicatedRecover(p)
+		} else {
+			rep, err = core.Recover(p, r.LogDev, r.DumpDev)
+		}
 		if err != nil {
 			return rep, err
 		}
@@ -459,6 +454,75 @@ func (r *Rig) RecoverAfterPower(p *sim.Proc) (core.RecoveryReport, error) {
 		}
 		// A fresh logger for the new power epoch.
 		if err := r.assemblePlatform(); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// replicatedRecover merges the two durability domains at boot. The local
+// domain — drained sectors on the log partition plus the dump zone's
+// snapshot of what was still buffered — is authoritative wherever it is
+// complete: it holds the newest version of every sector, while a standby
+// that lagged (a partition, a crash) holds stale images of sectors the
+// drain has since rewritten, and folding those over the log would roll
+// acked, locally durable commits back to pre-partition contents. Replica
+// records are therefore replayed only when the ack policy actually makes
+// the standbys the durability domain for bytes the local domain lost:
+//
+//   - AckRemoteOnly: always. The dump is disabled by design, so the
+//     standbys are the only copy of everything still buffered at the cut.
+//   - AckQuorum: only when the dump cannot account for the buffer — a torn
+//     image, a failed dump write, an unreadable zone. Any rollback this
+//     replay inflicts is bounded to unacknowledged writes: a commit was
+//     acked only after k standbys held its bytes, so the surviving
+//     standbys' prefixes cover every acked sector state.
+//   - AckLocal: never. Acks are not gated on the standbys, so a lagging
+//     standby can sit arbitrarily far behind the ack frontier and there is
+//     no per-sector version metadata to merge against; replaying could
+//     only trade acked local durability for stale remote bytes. (The
+//     stream still feeds lag reporting and warm standbys under AckLocal —
+//     it just is not a recovery source.)
+//
+// When both sources replay, replica records land first and the dump's
+// intact entries second: the dump snapshotted the newest buffered version
+// of everything it covers, so it must win on overlap.
+func (r *Rig) replicatedRecover(p *sim.Proc) (core.RecoveryReport, error) {
+	r.LastReplicaReplay = replica.RecoverReport{}
+	d, derr := core.ReadDump(p, r.DumpDev)
+	rep := core.RecoveryReport{HadDump: d.HadDump, Torn: d.Torn}
+
+	dumpFailed := false
+	if r.Logger != nil {
+		dumpFailed = r.Logger.RapiStats().DumpFailures.Value() > 0
+	}
+	// The local domain is complete when the dump image accounts for the
+	// whole buffer — or when there was provably nothing buffered to dump.
+	localComplete := derr == nil && (d.Complete() || (!d.HadDump && !dumpFailed))
+	needReplica := false
+	switch r.Cfg.AckPolicy.Kind {
+	case core.AckKindRemoteOnly:
+		needReplica = true
+	case core.AckKindQuorum:
+		needReplica = !localComplete
+	}
+	if derr != nil && !needReplica {
+		return rep, derr
+	}
+	if needReplica {
+		rr, err := replica.Recover(p, r.Standbys, r.LogDev)
+		if err != nil {
+			return rep, err
+		}
+		r.LastReplicaReplay = rr
+	}
+	if derr == nil && d.HadDump {
+		var err error
+		rep.Entries, rep.Bytes, err = d.Replay(p, r.LogDev)
+		if err != nil {
+			return rep, err
+		}
+		if err := core.InvalidateDump(p, r.DumpDev); err != nil {
 			return rep, err
 		}
 	}
