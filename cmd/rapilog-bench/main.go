@@ -36,6 +36,7 @@ func main() {
 
 		metricsOut = flag.String("metrics-out", "", "write every experiment's named values as JSON to this file")
 		traceOut   = flag.String("trace-out", "", "write a commit-lifecycle trace of a representative rapilog run as JSON to this file")
+		flightOut  = flag.String("flight-out", "", "write a representative run's flight record (frozen at run end) as JSON to this file")
 
 		benchJSON  = flag.String("bench-json", "", "run the hot-path perf suite and write its JSON here ('auto' → BENCH_<date>.json); skips the experiments")
 		benchLabel = flag.String("bench-label", "", "label recorded in the perf-suite JSON (e.g. 'baseline')")
@@ -105,8 +106,8 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
-	if *traceOut != "" {
-		if err := dumpRepresentativeTrace(*traceOut, *seed); err != nil {
+	if *traceOut != "" || *flightOut != "" {
+		if err := dumpRepresentativeTrace(*traceOut, *flightOut, *seed); err != nil {
 			fatalf("%v", err)
 		}
 	}
@@ -139,9 +140,11 @@ func runBenchJSON(path, label string, quick bool, seed int64) error {
 
 // dumpRepresentativeTrace runs a short traced rapilog deployment under the
 // stress workload and writes its commit-lifecycle trace — the sample later
-// perf work diffs stage latencies against.
-func dumpRepresentativeTrace(path string, seed int64) error {
-	dep, err := rapilog.New(rapilog.Config{Seed: seed, Mode: rapilog.ModeRapiLog, Trace: true, TraceCapacity: 1 << 20})
+// perf work diffs stage latencies against — and, when flightPath is set,
+// the run's flight record.
+func dumpRepresentativeTrace(path, flightPath string, seed int64) error {
+	dep, err := rapilog.New(rapilog.Config{Seed: seed, Mode: rapilog.ModeRapiLog, Trace: true,
+		TraceCapacity: 1 << 20, Flight: flightPath != ""})
 	if err != nil {
 		return err
 	}
@@ -168,15 +171,32 @@ func dumpRepresentativeTrace(path string, seed int64) error {
 	if runErr != nil {
 		return runErr
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := dep.Obs.Tracer().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
-	if err := dep.Obs.Tracer().WriteJSON(f); err != nil {
-		f.Close()
-		return err
+	if flightPath != "" {
+		dep.Flight.Freeze(dep.S.Now().Duration(), "run-end")
+		f, err := os.Create(flightPath)
+		if err != nil {
+			return err
+		}
+		if err := dep.Flight.Record().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
-	return f.Close()
+	return nil
 }
 
 func fatalf(format string, args ...any) {

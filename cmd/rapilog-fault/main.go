@@ -46,6 +46,10 @@ func main() {
 		then      = flag.String("then", "", "second fault at the outage midpoint: power-cut | guest-crash (partition, replica-crash)")
 		crashReps = flag.Int("crash-replicas", 0, "standbys a replica-crash takes down (default 1)")
 		breakDump = flag.Bool("break-dump", false, "grow a bad-sector range over the whole dump zone: emergency dumps fail")
+		// Forensic artifacts (the retained trial: first violating, else last).
+		traceOut   = flag.String("trace-out", "", "write the retained trial's causal trace dump (JSON) to this file")
+		metricsOut = flag.String("metrics-out", "", "write the retained trial's metrics snapshot (JSON) to this file")
+		flightOut  = flag.String("flight-out", "", "arm the flight recorder and write the retained trial's frozen record (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -62,6 +66,8 @@ func main() {
 	rigCfg := rapilog.Config{Seed: *seed, Mode: rapilog.Mode(*mode), Personality: pers,
 		Replicas: *replicas, AckPolicy: policy}
 	rigCfg.Net.Latency = *netLat
+	rigCfg.Trace = *traceOut != "" || *metricsOut != ""
+	rigCfg.Flight = *flightOut != ""
 	cfg := rapilog.CampaignConfig{
 		Rig:             rigCfg,
 		Fault:           rapilog.Fault(*fault),
@@ -100,7 +106,36 @@ func main() {
 		}
 	}
 	fmt.Println(sum)
+	if art := sum.Artifacts; art != nil {
+		fmt.Printf("artifacts: trial %d (seed %d)\n", art.Trial, art.Seed)
+		writeArtifact(*traceOut, "trace", func(f *os.File) error { return art.Trace.WriteJSON(f) })
+		if art.Metrics != nil {
+			writeArtifact(*metricsOut, "metrics", func(f *os.File) error { return art.Metrics.WriteJSON(f) })
+		}
+		if art.Flight != nil {
+			writeArtifact(*flightOut, "flight record", func(f *os.File) error { return art.Flight.WriteJSON(f) })
+		}
+	}
 	if sum.Violations > 0 || sum.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeArtifact writes one JSON artifact to path (no-op when path is empty).
+func writeArtifact(path, what string, write func(*os.File) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapilog-fault: writing %s: %v\n", what, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s to %s\n", what, path)
 }

@@ -44,6 +44,7 @@ func main() {
 		traceCap    = flag.Int("trace-cap", 0, "trace ring capacity (default 65536)")
 		traceOut    = flag.String("trace-out", "", "write the commit-lifecycle trace as JSON to this file (implies -commit-trace)")
 		metricsOut  = flag.String("metrics-out", "", "write a metrics-registry snapshot as JSON to this file")
+		flightOut   = flag.String("flight-out", "", "arm the flight recorder and write its record as JSON to this file (frozen at run end if nothing froze it first)")
 	)
 	flag.Parse()
 	if *traceOut != "" {
@@ -80,6 +81,7 @@ func main() {
 		AckPolicy:     policy,
 		Trace:         *commitTrace,
 		TraceCapacity: *traceCap,
+		Flight:        *flightOut != "",
 	}
 	cfg.Net.Latency = *netLat
 	dep, err := rapilog.New(cfg)
@@ -188,12 +190,24 @@ func main() {
 			}
 		}
 	}
+	if dep.Monitor != nil {
+		rep := dep.Monitor.Report()
+		fmt.Printf("monitor:        %d events checked, %d acked txs, %d violations\n",
+			rep.EventsSeen, rep.TxAcked, rep.Total)
+		for _, v := range rep.Samples {
+			fmt.Printf("                %s at %v: %s\n", v.Invariant, v.At(), v.Detail)
+		}
+	}
 	if *traceOut != "" {
 		writeFileJSON(*traceOut, dep.Obs.Tracer().WriteJSON)
 	}
 	if *metricsOut != "" {
 		snap := dep.Obs.Registry().Snapshot()
 		writeFileJSON(*metricsOut, snap.WriteJSON)
+	}
+	if *flightOut != "" {
+		dep.Flight.Freeze(dep.S.Now().Duration(), "run-end")
+		writeFileJSON(*flightOut, dep.Flight.Record().WriteJSON)
 	}
 }
 

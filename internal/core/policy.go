@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -91,12 +92,19 @@ type Replicator interface {
 
 // ship forwards one write to the replicator, if any. Every path that makes
 // bytes durable must pass through here — a write the replicas never saw is
-// a write replica-based recovery would silently roll back.
-func (l *Logger) ship(lba int64, data []byte) uint64 {
+// a write replica-based recovery would silently roll back. span is the
+// causal parent (the buffer-entry span, or 0 when untracked); it rides the
+// tracer's cause slot because the Replicator interface predates tracing and
+// its fakes must keep compiling.
+func (l *Logger) ship(lba int64, data []byte, span obs.SpanID) uint64 {
 	if l.cfg.Replicator == nil {
 		return 0
 	}
-	return l.cfg.Replicator.Ship(lba, data)
+	tr := l.tracer()
+	tr.SetCause(span)
+	seq := l.cfg.Replicator.Ship(lba, data)
+	tr.ClearCause()
+	return seq
 }
 
 // waitPolicy blocks the acking writer until the configured durability
@@ -105,5 +113,7 @@ func (l *Logger) waitPolicy(p *sim.Proc, seq uint64) {
 	if l.cfg.Replicator == nil || !l.cfg.Policy.Remote() || seq == 0 {
 		return
 	}
+	start := p.Now()
 	l.cfg.Replicator.WaitQuorum(p, seq, l.cfg.Policy.K)
+	l.stats.QuorumWait.Observe(p.Now().Sub(start))
 }

@@ -161,6 +161,7 @@ type Stats struct {
 	DrainedBytes  *metrics.Counter
 	Occupancy     *metrics.Gauge     // buffered bytes (peak = high-water)
 	AckLatency    *metrics.Histogram // guest-visible write latency
+	QuorumWait    *metrics.Histogram // ack-path stall inside WaitQuorum
 	EmergencyRuns *metrics.Counter
 	DumpedBytes   *metrics.Counter
 
@@ -185,6 +186,7 @@ func newStats(reg *obs.Registry, name string) *Stats {
 		DrainedBytes:  reg.Counter(name + ".drained_bytes"),
 		Occupancy:     reg.Gauge(name + ".occupancy"),
 		AckLatency:    reg.Histogram(name + ".ack_latency"),
+		QuorumWait:    reg.Histogram(name + ".quorum_wait"),
 		EmergencyRuns: reg.Counter(name + ".emergency_runs"),
 		DumpedBytes:   reg.Counter(name + ".dumped_bytes"),
 
@@ -422,6 +424,10 @@ func (l *Logger) Stats() *disk.Stats { return l.backing.Stats() }
 // While degraded, writes instead pass through to the backing device
 // synchronously — slow, but never acknowledged before they are durable.
 func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
+	// The caller one layer up (the WAL's physical force) may have parked a
+	// span in the tracer's cause slot; adopt it as this write's causal
+	// parent so a commit's trace links tx → force → hv_ack → ship.
+	cause := l.tracer().TakeCause()
 	if l.emergency {
 		l.never.Wait(p) // parks until the machine dies
 	}
@@ -451,7 +457,7 @@ func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
 		// An absorbed rewrite mutates the buffered entry in place, so the
 		// replicas must see the new bytes too — their copy of the old
 		// version is now a stale shadow of what will reach the disk.
-		seq := l.ship(lba, data)
+		seq := l.ship(lba, data, e.span)
 		p.Sleep(l.cfg.AckOverhead + time.Duration(float64(len(data))/l.cfg.CopyBandwidth*float64(time.Second)))
 		l.waitPolicy(p, seq)
 		l.stats.Writes.Inc()
@@ -484,12 +490,12 @@ func (l *Logger) Write(p *sim.Proc, lba int64, data []byte, fua bool) error {
 	e.span = l.tracer().NewSpan()
 	// hv_ack is stamped at buffer-insertion time — before the ack sleep — so
 	// it always precedes the durable event the drainer emits for this entry.
-	l.tracer().Emit(p.Now().Duration(), obs.EvHvAck, e.span, 0, lba, int64(len(data)))
+	l.tracer().Emit(p.Now().Duration(), obs.EvHvAck, e.span, cause, lba, int64(len(data)))
 	l.pending = append(l.pending, e)
 	l.absorb[lba] = e
 	l.buffered += need
 	l.stats.Occupancy.Add(need)
-	seq := l.ship(lba, data)
+	seq := l.ship(lba, data, e.span)
 	l.dirtySig.Broadcast()
 
 	// The guest-visible cost: fixed overhead plus the memory copy — plus,
@@ -512,7 +518,7 @@ func (l *Logger) passthroughWrite(p *sim.Proc, lba int64, data []byte) error {
 	// the replicas hold, so any write they never saw would be rolled back
 	// to its previous contents at recovery. No quorum wait is needed — the
 	// write below is synchronously durable on local media before the ack.
-	l.ship(lba, data)
+	l.ship(lba, data, 0)
 	l.patchPending(lba, data)
 	l.acquireIO(p)
 	err := l.writeBackingRetry(p, lba, data)
@@ -893,6 +899,9 @@ type RecoveryReport struct {
 	HadDump      bool
 	DumpRetries  int
 	DumpFailures int
+	// Flight is the flight record frozen at the power loss, when the rig was
+	// running a flight recorder; nil otherwise.
+	Flight *obs.FlightRecord
 }
 
 // Dump is a parsed dump-zone image: every entry that survived intact, plus

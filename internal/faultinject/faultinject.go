@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/rig"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -165,7 +166,27 @@ type TrialResult struct {
 	// Replica-mode trials: the replication stream's peak unacked depth
 	// (records shipped but not yet held by every standby).
 	ReplLagMax int64
-	Err        error
+	// MonitorViolations is the online invariant monitor's verdict for the
+	// trial (zero unless the rig ran with tracing enabled).
+	MonitorViolations int
+	// Artifacts holds the trial's forensic capture (trace dump, metrics
+	// snapshot, flight record, monitor report) when the rig ran with tracing
+	// enabled. Summary.add moves it into Summary.Artifacts and nils it here,
+	// so a long campaign retains one capture, not one per trial.
+	Artifacts *Artifacts
+	Err       error
+}
+
+// Artifacts is one trial's forensic capture, written out by rapilog-fault's
+// -trace-out / -metrics-out / -flight-out flags and consumed by
+// rapilog-trace.
+type Artifacts struct {
+	Trial   int
+	Seed    int64
+	Trace   *obs.TraceDump
+	Metrics *obs.Snapshot
+	Flight  *obs.FlightRecord
+	Monitor *obs.MonitorReport
 }
 
 // Ok reports whether the trial had zero durability violations.
@@ -182,12 +203,29 @@ type Summary struct {
 	DegradedTrials int   // trials that ended with the logger in pass-through
 	DumpFailures   int   // emergency dumps that never reached the zone
 	MaxReplLag     int64 // worst per-trial replication lag peak
+	// MonitorViolations totals the online monitor's findings across trials.
+	MonitorViolations int
+	// Artifacts is the campaign's retained forensic capture: the first
+	// violating/erroring trial's, or — when every trial is clean — the last
+	// trial's. One capture per campaign bounds memory.
+	Artifacts    *Artifacts
+	artifactsBad bool
 }
 
 // add folds one trial into the aggregate. Loss/corruption is counted
 // independently of the error flag: a trial can both error out and lose
 // data, and hiding the loss under the error would understate Violations.
 func (s *Summary) add(res TrialResult) {
+	if res.Artifacts != nil {
+		if !s.artifactsBad {
+			s.Artifacts = res.Artifacts
+			if !res.Ok() || res.MonitorViolations > 0 {
+				s.artifactsBad = true // pin the first bad trial's capture
+			}
+		}
+		res.Artifacts = nil
+	}
+	s.MonitorViolations += res.MonitorViolations
 	s.Trials = append(s.Trials, res)
 	s.TotalAcked += res.Acked
 	s.TotalLost += res.Missing
@@ -217,6 +255,9 @@ func (s Summary) String() string {
 	if s.MaxReplLag > 0 {
 		extra += fmt.Sprintf(", repl lag max %d", s.MaxReplLag)
 	}
+	if s.MonitorViolations > 0 {
+		extra += fmt.Sprintf(", %d monitor violations", s.MonitorViolations)
+	}
 	fault := string(s.Config.Fault)
 	if s.Config.Compose != "" {
 		fault += "+" + string(s.Config.Compose)
@@ -235,7 +276,11 @@ func RunCampaign(cfg CampaignConfig) Summary {
 		return sum
 	}
 	for i := 0; i < cfg.Trials; i++ {
-		sum.add(RunTrial(cfg, cfg.Rig.Seed+int64(i)*7919))
+		res := RunTrial(cfg, cfg.Rig.Seed+int64(i)*7919)
+		if res.Artifacts != nil {
+			res.Artifacts.Trial = i
+		}
+		sum.add(res)
 	}
 	return sum
 }
@@ -446,6 +491,22 @@ func RunTrial(cfg CampaignConfig, seed int64) TrialResult {
 	runErr := s.RunFor(10 * time.Minute)
 	if r.Fabric != nil {
 		res.ReplLagMax = r.Obs.Registry().Gauge("repl.lag").Peak()
+	}
+	if r.Obs.Tracer().Enabled() {
+		dump := r.Obs.Tracer().Dump()
+		snap := r.Obs.Registry().Snapshot()
+		res.Artifacts = &Artifacts{Seed: seed, Trace: &dump, Metrics: &snap}
+		if r.Monitor != nil {
+			res.MonitorViolations = r.Monitor.Total()
+			mr := r.Monitor.Report()
+			res.Artifacts.Monitor = &mr
+		}
+		if r.Flight != nil {
+			// A trial that never hit a freeze trigger still yields a usable
+			// black box: seal it at trial end.
+			r.Flight.Freeze(s.Now().Duration(), "trial-end")
+			res.Artifacts.Flight = r.Flight.Record()
+		}
 	}
 	if runErr != nil {
 		if res.Err == nil {

@@ -162,3 +162,35 @@ func TestBarePartitionIsHarmless(t *testing.T) {
 		}
 	}
 }
+
+// TestDoubleFaultCapturesFrozenFlightRecord: the A9 break-dump campaign,
+// run with the flight recorder armed, must retain a post-mortem frozen at
+// DC loss — and the online monitor must certify the quorum policy clean
+// even through the double fault.
+func TestDoubleFaultCapturesFrozenFlightRecord(t *testing.T) {
+	cfg := doubleFaultCampaign(core.AckQuorum(1), 2)
+	cfg.Rig.Flight = true
+	cfg.Rig.TraceCapacity = 1 << 18
+	sum := RunCampaign(cfg)
+	if sum.Errors > 0 || sum.Violations != 0 {
+		t.Fatalf("campaign not clean: %s", sum)
+	}
+	if sum.MonitorViolations != 0 {
+		t.Fatalf("monitor flagged %d violations on a clean quorum campaign: %+v",
+			sum.MonitorViolations, sum.Artifacts.Monitor)
+	}
+	art := sum.Artifacts
+	if art == nil || art.Trace == nil || art.Metrics == nil || art.Monitor == nil {
+		t.Fatalf("campaign retained no artifacts: %+v", art)
+	}
+	if art.Flight == nil {
+		t.Fatal("flight recorder armed but no record retained")
+	}
+	if art.Flight.Reason != "power-dc-loss" {
+		t.Fatalf("flight froze for %q, want power-dc-loss (the composed cut)", art.Flight.Reason)
+	}
+	if len(art.Flight.Events) == 0 || art.Flight.Monitor == nil {
+		t.Fatalf("frozen record incomplete: %d events, monitor %v",
+			len(art.Flight.Events), art.Flight.Monitor)
+	}
+}

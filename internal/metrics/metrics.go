@@ -295,6 +295,9 @@ func (t *Table) AddRow(cells ...string) {
 	t.rows = append(t.rows, cells)
 }
 
+// Rows returns the number of data rows added so far.
+func (t *Table) Rows() int { return len(t.rows) }
+
 // String renders the table with aligned columns.
 func (t *Table) String() string {
 	widths := make([]int, len(t.header))

@@ -75,6 +75,10 @@ type Config struct {
 	Link LinkConfig
 	// Reg, when set, registers the fabric's instruments centrally.
 	Reg *obs.Registry
+	// Trace, when set, records per-message net events (send, deliver,
+	// drop, dup) carrying the sender's causal span, so a commit's path
+	// across the wire is reconstructible.
+	Trace *obs.Tracer
 }
 
 // Message is one delivered datagram.
@@ -119,6 +123,8 @@ type Fabric struct {
 	// isolated nodes cannot send or receive; the map is the partition.
 	isolated map[string]bool
 	stats    *Stats
+	tr       *obs.Tracer
+	nodeIDs  map[string]int64 // endpoint name → interned trace label
 }
 
 // New creates a fabric. The default link config applies to every pair of
@@ -133,6 +139,8 @@ func New(s *sim.Sim, cfg Config) *Fabric {
 		eps:      make(map[string]*Endpoint),
 		links:    make(map[linkKey]*link),
 		isolated: make(map[string]bool),
+		tr:       cfg.Trace,
+		nodeIDs:  make(map[string]int64),
 		stats: &Stats{
 			Sent:           reg.Counter("net.sent"),
 			Delivered:      reg.Counter("net.delivered"),
@@ -205,32 +213,63 @@ func (f *Fabric) Restore(names ...string) {
 // Isolated reports whether a node is currently cut off.
 func (f *Fabric) Isolated(name string) bool { return f.isolated[name] }
 
+// nodeID interns an endpoint name in the tracer's label table, caching the
+// id so the send path does no map-of-strings work after first use.
+func (f *Fabric) nodeID(name string) int64 {
+	if f.tr == nil {
+		return 0
+	}
+	if id, ok := f.nodeIDs[name]; ok {
+		return id
+	}
+	id := f.tr.Label(name)
+	f.nodeIDs[name] = id
+	return id
+}
+
+func (f *Fabric) trace(kind obs.Kind, cause obs.SpanID, size int, to string) {
+	if f.tr != nil {
+		f.tr.Emit(f.s.Now().Duration(), kind, 0, cause, int64(size), f.nodeID(to))
+	}
+}
+
 // Send transmits size bytes of payload from one endpoint to another. It
 // never blocks: delivery (or loss) is decided now, scheduled on the
 // simulation, and Send returns. The payload is delivered by reference —
 // senders must not reuse the backing memory after Send.
 func (f *Fabric) Send(from, to string, size int, payload any) {
+	f.SendCtx(from, to, size, payload, 0)
+}
+
+// SendCtx is Send with an explicit causal span carried through the trace:
+// the resulting net events (and the drop, if the fabric eats the message)
+// are parented under cause.
+func (f *Fabric) SendCtx(from, to string, size int, payload any, cause obs.SpanID) {
 	f.stats.Sent.Inc()
 	if f.isolated[from] || f.isolated[to] {
 		f.stats.PartitionDrops.Inc()
+		f.trace(obs.EvNetDrop, cause, size, to)
 		return
 	}
 	lk := f.link(from, to)
 	if lk.cfg.DropProb > 0 && f.rng.Float64() < lk.cfg.DropProb {
 		f.stats.Dropped.Inc()
+		f.trace(obs.EvNetDrop, cause, size, to)
 		return
 	}
-	f.deliver(lk, from, to, size, payload, false)
+	f.trace(obs.EvNetSend, cause, size, to)
+	f.deliver(lk, from, to, size, payload, false, cause)
 	if lk.cfg.DupProb > 0 && f.rng.Float64() < lk.cfg.DupProb {
 		f.stats.Duplicated.Inc()
-		f.deliver(lk, from, to, size, payload, true)
+		f.trace(obs.EvNetDup, cause, size, to)
+		f.deliver(lk, from, to, size, payload, true, cause)
 	}
 }
 
 // deliver schedules one copy of a message: serialise on the link's
 // transmitter, add propagation latency and jitter, optionally hold the
 // message back so later sends overtake it.
-func (f *Fabric) deliver(lk *link, from, to string, size int, payload any, dup bool) {
+func (f *Fabric) deliver(lk *link, from, to string, size int, payload any, dup bool, cause obs.SpanID) {
 	xfer := time.Duration(float64(size) / lk.cfg.Bandwidth * float64(time.Second))
 	start := f.s.Now()
 	if lk.busyUntil > start {
@@ -252,9 +291,11 @@ func (f *Fabric) deliver(lk *link, from, to string, size int, payload any, dup b
 		if f.isolated[to] {
 			// The port came down while the packet was in flight.
 			f.stats.PartitionDrops.Inc()
+			f.trace(obs.EvNetDrop, cause, size, to)
 			return
 		}
 		f.stats.Delivered.Inc()
+		f.trace(obs.EvNetDeliver, cause, size, to)
 		m.DeliveredAt = f.s.Now()
 		ep := f.Endpoint(to)
 		ep.inbox = append(ep.inbox, m)
@@ -305,4 +346,9 @@ func (e *Endpoint) Recv(p *sim.Proc) Message {
 // Send transmits from this endpoint.
 func (e *Endpoint) Send(to string, size int, payload any) {
 	e.f.Send(e.name, to, size, payload)
+}
+
+// SendCtx transmits from this endpoint with an explicit causal span.
+func (e *Endpoint) SendCtx(to string, size int, payload any, cause obs.SpanID) {
+	e.f.SendCtx(e.name, to, size, payload, cause)
 }

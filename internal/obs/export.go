@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -19,10 +20,13 @@ type Snapshot struct {
 	Series     map[string][]SeriesPoint `json:"series,omitempty"`
 }
 
-// GaugeSnap is a gauge's level and high-water mark.
+// GaugeSnap is a gauge's level and high-water mark. PeakDelta is only
+// populated by Diff: how much the high-water mark rose during the
+// interval (zero when the old peak still stands).
 type GaugeSnap struct {
-	Value int64 `json:"value"`
-	Peak  int64 `json:"peak"`
+	Value     int64 `json:"value"`
+	Peak      int64 `json:"peak"`
+	PeakDelta int64 `json:"peak_delta,omitempty"`
 }
 
 // HistogramSnap is a histogram's summary statistics.
@@ -95,7 +99,8 @@ func (r *Registry) Snapshot() Snapshot {
 //
 // Counters subtract. Gauges report the level change, with Peak carrying
 // s's absolute high-water mark — a peak is not a rate and cannot be
-// meaningfully subtracted. Histograms report the interval's Count/Sum and
+// meaningfully subtracted — and PeakDelta carrying how much the mark rose
+// during the interval. Histograms report the interval's Count/Sum and
 // the Mean recomputed from those deltas; the order statistics (min,
 // quantiles, max) are whole-run properties with no subtractive form and
 // are zeroed. Series are omitted — they are already time-indexed.
@@ -111,7 +116,12 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 		d.Counters[name] = v - prev.Counters[name]
 	}
 	for name, g := range s.Gauges {
-		d.Gauges[name] = GaugeSnap{Value: g.Value - prev.Gauges[name].Value, Peak: g.Peak}
+		p := prev.Gauges[name]
+		gd := GaugeSnap{Value: g.Value - p.Value, Peak: g.Peak}
+		if g.Peak > p.Peak {
+			gd.PeakDelta = g.Peak - p.Peak
+		}
+		d.Gauges[name] = gd
 	}
 	for name, h := range s.Histograms {
 		p := prev.Histograms[name]
@@ -122,6 +132,58 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 		d.Histograms[name] = dh
 	}
 	return d
+}
+
+// MarshalJSON emits every section with its keys in sorted order, written
+// explicitly rather than left to the encoder, so snapshot artifacts are
+// byte-stable across runs with the same seed regardless of map iteration
+// or encoder internals.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	writeSection := func(name string, keys []string, value func(string) any) error {
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:{", name)
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			v, err := json.Marshal(value(k))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(&b, "%q:%s", k, v)
+		}
+		b.WriteByte('}')
+		return nil
+	}
+	if err := writeSection("counters", mapKeys(s.Counters), func(k string) any { return s.Counters[k] }); err != nil {
+		return nil, err
+	}
+	if err := writeSection("gauges", mapKeys(s.Gauges), func(k string) any { return s.Gauges[k] }); err != nil {
+		return nil, err
+	}
+	if err := writeSection("histograms", mapKeys(s.Histograms), func(k string) any { return s.Histograms[k] }); err != nil {
+		return nil, err
+	}
+	if len(s.Series) > 0 {
+		if err := writeSection("series", mapKeys(s.Series), func(k string) any { return s.Series[k] }); err != nil {
+			return nil, err
+		}
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+func mapKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
 }
 
 // WriteJSON writes the snapshot as indented JSON.
@@ -155,8 +217,8 @@ func (s Snapshot) LatencyTable() *metrics.Table {
 	return table
 }
 
-// eventJSON is the wire form of a trace event.
-type eventJSON struct {
+// WireEvent is the wire form of a trace event.
+type WireEvent struct {
 	AtNs   int64  `json:"at_ns"`
 	Kind   string `json:"kind"`
 	Span   uint64 `json:"span,omitempty"`
@@ -165,25 +227,96 @@ type eventJSON struct {
 	Arg2   int64  `json:"arg2,omitempty"`
 }
 
-// traceJSON is the wire form of a trace dump.
-type traceJSON struct {
-	Emitted int         `json:"emitted"`
-	Dropped int         `json:"dropped"`
-	Events  []eventJSON `json:"events"`
+// ToWire converts an in-memory event to its wire form.
+func (e Event) ToWire() WireEvent {
+	return WireEvent{
+		AtNs: int64(e.At), Kind: e.Kind.String(),
+		Span: uint64(e.Span), Parent: uint64(e.Parent),
+		Arg1: e.Arg1, Arg2: e.Arg2,
+	}
+}
+
+// Decode converts a wire event back to its in-memory form; it fails on an
+// unknown kind name so malformed traces are caught rather than silently
+// analysed as empty.
+func (w WireEvent) Decode() (Event, error) {
+	k, ok := KindByName(w.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("obs: unknown event kind %q", w.Kind)
+	}
+	return Event{
+		At: time.Duration(w.AtNs), Kind: k,
+		Span: SpanID(w.Span), Parent: SpanID(w.Parent),
+		Arg1: w.Arg1, Arg2: w.Arg2,
+	}, nil
+}
+
+// TraceDump is a self-contained, JSON-serialisable copy of a tracer's
+// retained events plus the label table needed to resolve endpoint and
+// replica ids in event args.
+type TraceDump struct {
+	Emitted int              `json:"emitted"`
+	Dropped int              `json:"dropped"`
+	Labels  map[string]int64 `json:"labels,omitempty"`
+	Events  []WireEvent      `json:"events"`
+}
+
+// Dump captures the tracer's retained events and label table.
+func (t *Tracer) Dump() TraceDump {
+	events := t.Events()
+	d := TraceDump{
+		Emitted: t.Emitted(), Dropped: t.Dropped(),
+		Labels: t.Labels(),
+		Events: make([]WireEvent, len(events)),
+	}
+	for i, e := range events {
+		d.Events[i] = e.ToWire()
+	}
+	return d
+}
+
+// WriteJSON writes the dump as indented JSON.
+func (d TraceDump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// DecodedEvents converts the wire events back to in-memory form, failing
+// on the first malformed event.
+func (d TraceDump) DecodedEvents() ([]Event, error) {
+	out := make([]Event, len(d.Events))
+	for i, w := range d.Events {
+		e, err := w.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// LabelName resolves a label id back to its name ("?" when absent or the
+// id is zero).
+func (d TraceDump) LabelName(id int64) string {
+	for n, v := range d.Labels {
+		if v == id {
+			return n
+		}
+	}
+	return "?"
+}
+
+// ReadTraceDump parses a trace dump previously written by WriteJSON.
+func ReadTraceDump(r io.Reader) (TraceDump, error) {
+	var d TraceDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return TraceDump{}, fmt.Errorf("obs: parsing trace dump: %w", err)
+	}
+	return d, nil
 }
 
 // WriteJSON dumps the retained trace as indented JSON.
 func (t *Tracer) WriteJSON(w io.Writer) error {
-	events := t.Events()
-	out := traceJSON{Emitted: t.Emitted(), Dropped: t.Dropped(), Events: make([]eventJSON, len(events))}
-	for i, e := range events {
-		out.Events[i] = eventJSON{
-			AtNs: int64(e.At), Kind: e.Kind.String(),
-			Span: uint64(e.Span), Parent: uint64(e.Parent),
-			Arg1: e.Arg1, Arg2: e.Arg2,
-		}
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return t.Dump().WriteJSON(w)
 }

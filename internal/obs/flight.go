@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// FlightConfig parameterises a FlightRecorder.
+type FlightConfig struct {
+	// EventWindow is how many recent trace events a frozen record keeps
+	// (default 4096).
+	EventWindow int
+	// SnapEvery is the metric-snapshot cadence in virtual time
+	// (default 250ms).
+	SnapEvery time.Duration
+	// SnapWindow is how many periodic snapshots the ring keeps
+	// (default 16).
+	SnapWindow int
+}
+
+// FlightSnap is one periodic metrics snapshot in the recorder's ring.
+type FlightSnap struct {
+	AtNs int64    `json:"at_ns"`
+	Snap Snapshot `json:"snap"`
+}
+
+// FlightRecord is a frozen, self-contained post-mortem: the reason and
+// time of the freeze, the most recent trace events, the trailing metric
+// snapshots, the registry state at the instant of the freeze, and (when a
+// monitor is attached) its verdict. It is what a flight-data recorder's
+// recovered box would hold.
+type FlightRecord struct {
+	Reason          string           `json:"reason"`
+	AtNs            int64            `json:"at_ns"`
+	Labels          map[string]int64 `json:"labels,omitempty"`
+	Events          []WireEvent      `json:"events"`
+	TruncatedEvents int              `json:"truncated_events"`
+	Snapshots       []FlightSnap     `json:"snapshots,omitempty"`
+	Final           Snapshot         `json:"final"`
+	Monitor         *MonitorReport   `json:"monitor,omitempty"`
+}
+
+// WriteJSON writes the record as indented JSON.
+func (r *FlightRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadFlightRecord parses a record previously written by WriteJSON.
+func ReadFlightRecord(r io.Reader) (*FlightRecord, error) {
+	var rec FlightRecord
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("obs: parsing flight record: %w", err)
+	}
+	return &rec, nil
+}
+
+// FlightRecorder continuously buffers recent history — the obs bundle's
+// trace ring plus its own ring of periodic metric snapshots — and freezes
+// it into a FlightRecord at the first catastrophic trigger (power loss,
+// degrade entry, invariant violation). Only the first freeze wins: the
+// record must describe the state leading INTO the incident, not the
+// recovery thrash after it.
+type FlightRecorder struct {
+	o      *Obs
+	mon    *Monitor
+	cfg    FlightConfig
+	snaps  []FlightSnap
+	nsnaps int
+	frozen *FlightRecord
+}
+
+// NewFlightRecorder creates a recorder over an obs bundle; mon may be nil.
+func NewFlightRecorder(o *Obs, mon *Monitor, cfg FlightConfig) *FlightRecorder {
+	if cfg.EventWindow <= 0 {
+		cfg.EventWindow = 4096
+	}
+	if cfg.SnapEvery <= 0 {
+		cfg.SnapEvery = 250 * time.Millisecond
+	}
+	if cfg.SnapWindow <= 0 {
+		cfg.SnapWindow = 16
+	}
+	return &FlightRecorder{o: o, mon: mon, cfg: cfg, snaps: make([]FlightSnap, cfg.SnapWindow)}
+}
+
+// SnapEvery returns the configured snapshot cadence.
+func (f *FlightRecorder) SnapEvery() time.Duration { return f.cfg.SnapEvery }
+
+// Frozen reports whether the recorder already holds a record.
+func (f *FlightRecorder) Frozen() bool { return f != nil && f.frozen != nil }
+
+// Snap captures one periodic metrics snapshot into the ring.
+func (f *FlightRecorder) Snap(at time.Duration) {
+	if f == nil || f.frozen != nil {
+		return
+	}
+	f.snaps[f.nsnaps%len(f.snaps)] = FlightSnap{AtNs: int64(at), Snap: f.o.Registry().Snapshot()}
+	f.nsnaps++
+}
+
+// Freeze seals the recorder into a FlightRecord; subsequent freezes and
+// snaps are no-ops.
+func (f *FlightRecorder) Freeze(at time.Duration, reason string) {
+	if f == nil || f.frozen != nil {
+		return
+	}
+	tr := f.o.Tracer()
+	events := tr.Events()
+	truncated := tr.Dropped()
+	if len(events) > f.cfg.EventWindow {
+		truncated += len(events) - f.cfg.EventWindow
+		events = events[len(events)-f.cfg.EventWindow:]
+	}
+	rec := &FlightRecord{
+		Reason:          reason,
+		AtNs:            int64(at),
+		Labels:          tr.Labels(),
+		Events:          make([]WireEvent, len(events)),
+		TruncatedEvents: truncated,
+		Final:           f.o.Registry().Snapshot(),
+	}
+	for i, e := range events {
+		rec.Events[i] = e.ToWire()
+	}
+	// Oldest-first snapshot ring.
+	n := f.nsnaps
+	if n > len(f.snaps) {
+		n = len(f.snaps)
+	}
+	for i := 0; i < n; i++ {
+		rec.Snapshots = append(rec.Snapshots, f.snaps[(f.nsnaps-n+i)%len(f.snaps)])
+	}
+	if f.mon != nil {
+		mr := f.mon.Report()
+		rec.Monitor = &mr
+	}
+	f.frozen = rec
+}
+
+// Record returns the frozen record, or nil if nothing froze.
+func (f *FlightRecorder) Record() *FlightRecord {
+	if f == nil {
+		return nil
+	}
+	return f.frozen
+}

@@ -1,0 +1,424 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Invariant identifies one of the runtime-checked safety properties. The
+// monitor is the paper's verification theme applied at runtime: the same
+// exposure and acknowledgement invariants the design argues statically are
+// re-checked continuously against the live event stream.
+type Invariant int
+
+const (
+	// InvExposure: acknowledged-but-undrained bytes must stay within
+	// min(MaxBuffer, SafeBufferSize) — the provably dumpable bound.
+	InvExposure Invariant = iota
+	// InvAckEvidence: no EvTxAck may precede its policy's durability
+	// evidence — local flush covering the commit LSN, plus (for quorum /
+	// remote policies) EvQuorumMet for every record the covering force
+	// shipped.
+	InvAckEvidence
+	// InvRetention: the shipper's retained (unacked) bytes must return
+	// under RetainLimit within the eviction grace window.
+	InvRetention
+	// InvAckMonotone: each replica's cumulative ack sequence must never
+	// regress.
+	InvAckMonotone
+
+	invCount
+)
+
+var invariantNames = [invCount]string{
+	InvExposure:    "exposure_bound",
+	InvAckEvidence: "ack_without_evidence",
+	InvRetention:   "retention_bound",
+	InvAckMonotone: "ack_monotonicity",
+}
+
+// String returns the invariant's stable wire name.
+func (i Invariant) String() string {
+	if i >= 0 && i < invCount {
+		return invariantNames[i]
+	}
+	return "unknown"
+}
+
+// PolicyKind mirrors the core ack-policy kinds without importing core (obs
+// sits below every other layer).
+type PolicyKind int
+
+const (
+	// PolicyLocal acks on local buffer/flush evidence alone.
+	PolicyLocal PolicyKind = iota
+	// PolicyQuorum additionally requires EvQuorumMet for shipped records.
+	PolicyQuorum
+	// PolicyRemoteOnly requires quorum evidence but no local-exposure
+	// claim beyond the flush the device reports anyway.
+	PolicyRemoteOnly
+)
+
+// MonitorConfig parameterises a Monitor.
+type MonitorConfig struct {
+	// Bound is the exposure limit in bytes; zero disables the exposure
+	// check (e.g. offline analysis of a trace with unknown sizing).
+	Bound int64
+	// Policy is the ack policy whose evidence InvAckEvidence demands.
+	Policy PolicyKind
+	// QuorumK is the quorum size for PolicyQuorum/PolicyRemoteOnly.
+	QuorumK int
+	// RetainLimit is the shipper's retention bound in bytes; zero disables
+	// the retention check.
+	RetainLimit int64
+	// RetainGrace is how long retention may sit above RetainLimit before
+	// the monitor calls it a violation — eviction of a dead replica
+	// legitimately takes a probe round-trip plus DeadAfter.
+	RetainGrace time.Duration
+	// Reg, when set, receives violation counters and provides the
+	// retention gauge ("repl.retained_bytes") the retention check reads.
+	Reg *Registry
+	// Trace, when set, receives an EvViolation trace mark per violation.
+	Trace *Tracer
+	// MaxSamples bounds the retained violation details (default 32).
+	MaxSamples int
+}
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	AtNs      int64  `json:"at_ns"`
+	Detail    string `json:"detail"`
+}
+
+// At returns the violation's virtual time.
+func (v Violation) At() time.Duration { return time.Duration(v.AtNs) }
+
+// MonitorReport summarises what a Monitor checked and found.
+type MonitorReport struct {
+	EventsSeen int            `json:"events_seen"`
+	TxAcked    int            `json:"tx_acked"`
+	Total      int            `json:"total_violations"`
+	ByKind     map[string]int `json:"by_invariant,omitempty"`
+	Samples    []Violation    `json:"samples,omitempty"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r MonitorReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// flushPoint pairs a flushed LSN with the highest replication sequence the
+// covering force shipped; used to translate "commit LSN covered" into
+// "quorum sequence required".
+type flushPoint struct {
+	lsn int64
+	seq uint64
+}
+
+// Monitor re-checks the system's safety invariants online, consuming the
+// trace event stream (install it as the tracer's observer, or replay a
+// recorded trace through Consume). It never mutates the system: violations
+// become counters, trace marks, samples, and an OnViolation callback — the
+// flight recorder's freeze trigger.
+type Monitor struct {
+	cfg MonitorConfig
+
+	// OnViolation, when set, is invoked on every detected violation.
+	OnViolation func(Violation)
+
+	events int
+
+	// Exposure tracking (InvExposure).
+	exposure     int64
+	outstanding  map[SpanID]int64 // entry span → buffered bytes
+	exposureOver bool             // above bound; fire once per episode
+
+	// Ack-evidence tracking (InvAckEvidence).
+	txLSN       map[SpanID]int64  // tx span → max appended commit LSN
+	entryForce  map[SpanID]SpanID // entry span → force span
+	forceMaxSeq map[SpanID]uint64 // force span → highest shipped seq
+	flushes     []flushPoint      // monotone (lsn, seq) flush history
+	flushedLSN  int64
+	quorumHi    uint64
+	acked       int
+
+	// Ack-monotonicity tracking (InvAckMonotone).
+	repAck map[int64]uint64 // replica label id → highest acked seq
+
+	// Retention tracking (InvRetention).
+	retainGauge *metrics.Gauge
+	retainOver  bool
+	retainSince time.Duration
+	retainFired bool
+
+	counts  [invCount]int
+	samples []Violation
+	total   *metrics.Counter
+	perInv  [invCount]*metrics.Counter
+}
+
+// NewMonitor creates a monitor. Wire it to a live tracer with
+// tracer.SetObserver(monitor.Consume) or feed it a recorded stream.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	if cfg.MaxSamples <= 0 {
+		cfg.MaxSamples = 32
+	}
+	m := &Monitor{
+		cfg:         cfg,
+		outstanding: make(map[SpanID]int64),
+		txLSN:       make(map[SpanID]int64),
+		entryForce:  make(map[SpanID]SpanID),
+		forceMaxSeq: make(map[SpanID]uint64),
+		repAck:      make(map[int64]uint64),
+	}
+	if cfg.Reg != nil {
+		m.total = cfg.Reg.Counter("monitor.violations")
+		for i := Invariant(0); i < invCount; i++ {
+			m.perInv[i] = cfg.Reg.Counter("monitor.violations." + i.String())
+		}
+		if cfg.RetainLimit > 0 {
+			m.retainGauge = cfg.Reg.Gauge("repl.retained_bytes")
+		}
+	}
+	return m
+}
+
+func (m *Monitor) violate(inv Invariant, at time.Duration, detail string) {
+	m.counts[inv]++
+	if m.total != nil {
+		m.total.Inc()
+		m.perInv[inv].Inc()
+	}
+	v := Violation{Invariant: inv.String(), AtNs: int64(at), Detail: detail}
+	if len(m.samples) < m.cfg.MaxSamples {
+		m.samples = append(m.samples, v)
+	}
+	// Safe from inside an observer callback: nested Emits are recorded but
+	// not re-notified, so this cannot recurse.
+	m.cfg.Trace.Emit(at, EvViolation, 0, 0, int64(inv), int64(m.counts[inv]))
+	if m.OnViolation != nil {
+		m.OnViolation(v)
+	}
+}
+
+// Consume feeds one event through every invariant check.
+func (m *Monitor) Consume(e Event) {
+	if m == nil {
+		return
+	}
+	m.events++
+	switch e.Kind {
+	case EvTxBegin:
+		m.txLSN[e.Span] = 0
+
+	case EvWalAppend:
+		if lsn, ok := m.txLSN[e.Parent]; ok && e.Arg1 > lsn {
+			m.txLSN[e.Parent] = e.Arg1
+		}
+
+	case EvHvAck:
+		m.outstanding[e.Span] = e.Arg2
+		m.exposure += e.Arg2
+		if e.Parent != 0 {
+			m.entryForce[e.Span] = e.Parent
+		}
+		m.checkExposure(e.At)
+
+	case EvHvAbsorb:
+		// Absorption supersedes an equal-length buffered entry in place:
+		// the device acks another guest write without growing the buffer,
+		// so exposure is unchanged.
+
+	case EvDurable:
+		if b, ok := m.outstanding[e.Parent]; ok {
+			m.exposure -= b
+			delete(m.outstanding, e.Parent)
+		}
+		if m.exposure <= m.cfg.Bound {
+			m.exposureOver = false
+		}
+
+	case EvDumpDone:
+		// The dump image holds everything still buffered: exposure ends.
+		m.exposure = 0
+		m.outstanding = make(map[SpanID]int64)
+		m.exposureOver = false
+
+	case EvLogComplete:
+		if e.Arg1 > m.flushedLSN {
+			m.flushedLSN = e.Arg1
+		}
+		seq := m.forceMaxSeq[e.Parent]
+		if n := len(m.flushes); n > 0 && m.flushes[n-1].seq > seq {
+			seq = m.flushes[n-1].seq // keep (lsn, seq) jointly monotone
+		}
+		m.flushes = append(m.flushes, flushPoint{lsn: e.Arg1, seq: seq})
+		delete(m.forceMaxSeq, e.Parent)
+
+	case EvShip:
+		if e.Parent != 0 {
+			if f, ok := m.entryForce[e.Parent]; ok {
+				if uint64(e.Arg1) > m.forceMaxSeq[f] {
+					m.forceMaxSeq[f] = uint64(e.Arg1)
+				}
+			}
+		}
+
+	case EvQuorumMet:
+		if uint64(e.Arg1) > m.quorumHi {
+			m.quorumHi = uint64(e.Arg1)
+		}
+
+	case EvTxAck:
+		m.checkAckEvidence(e)
+
+	case EvReplicaAck:
+		prev := m.repAck[e.Arg2]
+		if uint64(e.Arg1) < prev {
+			m.violate(InvAckMonotone, e.At,
+				fmt.Sprintf("replica %d acked seq %d after seq %d", e.Arg2, e.Arg1, prev))
+		} else {
+			m.repAck[e.Arg2] = uint64(e.Arg1)
+		}
+
+	case EvEpoch:
+		// A new shipper stream: sequence numbers restart, so every
+		// seq-indexed fact is stale.
+		m.repAck = make(map[int64]uint64)
+		m.quorumHi = 0
+		m.flushes = nil
+		m.forceMaxSeq = make(map[SpanID]uint64)
+
+	case EvPowerRestore:
+		// The machine rebooted: volatile state (buffer, in-flight txs,
+		// WAL force pipeline) did not survive.
+		m.exposure = 0
+		m.outstanding = make(map[SpanID]int64)
+		m.exposureOver = false
+		m.txLSN = make(map[SpanID]int64)
+		m.entryForce = make(map[SpanID]SpanID)
+		m.forceMaxSeq = make(map[SpanID]uint64)
+		m.retainOver = false
+		m.retainFired = false
+	}
+	m.Tick(e.At)
+}
+
+func (m *Monitor) checkExposure(at time.Duration) {
+	if m.cfg.Bound <= 0 || m.exposure <= m.cfg.Bound {
+		return
+	}
+	if !m.exposureOver {
+		m.exposureOver = true
+		m.violate(InvExposure, at,
+			fmt.Sprintf("buffered %d bytes exceeds bound %d", m.exposure, m.cfg.Bound))
+	}
+}
+
+func (m *Monitor) checkAckEvidence(e Event) {
+	lsn, ok := m.txLSN[e.Parent]
+	delete(m.txLSN, e.Parent)
+	m.acked++
+	if !ok || lsn == 0 {
+		return // read-only or untracked commit: nothing to evidence
+	}
+	if m.flushedLSN < lsn {
+		m.violate(InvAckEvidence, e.At,
+			fmt.Sprintf("tx acked at lsn %d but flushed lsn is %d", lsn, m.flushedLSN))
+		return
+	}
+	if m.cfg.Policy == PolicyLocal {
+		return
+	}
+	// Quorum evidence: the first flush covering the commit LSN fixes which
+	// replication sequence must have met quorum.
+	var need uint64
+	found := false
+	for _, fp := range m.flushes {
+		if fp.lsn >= lsn {
+			need, found = fp.seq, true
+			break
+		}
+	}
+	if !found {
+		m.violate(InvAckEvidence, e.At,
+			fmt.Sprintf("tx acked at lsn %d with no covering flush record", lsn))
+		return
+	}
+	if m.quorumHi < need {
+		m.violate(InvAckEvidence, e.At,
+			fmt.Sprintf("tx acked at lsn %d needing quorum through seq %d, quorum high is %d", lsn, need, m.quorumHi))
+	}
+}
+
+// Tick re-checks the time-dependent retention invariant; Consume calls it
+// on every event, and callers may call it directly on idle streams.
+func (m *Monitor) Tick(at time.Duration) {
+	if m == nil || m.cfg.RetainLimit <= 0 || m.retainGauge == nil {
+		return
+	}
+	v := m.retainGauge.Value()
+	if v <= m.cfg.RetainLimit {
+		m.retainOver = false
+		m.retainFired = false
+		return
+	}
+	if !m.retainOver {
+		m.retainOver = true
+		m.retainSince = at
+		return
+	}
+	if !m.retainFired && at-m.retainSince > m.cfg.RetainGrace {
+		m.retainFired = true
+		m.violate(InvRetention, at,
+			fmt.Sprintf("retained %d bytes above limit %d for %v", v, m.cfg.RetainLimit, at-m.retainSince))
+	}
+}
+
+// Total returns the number of violations detected so far.
+func (m *Monitor) Total() int {
+	if m == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range m.counts {
+		n += c
+	}
+	return n
+}
+
+// Report summarises the monitor's findings.
+func (m *Monitor) Report() MonitorReport {
+	if m == nil {
+		return MonitorReport{}
+	}
+	rep := MonitorReport{EventsSeen: m.events, TxAcked: m.acked, Total: m.Total()}
+	if rep.Total > 0 {
+		rep.ByKind = make(map[string]int)
+		for i := Invariant(0); i < invCount; i++ {
+			if m.counts[i] > 0 {
+				rep.ByKind[i.String()] = m.counts[i]
+			}
+		}
+		rep.Samples = m.samples
+	}
+	return rep
+}
+
+// RunMonitor replays a recorded event stream through a fresh monitor —
+// the offline form used by rapilog-trace to re-verify a trace after the
+// fact. The retention check is skipped unless cfg.Reg carries the gauge.
+func RunMonitor(events []Event, cfg MonitorConfig) MonitorReport {
+	m := NewMonitor(cfg)
+	for _, e := range events {
+		m.Consume(e)
+	}
+	return m.Report()
+}

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// ev is shorthand for building synthetic monitor input.
+func ev(at time.Duration, k Kind, span, parent SpanID, a1, a2 int64) Event {
+	return Event{At: at, Kind: k, Span: span, Parent: parent, Arg1: a1, Arg2: a2}
+}
+
+// cleanQuorumStream is a minimal fully-evidenced quorum commit: begin,
+// append, buffer insert under a force, ship, replica ack, quorum, flush,
+// ack, drain.
+func cleanQuorumStream() []Event {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Event{
+		ev(ms(1), EvTxBegin, 1, 0, 0, 0),
+		ev(ms(2), EvWalAppend, 0, 1, 100, 64),
+		ev(ms(3), EvHvAck, 2, 10, 7, 512), // entry span 2, force span 10
+		ev(ms(3), EvShip, 3, 2, 1, 512),   // ship span 3, seq 1
+		ev(ms(4), EvReplicaAck, 0, 3, 1, 1),
+		ev(ms(4), EvQuorumMet, 0, 3, 1, 1),
+		ev(ms(5), EvLogComplete, 0, 10, 100, 0),
+		ev(ms(6), EvTxAck, 0, 1, 0, 0),
+		ev(ms(9), EvDurable, 0, 2, 7, 512),
+	}
+}
+
+func TestMonitorCleanQuorumStream(t *testing.T) {
+	rep := RunMonitor(cleanQuorumStream(), MonitorConfig{
+		Bound: 4096, Policy: PolicyQuorum, QuorumK: 1,
+	})
+	if rep.Total != 0 {
+		t.Fatalf("clean stream flagged: %+v", rep)
+	}
+	if rep.TxAcked != 1 {
+		t.Fatalf("TxAcked = %d, want 1", rep.TxAcked)
+	}
+}
+
+func TestMonitorDetectsExposureOverBound(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	m := NewMonitor(MonitorConfig{Bound: 1000})
+	m.Consume(ev(ms(1), EvHvAck, 2, 0, 0, 800))
+	if m.Total() != 0 {
+		t.Fatalf("under-bound exposure flagged")
+	}
+	m.Consume(ev(ms(2), EvHvAck, 3, 0, 1, 800)) // 1600 > 1000
+	if m.Total() != 1 {
+		t.Fatalf("Total = %d after crossing bound, want 1", m.Total())
+	}
+	// Same episode: no re-fire while still above the bound.
+	m.Consume(ev(ms(3), EvHvAck, 4, 0, 2, 100))
+	if m.Total() != 1 {
+		t.Fatalf("Total = %d, episode re-fired", m.Total())
+	}
+	// Drain below the bound, then cross again: a new episode fires.
+	m.Consume(ev(ms(4), EvDurable, 0, 2, 0, 0))
+	m.Consume(ev(ms(5), EvDurable, 0, 3, 1, 0))
+	m.Consume(ev(ms(6), EvHvAck, 5, 0, 3, 2000))
+	if m.Total() != 2 {
+		t.Fatalf("Total = %d after second episode, want 2", m.Total())
+	}
+	rep := m.Report()
+	if rep.ByKind[InvExposure.String()] != 2 {
+		t.Fatalf("ByKind = %v", rep.ByKind)
+	}
+}
+
+func TestMonitorDetectsAckBeforeLocalFlush(t *testing.T) {
+	var events []Event
+	for _, e := range cleanQuorumStream() {
+		if e.Kind == EvLogComplete {
+			continue // the commit's covering force never completes
+		}
+		events = append(events, e)
+	}
+	rep := RunMonitor(events, MonitorConfig{Policy: PolicyLocal})
+	if rep.ByKind[InvAckEvidence.String()] != 1 {
+		t.Fatalf("missing-flush ack not flagged: %+v", rep)
+	}
+}
+
+func TestMonitorDetectsAckWithoutQuorumEvidence(t *testing.T) {
+	var events []Event
+	for _, e := range cleanQuorumStream() {
+		if e.Kind == EvQuorumMet {
+			continue // quorum never met, yet the tx acks
+		}
+		events = append(events, e)
+	}
+	// Under the local policy this stream is fine...
+	if rep := RunMonitor(events, MonitorConfig{Policy: PolicyLocal}); rep.Total != 0 {
+		t.Fatalf("local policy flagged quorum-free stream: %+v", rep)
+	}
+	// ...under a quorum policy it is an ack without evidence.
+	rep := RunMonitor(events, MonitorConfig{Policy: PolicyQuorum, QuorumK: 1})
+	if rep.ByKind[InvAckEvidence.String()] != 1 {
+		t.Fatalf("quorum-free ack not flagged: %+v", rep)
+	}
+}
+
+func TestMonitorDetectsAckRegression(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	events := []Event{
+		ev(ms(1), EvReplicaAck, 0, 3, 5, 1),
+		ev(ms(2), EvReplicaAck, 0, 3, 3, 1), // replica 1 regresses
+		ev(ms(3), EvReplicaAck, 0, 3, 3, 2), // replica 2 is just behind, fine
+	}
+	rep := RunMonitor(events, MonitorConfig{})
+	if rep.ByKind[InvAckMonotone.String()] != 1 {
+		t.Fatalf("ack regression not flagged: %+v", rep)
+	}
+}
+
+func TestMonitorDetectsRetentionOverGrace(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("repl.retained_bytes")
+	m := NewMonitor(MonitorConfig{RetainLimit: 100, RetainGrace: 10 * time.Millisecond, Reg: reg})
+
+	g.Set(500)
+	m.Tick(1 * time.Millisecond) // episode starts
+	m.Tick(5 * time.Millisecond) // within grace
+	if m.Total() != 0 {
+		t.Fatalf("retention flagged inside the grace window")
+	}
+	m.Tick(20 * time.Millisecond)
+	if m.Total() != 1 {
+		t.Fatalf("Total = %d after grace expiry, want 1", m.Total())
+	}
+	m.Tick(30 * time.Millisecond) // fire-once per episode
+	if m.Total() != 1 {
+		t.Fatalf("retention episode re-fired")
+	}
+	g.Set(50)
+	m.Tick(40 * time.Millisecond) // recovered
+	g.Set(500)
+	m.Tick(41 * time.Millisecond)
+	m.Tick(60 * time.Millisecond) // new episode, new violation
+	if m.Total() != 2 {
+		t.Fatalf("Total = %d after second episode, want 2", m.Total())
+	}
+}
+
+func TestMonitorEpochResetsSequenceState(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	events := []Event{
+		ev(ms(1), EvReplicaAck, 0, 3, 5, 1),
+		ev(ms(2), EvEpoch, 0, 0, 2, 2), // new stream: seq restarts
+		ev(ms(3), EvReplicaAck, 0, 4, 1, 1),
+	}
+	if rep := RunMonitor(events, MonitorConfig{}); rep.Total != 0 {
+		t.Fatalf("post-epoch seq restart flagged: %+v", rep)
+	}
+}
+
+func TestMonitorObserverEmitsViolationMark(t *testing.T) {
+	tr := NewTracer(64)
+	m := NewMonitor(MonitorConfig{Bound: 100, Trace: tr})
+	var got []Violation
+	m.OnViolation = func(v Violation) { got = append(got, v) }
+	tr.SetObserver(m.Consume)
+	tr.Emit(time.Millisecond, EvHvAck, 2, 0, 0, 500)
+	if len(got) != 1 || got[0].Invariant != InvExposure.String() {
+		t.Fatalf("OnViolation = %+v", got)
+	}
+	found := false
+	for _, e := range tr.Events() {
+		if e.Kind == EvViolation && e.Arg1 == int64(InvExposure) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no EvViolation mark in the trace ring")
+	}
+}
+
+func TestFlightRecorderFreezeRoundTrip(t *testing.T) {
+	o := New(Config{TraceEnabled: true, TraceCapacity: 128})
+	o.Registry().Counter("c").Add(7)
+	tr := o.Tracer()
+	tr.Label("standby0")
+	mon := NewMonitor(MonitorConfig{Bound: 100, Trace: tr})
+	tr.SetObserver(mon.Consume)
+
+	fr := NewFlightRecorder(o, mon, FlightConfig{EventWindow: 8, SnapWindow: 4})
+	for i := 0; i < 20; i++ {
+		tr.Emit(time.Duration(i)*time.Millisecond, EvHvAck, SpanID(i+1), 0, int64(i), 10)
+		fr.Snap(time.Duration(i) * time.Millisecond)
+	}
+	if fr.Frozen() {
+		t.Fatalf("recorder froze with no trigger")
+	}
+	emitted := len(tr.Events()) // 20 hv_acks + the monitor's violation mark
+	fr.Freeze(25*time.Millisecond, "power-dc-loss")
+	fr.Freeze(30*time.Millisecond, "degraded") // first freeze wins
+	rec := fr.Record()
+	if rec == nil || rec.Reason != "power-dc-loss" {
+		t.Fatalf("Record = %+v", rec)
+	}
+	if len(rec.Events) != 8 {
+		t.Fatalf("kept %d events, want the 8-event window", len(rec.Events))
+	}
+	if rec.TruncatedEvents != emitted-8 {
+		t.Fatalf("TruncatedEvents = %d, want %d", rec.TruncatedEvents, emitted-8)
+	}
+	if len(rec.Snapshots) != 4 {
+		t.Fatalf("kept %d snapshots, want the 4-snap ring", len(rec.Snapshots))
+	}
+	if rec.Monitor == nil {
+		t.Fatalf("no monitor verdict attached")
+	}
+	if rec.Monitor.Total == 0 {
+		t.Fatalf("exposure violations not in verdict") // 10 B entries × 20 > bound? no: 10×20=200>100
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadFlightRecord(&buf)
+	if err != nil {
+		t.Fatalf("ReadFlightRecord: %v", err)
+	}
+	if back.Reason != rec.Reason || back.AtNs != rec.AtNs ||
+		len(back.Events) != len(rec.Events) || back.TruncatedEvents != rec.TruncatedEvents {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", back, rec)
+	}
+	if back.Labels["standby0"] != rec.Labels["standby0"] {
+		t.Fatalf("labels lost in roundtrip")
+	}
+	// Frozen means frozen: later snaps are no-ops.
+	fr.Snap(40 * time.Millisecond)
+	if len(fr.Record().Snapshots) != 4 {
+		t.Fatalf("snap after freeze mutated the record")
+	}
+}
+
+func TestTraceDumpRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	lbl := tr.Label("standby0")
+	span := tr.NewSpan()
+	tr.Emit(time.Millisecond, EvShip, span, 0, 1, 512)
+	tr.Emit(2*time.Millisecond, EvReplicaAck, 0, span, 1, lbl)
+
+	var buf bytes.Buffer
+	d := tr.Dump()
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadTraceDump(&buf)
+	if err != nil {
+		t.Fatalf("ReadTraceDump: %v", err)
+	}
+	events, err := back.DecodedEvents()
+	if err != nil {
+		t.Fatalf("DecodedEvents: %v", err)
+	}
+	want := tr.Events()
+	if len(events) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(events), len(want))
+	}
+	for i := range events {
+		if events[i] != want[i] {
+			t.Fatalf("event %d: %+v != %+v", i, events[i], want[i])
+		}
+	}
+	if back.LabelName(lbl) != "standby0" {
+		t.Fatalf("LabelName(%d) = %q", lbl, back.LabelName(lbl))
+	}
+}
+
+func TestSnapshotMarshalIsByteStable(t *testing.T) {
+	reg := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid.point", "a.b.c"} {
+		reg.Counter(n).Add(3)
+		reg.Gauge("g." + n).Set(5)
+		reg.Histogram("h." + n).Observe(time.Millisecond)
+	}
+	snap := reg.Snapshot()
+	a, err := snap.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	b, err := snap.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("successive marshals differ:\n%s\n%s", a, b)
+	}
+	// A semantically identical registry must produce identical bytes, or
+	// artifact diffing across runs is noise.
+	reg2 := NewRegistry()
+	for _, n := range []string{"a.b.c", "mid.point", "alpha", "zeta"} { // other order
+		reg2.Counter(n).Add(3)
+		reg2.Gauge("g." + n).Set(5)
+		reg2.Histogram("h." + n).Observe(time.Millisecond)
+	}
+	c, err := reg2.Snapshot().MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatalf("registration order changed the bytes:\n%s\n%s", a, c)
+	}
+}

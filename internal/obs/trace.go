@@ -66,6 +66,52 @@ const (
 	// EvRestored: the stranded buffer finally drained; the device returned
 	// to buffered operation.
 	EvRestored
+	// EvShip: the shipper framed a buffered log write into a replication
+	// record and sent it to every standby. Span = ship span, Parent = the
+	// buffer-entry span (EvHvAck/EvHvAbsorb) the record carries,
+	// Arg1 = stream sequence number, Arg2 = payload bytes.
+	EvShip
+	// EvNetSend: the fabric accepted a message for delivery.
+	// Parent = causal span (ship span for records, zero for control
+	// traffic), Arg1 = wire bytes, Arg2 = destination label id.
+	EvNetSend
+	// EvNetDeliver: a message reached its destination endpoint.
+	// Parent = causal span, Arg1 = wire bytes, Arg2 = destination label id.
+	EvNetDeliver
+	// EvNetDrop: the fabric dropped a message (loss or partition).
+	// Parent = causal span, Arg1 = wire bytes, Arg2 = destination label id.
+	EvNetDrop
+	// EvNetDup: the fabric duplicated a message; a second copy is in
+	// flight. Parent = causal span, Arg1 = wire bytes, Arg2 = destination
+	// label id.
+	EvNetDup
+	// EvReplicaApply: a standby applied a record to its local stream in
+	// order. Parent = ship span, Arg1 = sequence, Arg2 = replica label id.
+	EvReplicaApply
+	// EvReplicaAck: the primary learned (via a cumulative ack) that a
+	// standby holds this record. Parent = ship span, Arg1 = sequence,
+	// Arg2 = replica label id.
+	EvReplicaAck
+	// EvQuorumMet: the k-th distinct standby acked this sequence — the
+	// quorum barrier for the record is down. Parent = ship span,
+	// Arg1 = sequence, Arg2 = k.
+	EvQuorumMet
+	// EvRepair: the shipper resent a window of unacked records to a lagging
+	// or hole-reporting standby. Arg1 = replica label id, Arg2 = records
+	// resent.
+	EvRepair
+	// EvEvict: a dead standby was evicted from the retention set; records
+	// it never acked may now be truncated. Arg1 = replica label id,
+	// Arg2 = retained bytes at eviction.
+	EvEvict
+	// EvEpoch: a new shipper epoch began (assembly or post-power-cycle
+	// reassembly); stream sequence numbers restart. Arg1 = epoch,
+	// Arg2 = standby count.
+	EvEpoch
+	// EvViolation: the online invariant monitor detected a violation.
+	// Arg1 = invariant ordinal (see monitor.go), Arg2 = violation count so
+	// far for that invariant.
+	EvViolation
 )
 
 var kindNames = map[Kind]string{
@@ -88,6 +134,34 @@ var kindNames = map[Kind]string{
 	EvDrainError:   "drain_error",
 	EvDegraded:     "degraded",
 	EvRestored:     "restored",
+	EvShip:         "ship",
+	EvNetSend:      "net_send",
+	EvNetDeliver:   "net_deliver",
+	EvNetDrop:      "net_drop",
+	EvNetDup:       "net_dup",
+	EvReplicaApply: "replica_apply",
+	EvReplicaAck:   "replica_ack",
+	EvQuorumMet:    "quorum_met",
+	EvRepair:       "repair",
+	EvEvict:        "evict",
+	EvEpoch:        "epoch",
+	EvViolation:    "violation",
+}
+
+// kindByName is the inverse of kindNames, for decoding trace JSON.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// KindByName resolves a stable wire name back to its Kind; ok is false for
+// unknown names.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
 }
 
 // String returns the stable wire name of the kind.
@@ -121,6 +195,19 @@ type Tracer struct {
 	buf      []Event
 	n        uint64 // total events emitted (ring head = n % len(buf))
 	nextSpan uint64
+
+	// cause is the implicit causal context: a span id set by a caller just
+	// before crossing a layer boundary whose interface carries no trace
+	// context (disk.Device.Write, Replicator.Ship), and consumed by the
+	// callee as its parent. The simulation is single-threaded and the
+	// instrumented calls are synchronous, so a plain slot suffices.
+	cause SpanID
+
+	labels   map[string]int64
+	labelSeq int64
+
+	observer  func(Event)
+	notifying bool
 }
 
 // NewTracer creates an enabled tracer with the given ring capacity.
@@ -129,6 +216,74 @@ func NewTracer(capacity int) *Tracer {
 		capacity = 1 << 16
 	}
 	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// SetCause plants the implicit causal context consumed by the next
+// TakeCause. Callers set it immediately before a synchronous call into a
+// layer whose interface has no trace-context parameter.
+func (t *Tracer) SetCause(s SpanID) {
+	if t != nil {
+		t.cause = s
+	}
+}
+
+// TakeCause consumes and clears the implicit causal context (zero when
+// unset or disabled).
+func (t *Tracer) TakeCause() SpanID {
+	if t == nil {
+		return 0
+	}
+	c := t.cause
+	t.cause = 0
+	return c
+}
+
+// ClearCause drops any planted causal context; callers use it after the
+// callee returns so a cause never leaks across unrelated calls.
+func (t *Tracer) ClearCause() {
+	if t != nil {
+		t.cause = 0
+	}
+}
+
+// Label interns a name (an endpoint, a replica) and returns its stable
+// small integer id for use in event args. Ids start at 1; zero means
+// "no label" (and is all a nil tracer returns).
+func (t *Tracer) Label(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	if id, ok := t.labels[name]; ok {
+		return id
+	}
+	if t.labels == nil {
+		t.labels = make(map[string]int64)
+	}
+	t.labelSeq++
+	t.labels[name] = t.labelSeq
+	return t.labelSeq
+}
+
+// Labels returns a copy of the interned label table (name → id).
+func (t *Tracer) Labels() map[string]int64 {
+	if t == nil || len(t.labels) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(t.labels))
+	for n, id := range t.labels {
+		out[n] = id
+	}
+	return out
+}
+
+// SetObserver installs the single online subscriber invoked on every Emit
+// (the invariant monitor / flight-recorder hook). Events emitted from
+// inside the observer are recorded in the ring but do not re-enter the
+// observer, so a subscriber may safely emit trace marks.
+func (t *Tracer) SetObserver(fn func(Event)) {
+	if t != nil {
+		t.observer = fn
+	}
 }
 
 // Enabled reports whether the tracer records events.
@@ -148,8 +303,14 @@ func (t *Tracer) Emit(at time.Duration, kind Kind, span, parent SpanID, arg1, ar
 	if t == nil {
 		return
 	}
-	t.buf[t.n%uint64(len(t.buf))] = Event{At: at, Kind: kind, Span: span, Parent: parent, Arg1: arg1, Arg2: arg2}
+	e := Event{At: at, Kind: kind, Span: span, Parent: parent, Arg1: arg1, Arg2: arg2}
+	t.buf[t.n%uint64(len(t.buf))] = e
 	t.n++
+	if t.observer != nil && !t.notifying {
+		t.notifying = true
+		t.observer(e)
+		t.notifying = false
+	}
 }
 
 // Emitted returns the total number of events emitted, including any the

@@ -93,6 +93,16 @@ type Config struct {
 	DeadAfter time.Duration
 	// Reg, when set, registers the subsystem's instruments centrally.
 	Reg *obs.Registry
+	// Trace, when set, records replication trace events (ship, replica
+	// apply/ack, quorum, repair, evict, epoch) with causal parentage: a
+	// shipped record's span rides the wire in Record.Span, so a standby's
+	// apply links back to the primary-side ship that caused it.
+	Trace *obs.Tracer
+	// TraceQuorumK, when > 0, makes the shipper emit EvQuorumMet the
+	// moment the k-th replica covers a sequence — the trace-visible form
+	// of the ack policy's quorum barrier. Zero (no quorum tracing) for
+	// local-ack deployments.
+	TraceQuorumK int
 }
 
 func (c *Config) applyDefaults() {
@@ -123,12 +133,16 @@ func (c *Config) applyDefaults() {
 }
 
 // Record is one shipped log write: a copy of the payload plus where it
-// belongs on the log partition. Records double as the wire format.
+// belongs on the log partition. Records double as the wire format. Span is
+// the ship's trace context riding the wire (zero when tracing is off) —
+// the analogue of a traceparent header — so standby-side events parent
+// under the primary-side ship span.
 type Record struct {
 	Epoch int
 	Seq   uint64
 	Lba   int64
 	Data  []byte
+	Span  obs.SpanID
 }
 
 // ackMsg is a standby's cumulative acknowledgement for one epoch.
@@ -155,6 +169,7 @@ type repState struct {
 	progressAt sim.Time // last time ack advanced (repair go-back deadline)
 	dead       bool     // ack stalled past DeadAfter under retention pressure
 	lost       bool     // retention trimmed past its ack: unrecoverable this epoch
+	labelID    int64    // interned trace label for this replica
 	ackGauge   *metrics.Gauge
 	ackLat     *metrics.Histogram // ship → covered-by-cumulative-ack, per record
 }
@@ -175,6 +190,9 @@ type Shipper struct {
 
 	quorumSig *sim.Signal // broadcast whenever any replica's ack advances
 	workSig   *sim.Signal // wakes the probe when records are outstanding
+
+	tr       *obs.Tracer
+	quorumHi uint64 // highest seq already traced as quorum-met
 
 	lag       *metrics.Gauge // newest shipped seq − slowest replica ack, records
 	retainedB *metrics.Gauge // bytes retained awaiting full acknowledgement
@@ -200,6 +218,7 @@ func NewShipper(s *sim.Sim, fab *netsim.Fabric, dom *sim.Domain, epoch int, repl
 		base:      1,
 		quorumSig: s.NewSignal("repl.quorum"),
 		workSig:   s.NewSignal("repl.work"),
+		tr:        cfg.Trace,
 		lag:       reg.Gauge("repl.lag"),
 		retainedB: reg.Gauge("repl.retained_bytes"),
 		shipped:   reg.Counter("repl.shipped"),
@@ -210,10 +229,12 @@ func NewShipper(s *sim.Sim, fab *netsim.Fabric, dom *sim.Domain, epoch int, repl
 	for _, name := range replicas {
 		sh.reps = append(sh.reps, &repState{
 			name:     name,
+			labelID:  cfg.Trace.Label(name),
 			ackGauge: reg.Gauge("repl." + name + ".acked"),
 			ackLat:   reg.Histogram("repl." + name + ".ack_latency"),
 		})
 	}
+	sh.tr.Emit(s.Now().Duration(), obs.EvEpoch, 0, 0, int64(epoch), int64(len(replicas)))
 	// A new epoch starts with nothing outstanding; the gauges are shared
 	// across logger rebuilds and must restart from this shipper's reality
 	// (peaks are preserved by the registry).
@@ -259,13 +280,17 @@ func (sh *Shipper) Ship(lba int64, data []byte) uint64 {
 	copy(cp, data)
 	seq := sh.next
 	sh.next++
-	rec := Record{Epoch: sh.epoch, Seq: seq, Lba: lba, Data: cp}
+	// The caller (the Logger's ship hook) plants the buffer-entry span as
+	// the implicit cause; the ship span bridges it to the wire.
+	span := sh.tr.NewSpan()
+	sh.tr.Emit(sh.s.Now().Duration(), obs.EvShip, span, sh.tr.TakeCause(), int64(seq), int64(len(cp)))
+	rec := Record{Epoch: sh.epoch, Seq: seq, Lba: lba, Data: cp, Span: span}
 	sh.retained = append(sh.retained, shipRec{rec: rec, at: sh.s.Now()})
 	sh.retainedB.Add(int64(len(cp)))
 	sh.shipped.Inc()
 	sh.shippedB.Add(int64(len(cp)))
 	for _, r := range sh.reps {
-		sh.ep.Send(r.name, len(cp)+recordOverhead, rec)
+		sh.ep.SendCtx(r.name, len(cp)+recordOverhead, rec, span)
 	}
 	sh.updateLag()
 	sh.workSig.Broadcast()
@@ -397,6 +422,7 @@ func (sh *Shipper) reapStalled(now sim.Time) {
 			r.dead = true
 			evicted = true
 			sh.evictions.Inc()
+			sh.tr.Emit(now.Duration(), obs.EvEvict, 0, 0, r.labelID, sh.retainedB.Value())
 			sh.s.Tracef("repl: evicting %s (ack %d stalled %v, %d bytes retained)",
 				r.name, r.ack, now.Sub(r.progressAt), sh.retainedB.Value())
 		}
@@ -425,7 +451,9 @@ func (sh *Shipper) ackLoop(p *sim.Proc) {
 		if am.Seq > r.ack {
 			for seq := r.ack + 1; seq <= am.Seq; seq++ {
 				if seq >= sh.base && int(seq-sh.base) < len(sh.retained) {
-					r.ackLat.Observe(now.Sub(sh.retained[int(seq-sh.base)].at))
+					sr := sh.retained[int(seq-sh.base)]
+					r.ackLat.Observe(now.Sub(sr.at))
+					sh.tr.Emit(now.Duration(), obs.EvReplicaAck, 0, sr.rec.Span, int64(seq), r.labelID)
 				}
 			}
 			r.ack = am.Seq
@@ -437,6 +465,7 @@ func (sh *Shipper) ackLoop(p *sim.Proc) {
 			if r.ack+1 >= sh.base {
 				r.dead, r.lost = false, false
 			}
+			sh.traceQuorum(now)
 			sh.truncate()
 			sh.updateLag()
 			sh.quorumSig.Broadcast()
@@ -449,6 +478,29 @@ func (sh *Shipper) ackLoop(p *sim.Proc) {
 			r.lastFill = now
 			sh.resendWindow(r)
 		}
+	}
+}
+
+// traceQuorum emits EvQuorumMet for every sequence that newly reached the
+// configured quorum, parented under the record's ship span. It runs before
+// truncate so the retained stream still holds the spans; a sequence whose
+// record was already trimmed (dead-replica eviction) is traced with no
+// parent rather than dropped.
+func (sh *Shipper) traceQuorum(now sim.Time) {
+	k := sh.cfg.TraceQuorumK
+	if k <= 0 || !sh.tr.Enabled() {
+		return
+	}
+	q := sh.QuorumSeq(k)
+	for seq := sh.quorumHi + 1; seq <= q; seq++ {
+		var parent obs.SpanID
+		if seq >= sh.base && int(seq-sh.base) < len(sh.retained) {
+			parent = sh.retained[int(seq-sh.base)].rec.Span
+		}
+		sh.tr.Emit(now.Duration(), obs.EvQuorumMet, 0, parent, int64(seq), int64(k))
+	}
+	if q > sh.quorumHi {
+		sh.quorumHi = q
 	}
 }
 
@@ -519,9 +571,10 @@ func (sh *Shipper) resendWindow(r *repState) {
 	}
 	for seq := lo; seq <= hi; seq++ {
 		rec := sh.retained[int(seq-sh.base)].rec
-		sh.ep.Send(r.name, len(rec.Data)+recordOverhead, rec)
+		sh.ep.SendCtx(r.name, len(rec.Data)+recordOverhead, rec, rec.Span)
 		sh.resends.Inc()
 	}
+	sh.tr.Emit(now.Duration(), obs.EvRepair, 0, 0, r.labelID, int64(hi-lo+1))
 	r.fillHi = hi
 }
 
@@ -545,6 +598,9 @@ type Standby struct {
 	appliedC *metrics.Counter
 	dupC     *metrics.Counter
 	oooC     *metrics.Counter
+
+	tr      *obs.Tracer
+	labelID int64
 }
 
 // NewStandby creates a standby replica and starts its receiver. The domain
@@ -567,6 +623,8 @@ func NewStandby(s *sim.Sim, fab *netsim.Fabric, name string, cfg Config) *Standb
 		appliedC: reg.Counter("repl." + name + ".applied"),
 		dupC:     reg.Counter("repl." + name + ".dups"),
 		oooC:     reg.Counter("repl." + name + ".out_of_order"),
+		tr:       cfg.Trace,
+		labelID:  cfg.Trace.Label(name),
 	}
 	st.spawnReceiver()
 	return st
@@ -709,6 +767,7 @@ func (st *Standby) apply(rec Record) {
 	st.applied[rec.Epoch] = rec.Seq
 	st.log = append(st.log, rec)
 	st.appliedC.Inc()
+	st.tr.Emit(st.s.Now().Duration(), obs.EvReplicaApply, 0, rec.Span, int64(rec.Seq), st.labelID)
 }
 
 // maxSeen returns the highest sequence this standby has received for an

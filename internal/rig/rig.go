@@ -126,6 +126,16 @@ type Config struct {
 	// free of per-event cost.
 	Trace         bool
 	TraceCapacity int
+	// Flight arms the crash flight recorder: tracing is forced on, an online
+	// invariant monitor consumes every event, and the first catastrophic
+	// trigger — power loss, degrade entry, or an invariant violation —
+	// freezes the recent event window plus trailing metric snapshots into a
+	// post-mortem FlightRecord (Rig.Flight, and RecoveryReport.Flight after
+	// RecoverAfterPower).
+	Flight bool
+	// FlightSnapEvery overrides the recorder's metric-snapshot cadence
+	// (default 250ms of virtual time).
+	FlightSnapEvery time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -156,6 +166,11 @@ func (c *Config) applyDefaults() {
 		}
 		if c.NetSeed == 0 {
 			c.NetSeed = c.Seed + 2
+		}
+		// Mirror core's default so the rig's monitor and quorum tracing
+		// agree with the logger about the effective quorum size.
+		if c.AckPolicy.Remote() && c.AckPolicy.K == 0 {
+			c.AckPolicy.K = 1
 		}
 	}
 }
@@ -192,6 +207,13 @@ type Rig struct {
 	Shipper           *replica.Shipper
 	epoch             int
 	LastReplicaReplay replica.RecoverReport
+
+	// Runtime verification (Config.Flight, or Config.Trace for Monitor
+	// alone). The monitor re-checks the safety invariants online against the
+	// live event stream; the flight recorder freezes a post-mortem at the
+	// first catastrophic trigger.
+	Monitor *obs.Monitor
+	Flight  *obs.FlightRecorder
 }
 
 // New builds a deployment. In RapiLog mode the hypervisor and the RapiLog
@@ -200,7 +222,7 @@ type Rig struct {
 func New(cfg Config) (*Rig, error) {
 	cfg.applyDefaults()
 	s := sim.New(cfg.Seed)
-	o := obs.New(obs.Config{TraceEnabled: cfg.Trace, TraceCapacity: cfg.TraceCapacity})
+	o := obs.New(obs.Config{TraceEnabled: cfg.Trace || cfg.Flight, TraceCapacity: cfg.TraceCapacity})
 	m := power.NewMachine(s, "machine", cfg.Cores, cfg.PSU)
 	m.SetObs(o)
 
@@ -288,11 +310,12 @@ func New(cfg Config) (*Rig, error) {
 		if k := cfg.AckPolicy.K; k > cfg.Replicas {
 			return nil, fmt.Errorf("rig: ack policy %v needs %d replicas, have %d", cfg.AckPolicy, k, cfg.Replicas)
 		}
-		r.Fabric = netsim.New(s, netsim.Config{Seed: cfg.NetSeed, Link: cfg.Net, Reg: o.Registry()})
+		r.Fabric = netsim.New(s, netsim.Config{Seed: cfg.NetSeed, Link: cfg.Net, Reg: o.Registry(), Trace: o.Tracer()})
 		rc := cfg.Replica
 		rc.PrimaryName = PrimaryEndpoint
 		rc.Reg = o.Registry()
 		rc.SectorSize = r.LogDev.SectorSize()
+		rc.Trace = o.Tracer()
 		for i := 0; i < cfg.Replicas; i++ {
 			r.Standbys = append(r.Standbys, replica.NewStandby(s, r.Fabric, fmt.Sprintf("standby%d", i), rc))
 		}
@@ -300,7 +323,81 @@ func New(cfg Config) (*Rig, error) {
 	if err := r.assemblePlatform(); err != nil {
 		return nil, err
 	}
+	r.setupVerification()
 	return r, nil
+}
+
+// setupVerification arms the online invariant monitor (whenever tracing is
+// on) and the flight recorder (Config.Flight): the monitor consumes every
+// trace event as the tracer's observer, and the recorder freezes at the
+// first power loss, degrade entry, or invariant violation.
+func (r *Rig) setupVerification() {
+	tr := r.Obs.Tracer()
+	if !tr.Enabled() {
+		return
+	}
+	mc := obs.MonitorConfig{
+		Bound: r.SafeBound(),
+		Reg:   r.Obs.Registry(),
+		Trace: tr,
+	}
+	switch r.Cfg.AckPolicy.Kind {
+	case core.AckKindQuorum:
+		mc.Policy, mc.QuorumK = obs.PolicyQuorum, r.Cfg.AckPolicy.K
+	case core.AckKindRemoteOnly:
+		mc.Policy, mc.QuorumK = obs.PolicyRemoteOnly, r.Cfg.AckPolicy.K
+		// The emergency dump is disabled by design, so exposure is bounded
+		// by the configured buffer alone, not the dumpable window.
+		if r.Logger != nil {
+			mc.Bound = r.Logger.MaxBuffer()
+		}
+	}
+	if r.Cfg.Mode.Replicated() {
+		rc := r.Cfg.Replica
+		mc.RetainLimit = rc.RetainLimit
+		if mc.RetainLimit == 0 {
+			mc.RetainLimit = 64 << 20 // replica.Config's own default
+		}
+		dead, probe := rc.DeadAfter, rc.RetransmitEvery
+		if dead == 0 {
+			dead = 500 * time.Millisecond
+		}
+		if probe == 0 {
+			probe = 10 * time.Millisecond
+		}
+		// Eviction legitimately takes an ack-stall window plus a couple of
+		// probe rounds; only beyond that is high retention a violation.
+		mc.RetainGrace = dead + 2*probe
+	}
+	r.Monitor = obs.NewMonitor(mc)
+	if !r.Cfg.Flight {
+		tr.SetObserver(r.Monitor.Consume)
+		return
+	}
+	r.Flight = obs.NewFlightRecorder(r.Obs, r.Monitor, obs.FlightConfig{SnapEvery: r.Cfg.FlightSnapEvery})
+	fl := r.Flight
+	r.Monitor.OnViolation = func(v obs.Violation) {
+		fl.Freeze(v.At(), "invariant:"+v.Invariant)
+	}
+	mon := r.Monitor
+	tr.SetObserver(func(e obs.Event) {
+		mon.Consume(e)
+		switch e.Kind {
+		case obs.EvPowerDC:
+			fl.Freeze(e.At, "power-dc-loss")
+		case obs.EvDegraded:
+			fl.Freeze(e.At, "degraded")
+		}
+	})
+	// Periodic metric snapshots, from a domain-less daemon so the ring keeps
+	// filling across guest crashes and power cycles alike.
+	r.S.Spawn(nil, "flight.snap", func(p *sim.Proc) {
+		p.SetDaemon(true)
+		for !fl.Frozen() {
+			p.Sleep(fl.SnapEvery())
+			fl.Snap(p.Now().Duration())
+		}
+	})
 }
 
 // assemblePlatform builds (or rebuilds, after a power cycle) the platform
@@ -346,6 +443,14 @@ func (r *Rig) assemblePlatform() error {
 			rc.PrimaryName = PrimaryEndpoint
 			rc.Reg = r.Obs.Registry()
 			rc.SectorSize = r.LogDev.SectorSize()
+			rc.Trace = r.Obs.Tracer()
+			if cfg.AckPolicy.Remote() {
+				rc.TraceQuorumK = cfg.AckPolicy.K
+			} else {
+				// No quorum barrier on the ack path, but the trace still
+				// marks first-copy coverage so lag is visible.
+				rc.TraceQuorumK = 1
+			}
 			r.Shipper = replica.NewShipper(r.S, r.Fabric, r.HV.Domain(), r.epoch, names, rc)
 			rlCfg.Replicator = r.Shipper
 			rlCfg.Policy = cfg.AckPolicy
@@ -457,6 +562,9 @@ func (r *Rig) RecoverAfterPower(p *sim.Proc) (core.RecoveryReport, error) {
 			return rep, err
 		}
 	}
+	// The flight recorder froze when DC died; hand the black box to the
+	// caller alongside the replay summary.
+	rep.Flight = r.Flight.Record()
 	return rep, nil
 }
 

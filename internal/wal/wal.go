@@ -417,7 +417,12 @@ func (l *Log) physicalForce(p *sim.Proc) error {
 		tr.Emit(p.Now().Duration(), obs.EvLogSubmit, forceSpan, 0, int64(target), int64(nBlocks)*int64(l.cfg.BlockSize))
 	}
 	for i, b := range sealed {
+		// Park the force span in the cause slot so the device layer below
+		// (which has no trace parameter in its interface) can parent its
+		// hv_ack under this force. Re-armed per block: the device consumes it.
+		tr.SetCause(forceSpan)
 		if err := l.writeBlock(p, b.seq, b.data); err != nil {
+			tr.ClearCause()
 			// Requeue the unwritten suffix so a later force retries it.
 			l.sealed = append(sealed[i:], l.sealed...)
 			return fmt.Errorf("wal: force of block seq %d: %w", b.seq, err)
@@ -428,11 +433,14 @@ func (l *Log) physicalForce(p *sim.Proc) error {
 		l.stats.BlocksWritten.Inc()
 	}
 	if tail != nil {
+		tr.SetCause(forceSpan)
 		if err := l.writeBlock(p, tailSeq, tail); err != nil {
+			tr.ClearCause()
 			return fmt.Errorf("wal: force of tail block seq %d: %w", tailSeq, err)
 		}
 		l.stats.BlocksWritten.Inc()
 	}
+	tr.ClearCause()
 	if target > l.flushedLSN {
 		l.flushedLSN = target
 	}

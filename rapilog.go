@@ -240,6 +240,59 @@ func AuditExposure(events []TraceEvent, bound int64, truncated bool) ExposureRep
 	return obs.AuditExposure(events, bound, truncated)
 }
 
+// Runtime verification: causal trace dumps, the crash flight recorder, the
+// online invariant monitor, and the offline trace analyzer behind
+// rapilog-trace. Enable with Config.Trace (tracing + monitor) or
+// Config.Flight (adds the flight recorder).
+type (
+	// TraceDump is a serialisable copy of the tracer's event ring plus its
+	// label table — what -trace-out writes and rapilog-trace reads.
+	TraceDump = obs.TraceDump
+	// FlightRecord is a frozen post-mortem: recent events, trailing metric
+	// snapshots, final registry state, and the monitor's verdict.
+	FlightRecord = obs.FlightRecord
+	// Monitor re-checks the safety invariants online against the live
+	// event stream (Deployment.Monitor).
+	Monitor = obs.Monitor
+	// MonitorConfig parameterises a Monitor (bound, policy, quorum size,
+	// retention limits).
+	MonitorConfig = obs.MonitorConfig
+	// MonitorReport summarises a monitor's findings.
+	MonitorReport = obs.MonitorReport
+	// MonitorViolation is one detected invariant breach.
+	MonitorViolation = obs.Violation
+	// TraceAnalysis is the offline analyzer's result: per-stage latency
+	// histograms, causal-chain completeness, the commit critical path, and
+	// the fault/repair timeline.
+	TraceAnalysis = obs.Analysis
+	// CampaignArtifacts is a fault campaign's retained forensic capture.
+	CampaignArtifacts = faultinject.Artifacts
+)
+
+// Monitor policy kinds (obs mirrors core's ack-policy kinds so traces can
+// be re-verified without the core package).
+const (
+	PolicyLocal      = obs.PolicyLocal
+	PolicyQuorum     = obs.PolicyQuorum
+	PolicyRemoteOnly = obs.PolicyRemoteOnly
+)
+
+// ReadTraceDump parses a dump written by -trace-out.
+func ReadTraceDump(r io.Reader) (TraceDump, error) { return obs.ReadTraceDump(r) }
+
+// ReadFlightRecord parses a record written by -flight-out.
+func ReadFlightRecord(r io.Reader) (*FlightRecord, error) { return obs.ReadFlightRecord(r) }
+
+// AnalyzeTrace runs the offline analyzer over a trace dump. buckets sizes
+// the fault/repair timeline (0 = default).
+func AnalyzeTrace(d TraceDump, buckets int) (*TraceAnalysis, error) { return obs.Analyze(d, buckets) }
+
+// RunMonitor replays a recorded event stream through a fresh monitor — the
+// offline re-verification rapilog-trace -check performs.
+func RunMonitor(events []TraceEvent, cfg MonitorConfig) MonitorReport {
+	return obs.RunMonitor(events, cfg)
+}
+
 // Fault injection.
 type (
 	// Fault is the failure kind a trial injects.
