@@ -33,6 +33,7 @@ func main() {
 		clients   = flag.Int("clients", 4, "clients under load during injection")
 		seed      = flag.Int64("seed", 42, "base deterministic seed")
 		perTrial  = flag.Bool("per-trial", false, "print one line per trial")
+		parallel  = flag.Int("parallel", 0, "trials run concurrently (0 = GOMAXPROCS; results identical to -parallel 1)")
 		wl        = flag.String("workload", "tpcc", "tpcc | stress")
 		window    = flag.Duration("fault-window", 0, "how long a media fault lasts (disk-error, latency-storm; default 300ms)")
 		errProb   = flag.Float64("err-prob", 0, "per-request write-error probability inside a disk-error window (default 0.7)")
@@ -74,6 +75,7 @@ func main() {
 		Compose:         rapilog.Fault(*then),
 		Trials:          *trials,
 		Clients:         *clients,
+		Parallel:        *parallel,
 		FaultWindow:     *window,
 		MediaErrProb:    *errProb,
 		PermanentFault:  *permanent,

@@ -14,6 +14,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/replica"
 	"repro/internal/rig"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -34,6 +38,9 @@ type PerfCase struct {
 	VirtualTPS  float64 `json:"virtual_tps,omitempty"`
 	Committed   int64   `json:"committed,omitempty"`
 	AllocsPerTx float64 `json:"allocs_per_tx,omitempty"`
+	// Replicated-path figures (commit_quorum1, ship_throughput).
+	QuorumP50Ns      float64 `json:"quorum_p50_ns,omitempty"`      // quorum-wait barrier p50
+	NetMsgsPerRecord float64 `json:"net_msgs_per_record,omitempty"` // fabric messages per shipped record
 }
 
 // PerfSuite is the serialised result of one suite run.
@@ -86,6 +93,8 @@ func RunPerfSuite(label string, quick bool, seed int64, progress io.Writer) (*Pe
 		{"logger_write_absorb", func() (PerfCase, error) { return perfLoggerWrite(seed, true) }},
 		{"commit_rapilog", func() (PerfCase, error) { return perfCommit(seed, rig.RapiLog) }},
 		{"commit_native_sync", func() (PerfCase, error) { return perfCommit(seed, rig.NativeSync) }},
+		{"commit_quorum1", func() (PerfCase, error) { return perfCommitQuorum(seed) }},
+		{"ship_throughput", func() (PerfCase, error) { return perfShipThroughput(seed) }},
 		{"tpcb_c8", func() (PerfCase, error) {
 			return perfWorkload("tpcb_c8", &workload.TPCB{}, 8, dur, warmup, seed)
 		}},
@@ -247,6 +256,133 @@ func perfCommit(seed int64, mode rig.Mode) (PerfCase, error) {
 		}
 	})
 	return microResult(res, events, wall), runErr
+}
+
+// perfCommitQuorum measures a full engine commit through the replicated
+// rig with AckQuorum(1): WAL append + force into the RapiLog buffer, plus
+// the quorum ack barrier (ship to 2 standbys, wait for the first cumulative
+// ack). Alongside ns/op it reports the quorum-wait p50 and how many fabric
+// messages (records + acks, both directions) each shipped record cost —
+// the figure frame batching exists to shrink.
+func perfCommitQuorum(seed int64) (PerfCase, error) {
+	var events uint64
+	var wall time.Duration
+	var runErr error
+	var quorumP50 time.Duration
+	var netMsgs, shipped int64
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%04d", i)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		r, err := rig.New(rig.Config{Seed: seed, Mode: rig.RapiLogReplica, NoDaemons: true,
+			AckPolicy: core.AckQuorum(1)})
+		if err != nil {
+			runErr = err
+			return
+		}
+		n := 0
+		r.S.Spawn(r.Plat.Domain(), "db", func(p *sim.Proc) {
+			e, err := r.Boot(p)
+			if err != nil {
+				runErr = err
+				return
+			}
+			for ; n < b.N; n++ {
+				tx := e.Begin(p)
+				if err := tx.Put(keys[n%len(keys)], []byte("v")); err != nil {
+					runErr = err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					runErr = err
+					return
+				}
+			}
+		})
+		d0 := r.S.Dispatched()
+		start := time.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := r.S.RunFor(10000 * time.Hour); err != nil {
+			runErr = err
+			return
+		}
+		wall = time.Since(start)
+		events = r.S.Dispatched() - d0
+		if runErr == nil && n != b.N {
+			runErr = fmt.Errorf("completed %d/%d commits", n, b.N)
+		}
+		reg := r.Obs.Registry()
+		quorumP50 = reg.Histogram("rapilog.quorum_wait").Quantile(0.5)
+		netMsgs = reg.Counter("net.sent").Value()
+		shipped = reg.Counter("repl.shipped").Value()
+	})
+	pc := microResult(res, events, wall)
+	pc.QuorumP50Ns = float64(quorumP50.Nanoseconds())
+	if shipped > 0 {
+		pc.NetMsgsPerRecord = float64(netMsgs) / float64(shipped)
+	}
+	return pc, runErr
+}
+
+// perfShipThroughput measures the raw shipping path with no engine in
+// front: a sim + fabric + shipper + 2 standbys, streaming sector records
+// with a WaitQuorum(1) backpressure point every 256 records so retention
+// and acks cycle the way a real deployment's do. ns/op and allocs/op are
+// per shipped record; net_msgs_per_record counts every fabric message the
+// stream cost (records and acks) per record.
+func perfShipThroughput(seed int64) (PerfCase, error) {
+	var events uint64
+	var wall time.Duration
+	var runErr error
+	var netMsgs int64
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		s := sim.New(seed)
+		reg := obs.NewRegistry()
+		fab := netsim.New(s, netsim.Config{Seed: seed + 1, Reg: reg})
+		cfg := replica.Config{Reg: reg}
+		names := []string{"standby0", "standby1"}
+		for _, name := range names {
+			replica.NewStandby(s, fab, name, cfg)
+		}
+		sh := replica.NewShipper(s, fab, nil, 1, names, cfg)
+		n := 0
+		s.Spawn(nil, "shipper", func(p *sim.Proc) {
+			for ; n < b.N; n++ {
+				seq := sh.Ship(int64(n%4096)*8, data)
+				if n%256 == 255 {
+					sh.WaitQuorum(p, seq, 1)
+				}
+			}
+			if last := sh.LastSeq(); last > 0 {
+				sh.WaitQuorum(p, last, 1)
+			}
+		})
+		d0 := s.Dispatched()
+		start := time.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := s.RunFor(10000 * time.Hour); err != nil {
+			runErr = err
+			return
+		}
+		wall = time.Since(start)
+		events = s.Dispatched() - d0
+		if runErr == nil && n != b.N {
+			runErr = fmt.Errorf("shipped %d/%d records", n, b.N)
+		}
+		netMsgs = reg.Counter("net.sent").Value()
+	})
+	pc := microResult(res, events, wall)
+	if res.N > 0 {
+		pc.NetMsgsPerRecord = float64(netMsgs) / float64(res.N)
+	}
+	return pc, runErr
 }
 
 // perfWorkload runs a closed-loop client pool for a fixed virtual duration

@@ -178,6 +178,28 @@ type Engine struct {
 	applying map[uint64]uint64 // txid → first LSN
 	ckptBusy bool
 	ckptDone *sim.Signal
+	// payloadBufs is a freelist of redo-record encode buffers. A commit
+	// owns one buffer for its whole append loop — the checkpoint-retry path
+	// re-appends the same encoding after a yield, during which another
+	// transaction may commit and must take a buffer of its own.
+	payloadBufs [][]byte
+}
+
+// getPayloadBuf takes an encode buffer from the freelist (nil when empty —
+// updatePayload grows it to fit).
+func (e *Engine) getPayloadBuf() []byte {
+	if n := len(e.payloadBufs); n > 0 {
+		b := e.payloadBufs[n-1]
+		e.payloadBufs = e.payloadBufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+func (e *Engine) putPayloadBuf(b []byte) {
+	if cap(b) > 0 {
+		e.payloadBufs = append(e.payloadBufs, b[:0])
+	}
 }
 
 // pendingCommit tracks one commit from WAL append to durable-on-device.
@@ -204,9 +226,16 @@ func (e *Engine) onWalDurable(lsn uint64) {
 // tracer returns the engine's tracer (nil — a no-op — when unconfigured).
 func (e *Engine) tracer() *obs.Tracer { return e.cfg.Obs.Tracer() }
 
-// updatePayload frames a logical redo record: delete flag, key, value.
-func updatePayload(key string, val []byte, del bool) []byte {
-	buf := make([]byte, 3+len(key)+len(val))
+// updatePayload frames a logical redo record — delete flag, key, value —
+// into buf's backing array, growing it only when capacity falls short. The
+// commit path passes a pooled buffer (wal.Append copies synchronously, so
+// the same buffer re-encodes every write of the transaction).
+func updatePayload(buf []byte, key string, val []byte, del bool) []byte {
+	n := 3 + len(key) + len(val)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
 	flag := byte(0)
 	if del {
 		flag = 1

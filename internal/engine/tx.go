@@ -145,17 +145,24 @@ func (t *Tx) Commit() error {
 		return nil
 	}
 
-	// 1. Redo records.
+	// 1. Redo records. The encode buffer is pooled and owned by this commit
+	// until the loop ends: wal.Append copies synchronously, so one buffer
+	// re-encodes every write, and it stays valid across the checkpoint
+	// retry's yield.
 	var firstLSN uint64
+	pbuf := e.getPayloadBuf()
 	for i, w := range t.writes {
-		payload := updatePayload(w.key, w.val, w.del)
+		payload := updatePayload(pbuf, w.key, w.val, w.del)
+		pbuf = payload
 		lsn, err := e.log.Append(t.p, wal.RecUpdate, t.id, payload)
 		if err != nil {
 			if err = e.maybeCheckpointForSpace(t.p, err); err != nil {
+				e.putPayloadBuf(pbuf)
 				t.Abort()
 				return err
 			}
 			if lsn, err = e.log.Append(t.p, wal.RecUpdate, t.id, payload); err != nil {
+				e.putPayloadBuf(pbuf)
 				t.Abort()
 				return fmt.Errorf("engine: log append after checkpoint: %v", err)
 			}
@@ -166,6 +173,7 @@ func (t *Tx) Commit() error {
 		}
 		e.tracer().Emit(t.p.Now().Duration(), obs.EvWalAppend, 0, t.span, int64(lsn), int64(len(payload)))
 	}
+	e.putPayloadBuf(pbuf)
 	commitLSN, err := e.log.Append(t.p, wal.RecCommit, t.id, nil)
 	if err != nil {
 		delete(e.applying, t.id)

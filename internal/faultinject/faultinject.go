@@ -6,6 +6,8 @@ package faultinject
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/disk"
@@ -81,6 +83,13 @@ type CampaignConfig struct {
 	// CrashReplicas is how many standbys a ReplicaCrash takes down;
 	// default 1.
 	CrashReplicas int
+	// Parallel is how many trials run concurrently. Each trial is an
+	// independent deterministic simulation keyed only by its seed, so
+	// concurrency cannot change any trial's schedule; results are folded in
+	// seed order, making the Summary — aggregates, trial order, artifact
+	// retention — identical to a sequential run. 0 means GOMAXPROCS; 1
+	// forces sequential.
+	Parallel int
 	// BreakDump grows a bad-sector range over the entire dump zone before
 	// the workload starts: emergency dumps fail, recovery finds nothing.
 	// This is the "local durability domain is gone" half of the A9
@@ -266,7 +275,11 @@ func (s Summary) String() string {
 		s.Config.Rig.Mode, fault, len(s.Trials), s.TotalAcked, s.TotalLost, s.Violations, s.Errors, extra)
 }
 
-// RunCampaign executes cfg.Trials independent trials with seeds base+i.
+// RunCampaign executes cfg.Trials independent trials with seeds base+i·7919,
+// up to cfg.Parallel at a time. Every trial runs in its own simulation whose
+// schedule depends only on its seed, so the worker pool changes wall-clock
+// time and nothing else: results land in seed-indexed slots and are folded
+// in order, and the Summary is identical to what a sequential run produces.
 func RunCampaign(cfg CampaignConfig) Summary {
 	cfg.applyDefaults()
 	sum := Summary{Config: cfg}
@@ -275,12 +288,41 @@ func RunCampaign(cfg CampaignConfig) Summary {
 		sum.Errors = 1
 		return sum
 	}
-	for i := 0; i < cfg.Trials; i++ {
-		res := RunTrial(cfg, cfg.Rig.Seed+int64(i)*7919)
-		if res.Artifacts != nil {
-			res.Artifacts.Trial = i
+	par := cfg.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > cfg.Trials {
+		par = cfg.Trials
+	}
+	results := make([]TrialResult, cfg.Trials)
+	if par <= 1 {
+		for i := 0; i < cfg.Trials; i++ {
+			results[i] = RunTrial(cfg, cfg.Rig.Seed+int64(i)*7919)
 		}
-		sum.add(res)
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i] = RunTrial(cfg, cfg.Rig.Seed+int64(i)*7919)
+				}
+			}()
+		}
+		for i := 0; i < cfg.Trials; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for i := range results {
+		if results[i].Artifacts != nil {
+			results[i].Artifacts.Trial = i
+		}
+		sum.add(results[i])
 	}
 	return sum
 }

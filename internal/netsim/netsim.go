@@ -64,6 +64,27 @@ func (c *LinkConfig) applyDefaults() {
 	}
 }
 
+// Refcounted is implemented by payloads whose backing memory is pooled by
+// the sender. Delivery is by reference, so the fabric participates in the
+// payload's lifetime: every Send consumes one reference (the sender must
+// hold one per Send call), a duplicated delivery retains one more, any
+// dropped copy is released by the fabric, and the receiver owns — and must
+// Release — one reference per delivered message. A payload that does not
+// implement Refcounted is delivered exactly as before.
+type Refcounted interface {
+	Retain()
+	Release()
+}
+
+// Checksummer is implemented by payloads that can hash their own contents,
+// letting the fabric's ownership check verify at delivery time that the
+// payload still hashes to what it hashed at send time — catching a sender
+// that mutated or recycled a message after Send, which the
+// delivery-by-reference contract forbids.
+type Checksummer interface {
+	OwnershipSum() uint32
+}
+
 // Config parameterises a Fabric.
 type Config struct {
 	// Seed drives the fabric's private generator (drops, jitter, dup,
@@ -79,6 +100,11 @@ type Config struct {
 	// drop, dup) carrying the sender's causal span, so a commit's path
 	// across the wire is reconstructible.
 	Trace *obs.Tracer
+	// CheckOwnership verifies, at delivery time, that every Checksummer
+	// payload still hashes to its send-time sum, panicking on a mismatch —
+	// the cheap debug enforcement of Send's delivery-by-reference contract.
+	// Forced on for every fabric by the `netsimcheck` build tag.
+	CheckOwnership bool
 }
 
 // Message is one delivered datagram.
@@ -131,6 +157,7 @@ type Fabric struct {
 // endpoints until overridden with SetLink.
 func New(s *sim.Sim, cfg Config) *Fabric {
 	cfg.Link.applyDefaults()
+	cfg.CheckOwnership = cfg.CheckOwnership || defaultCheckOwnership
 	reg := cfg.Reg
 	return &Fabric{
 		s:        s,
@@ -233,10 +260,19 @@ func (f *Fabric) trace(kind obs.Kind, cause obs.SpanID, size int, to string) {
 	}
 }
 
+// release drops one payload reference when the fabric eats a copy.
+func release(payload any) {
+	if rc, ok := payload.(Refcounted); ok {
+		rc.Release()
+	}
+}
+
 // Send transmits size bytes of payload from one endpoint to another. It
 // never blocks: delivery (or loss) is decided now, scheduled on the
 // simulation, and Send returns. The payload is delivered by reference —
-// senders must not reuse the backing memory after Send.
+// senders must not reuse the backing memory after Send. Pooled payloads
+// implement Refcounted (see its contract); the ownership check catches
+// anyone who breaks the rule.
 func (f *Fabric) Send(from, to string, size int, payload any) {
 	f.SendCtx(from, to, size, payload, 0)
 }
@@ -249,12 +285,14 @@ func (f *Fabric) SendCtx(from, to string, size int, payload any, cause obs.SpanI
 	if f.isolated[from] || f.isolated[to] {
 		f.stats.PartitionDrops.Inc()
 		f.trace(obs.EvNetDrop, cause, size, to)
+		release(payload)
 		return
 	}
 	lk := f.link(from, to)
 	if lk.cfg.DropProb > 0 && f.rng.Float64() < lk.cfg.DropProb {
 		f.stats.Dropped.Inc()
 		f.trace(obs.EvNetDrop, cause, size, to)
+		release(payload)
 		return
 	}
 	f.trace(obs.EvNetSend, cause, size, to)
@@ -262,6 +300,9 @@ func (f *Fabric) SendCtx(from, to string, size int, payload any, cause obs.SpanI
 	if lk.cfg.DupProb > 0 && f.rng.Float64() < lk.cfg.DupProb {
 		f.stats.Duplicated.Inc()
 		f.trace(obs.EvNetDup, cause, size, to)
+		if rc, ok := payload.(Refcounted); ok {
+			rc.Retain() // the second in-flight copy owns its own reference
+		}
 		f.deliver(lk, from, to, size, payload, true, cause)
 	}
 }
@@ -285,6 +326,13 @@ func (f *Fabric) deliver(lk *link, from, to string, size int, payload any, dup b
 		delay += lk.cfg.ReorderDelay
 	}
 	m := Message{From: from, To: to, Size: size, Payload: payload, SentAt: f.s.Now()}
+	var sentSum uint32
+	var sums Checksummer
+	if f.cfg.CheckOwnership {
+		if cs, ok := payload.(Checksummer); ok {
+			sums, sentSum = cs, cs.OwnershipSum()
+		}
+	}
 	f.stats.InFlightBytes.Add(int64(size))
 	f.s.After(delay, func() {
 		f.stats.InFlightBytes.Add(-int64(size))
@@ -292,7 +340,12 @@ func (f *Fabric) deliver(lk *link, from, to string, size int, payload any, dup b
 			// The port came down while the packet was in flight.
 			f.stats.PartitionDrops.Inc()
 			f.trace(obs.EvNetDrop, cause, size, to)
+			release(payload)
 			return
+		}
+		if sums != nil && sums.OwnershipSum() != sentSum {
+			panic("netsim: payload mutated in flight from " + from + " to " + to +
+				" — the sender reused or rewrote a delivery-by-reference message after Send")
 		}
 		f.stats.Delivered.Inc()
 		f.trace(obs.EvNetDeliver, cause, size, to)

@@ -71,6 +71,13 @@ const (
 	// buffer-entry span (EvHvAck/EvHvAbsorb) the record carries,
 	// Arg1 = stream sequence number, Arg2 = payload bytes.
 	EvShip
+	// EvFrame: the shipper coalesced pending records into one wire frame
+	// and transmitted it (one fabric message per replica instead of one
+	// per record). Span = frame span (the causal span net events carry),
+	// Arg1 = records in the frame, Arg2 = wire bytes. Per-record causality
+	// is unaffected: each record still gets its own EvShip, and standby
+	// applies/acks still parent under the record's ship span.
+	EvFrame
 	// EvNetSend: the fabric accepted a message for delivery.
 	// Parent = causal span (ship span for records, zero for control
 	// traffic), Arg1 = wire bytes, Arg2 = destination label id.
@@ -135,6 +142,7 @@ var kindNames = map[Kind]string{
 	EvDegraded:     "degraded",
 	EvRestored:     "restored",
 	EvShip:         "ship",
+	EvFrame:        "frame",
 	EvNetSend:      "net_send",
 	EvNetDeliver:   "net_deliver",
 	EvNetDrop:      "net_drop",

@@ -1,0 +1,48 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TestLossyLinkConvergesWithOwnershipCheck re-runs the lossy-link
+// convergence scenario with the fabric's ownership check enabled: every
+// delivered frame is re-hashed against its send-time sum, so a pooled
+// payload buffer recycled while a frame (fresh, repair, or duplicate) was
+// still in flight panics the run instead of silently corrupting a standby.
+// Passing proves the refcounting discipline — retained stream, pending
+// queue, and per-frame references — keeps every buffer pinned for exactly
+// as long as the wire can still observe it.
+func TestLossyLinkConvergesWithOwnershipCheck(t *testing.T) {
+	s := sim.New(3)
+	link := netsim.LinkConfig{DropProb: 0.3, DupProb: 0.15, ReorderProb: 0.25}
+	fab := netsim.New(s, netsim.Config{Seed: 4, Link: link, CheckOwnership: true})
+	cfg := Config{}
+	var sts []*Standby
+	var names []string
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("standby%d", i)
+		sts = append(sts, NewStandby(s, fab, name, cfg))
+		names = append(names, name)
+	}
+	sh := NewShipper(s, fab, nil, 1, names, cfg)
+	s.Spawn(nil, "writer", func(p *sim.Proc) {
+		for i := 0; i < 300; i++ {
+			sh.Ship(int64(i*8), payload(i, 512))
+			p.Sleep(20 * time.Microsecond)
+		}
+	})
+	if err := s.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range sts {
+		checkPrefix(t, st, 1, 300)
+	}
+	if sh.resends.Value() == 0 {
+		t.Fatal("a 30% lossy link converged without any retransmission")
+	}
+}

@@ -7,7 +7,10 @@
 // paper's safety argument, not to reinvent consensus:
 //
 //   - The Shipper assigns every shipped write a sequence number within the
-//     current power epoch and sends a copy to every standby. Records are
+//     current power epoch, coalesces records shipped in the same instant
+//     into wire frames (one fabric send per frame per standby; one
+//     cumulative ack back per frame), and sends each frame to every
+//     standby. Records are
 //     retained until every standby has cumulatively acknowledged them —
 //     bounded by Config.RetainLimit: a standby whose acks stall while
 //     retention exceeds the bound is evicted (lost for the epoch once the
@@ -46,10 +49,12 @@ import (
 	"repro/internal/sim"
 )
 
-// Wire-size model: per-record framing (epoch, seq, lba, length, CRC) and
-// the fixed size of a cumulative ack.
+// Wire-size model: per-record framing (epoch, seq, lba, length, CRC), the
+// per-frame header (epoch, record count, frame CRC), and the fixed size of
+// a cumulative ack.
 const (
 	recordOverhead = 32
+	frameOverhead  = 16
 	ackBytes       = 24
 )
 
@@ -69,6 +74,13 @@ type Config struct {
 	// ResendWindow bounds records resent to one replica per repair round;
 	// default 128.
 	ResendWindow int
+	// MaxFrameRecords caps how many pending records are coalesced into one
+	// wire frame; default 64. A flush fires synchronously the moment the
+	// cap is reached, so a single non-yielding producer still frames.
+	MaxFrameRecords int
+	// MaxFrameBytes caps a frame's payload bytes; default 256 KiB. A single
+	// record larger than the cap still ships — alone in its own frame.
+	MaxFrameBytes int
 	// ApplyDelay is the standby-side cost of processing one record
 	// (validate, append to its durable log); default 2µs.
 	ApplyDelay time.Duration
@@ -118,6 +130,12 @@ func (c *Config) applyDefaults() {
 	if c.ResendWindow == 0 {
 		c.ResendWindow = 128
 	}
+	if c.MaxFrameRecords == 0 {
+		c.MaxFrameRecords = 64
+	}
+	if c.MaxFrameBytes == 0 {
+		c.MaxFrameBytes = 256 << 10
+	}
 	if c.ApplyDelay == 0 {
 		c.ApplyDelay = 2 * time.Microsecond
 	}
@@ -143,6 +161,73 @@ type Record struct {
 	Lba   int64
 	Data  []byte
 	Span  obs.SpanID
+
+	// buf is the pooled backing array behind Data on the primary side. It
+	// is nil for records built by tests, for standby-held copies, and in
+	// recovery replay — the wire format and Recover are unaffected.
+	buf *payloadBuf
+}
+
+// payloadBuf is a pooled, refcounted backing array for a shipped record's
+// payload. The retained stream holds one reference; every frame carrying a
+// copy of the record holds one more. The buffer returns to its size-class
+// pool only when the last reference dies — which is what makes recycling
+// safe under the fabric's delivery-by-reference contract: no frame still in
+// flight can ever observe a recycled buffer.
+type payloadBuf struct {
+	data []byte
+	refs int
+}
+
+// frame is one wire-level batch of records bound for a replica link: the
+// shipper issues one Fabric send per frame instead of one per record, and a
+// standby applies the whole frame in one pass and answers with one
+// cumulative ack. Frames are pooled and refcounted (netsim.Refcounted): a
+// fresh frame starts with one reference per replica it is broadcast to —
+// the fabric releases dropped copies, receivers release on delivery — and
+// returns to its shipper's pool when the last reference dies.
+type frame struct {
+	epoch int
+	recs  []Record
+	span  obs.SpanID
+	refs  int
+	sh    *Shipper
+}
+
+// Retain and Release implement netsim.Refcounted (the fabric retains
+// duplicated deliveries and releases dropped ones).
+func (f *frame) Retain() { f.refs++ }
+
+func (f *frame) Release() {
+	f.refs--
+	if f.refs == 0 {
+		f.sh.putFrame(f)
+	}
+}
+
+// OwnershipSum implements netsim.Checksummer: an FNV-1a digest over the
+// frame header and every record's identity and payload bytes, so the
+// ownership check catches a pooled buffer recycled while the frame was
+// still in flight.
+func (f *frame) OwnershipSum() uint32 {
+	h := uint32(2166136261)
+	mix64 := func(v uint64) {
+		for i := 0; i < 64; i += 8 {
+			h = (h ^ uint32(v>>i&0xff)) * 16777619
+		}
+	}
+	mix64(uint64(f.epoch))
+	mix64(uint64(f.span))
+	mix64(uint64(len(f.recs)))
+	for i := range f.recs {
+		r := &f.recs[i]
+		mix64(r.Seq)
+		mix64(uint64(r.Lba))
+		for _, b := range r.Data {
+			h = (h ^ uint32(b)) * 16777619
+		}
+	}
+	return h
 }
 
 // ackMsg is a standby's cumulative acknowledgement for one epoch.
@@ -188,8 +273,15 @@ type Shipper struct {
 	retained []shipRec
 	reps     []*repState
 
+	pending      []Record // shipped records awaiting the next frame flush
+	pendingBytes int
+
 	quorumSig *sim.Signal // broadcast whenever any replica's ack advances
 	workSig   *sim.Signal // wakes the probe when records are outstanding
+	flushSig  *sim.Signal // wakes the flusher on the 0→1 pending transition
+
+	framePool []*frame
+	bufPool   map[int][]*payloadBuf // size class (capacity) → free buffers
 
 	tr       *obs.Tracer
 	quorumHi uint64 // highest seq already traced as quorum-met
@@ -218,6 +310,8 @@ func NewShipper(s *sim.Sim, fab *netsim.Fabric, dom *sim.Domain, epoch int, repl
 		base:      1,
 		quorumSig: s.NewSignal("repl.quorum"),
 		workSig:   s.NewSignal("repl.work"),
+		flushSig:  s.NewSignal("repl.flush"),
+		bufPool:   make(map[int][]*payloadBuf),
 		tr:        cfg.Trace,
 		lag:       reg.Gauge("repl.lag"),
 		retainedB: reg.Gauge("repl.retained_bytes"),
@@ -242,7 +336,59 @@ func NewShipper(s *sim.Sim, fab *netsim.Fabric, dom *sim.Domain, epoch int, repl
 	sh.retainedB.Set(0)
 	s.Spawn(dom, fmt.Sprintf("repl.ack.e%d", epoch), sh.ackLoop)
 	s.Spawn(dom, fmt.Sprintf("repl.probe.e%d", epoch), sh.probeLoop)
+	s.Spawn(dom, fmt.Sprintf("repl.flush.e%d", epoch), sh.flushLoop)
 	return sh
+}
+
+// getPBuf takes a payload buffer from the size-class pool (or grows one),
+// already holding the retained stream's reference.
+func (sh *Shipper) getPBuf(n int) *payloadBuf {
+	c := 512
+	for c < n {
+		c <<= 1
+	}
+	if free := sh.bufPool[c]; len(free) > 0 {
+		pb := free[len(free)-1]
+		sh.bufPool[c] = free[:len(free)-1]
+		pb.data = pb.data[:n]
+		pb.refs = 1
+		return pb
+	}
+	return &payloadBuf{data: make([]byte, n, c), refs: 1}
+}
+
+// releasePBuf drops one reference and pools the buffer when the last one
+// dies. Nil-safe: records built outside Ship have no pooled buffer.
+func (sh *Shipper) releasePBuf(pb *payloadBuf) {
+	if pb == nil {
+		return
+	}
+	if pb.refs--; pb.refs == 0 {
+		c := cap(pb.data)
+		sh.bufPool[c] = append(sh.bufPool[c], pb)
+	}
+}
+
+func (sh *Shipper) getFrame() *frame {
+	if n := len(sh.framePool); n > 0 {
+		f := sh.framePool[n-1]
+		sh.framePool = sh.framePool[:n-1]
+		return f
+	}
+	return &frame{sh: sh}
+}
+
+// putFrame returns a dead frame to the pool, dropping the payload-buffer
+// reference each of its records held. Entries are zeroed so a pooled frame
+// does not pin payload arrays the truncated stream has let go of.
+func (sh *Shipper) putFrame(f *frame) {
+	for i := range f.recs {
+		sh.releasePBuf(f.recs[i].buf)
+		f.recs[i] = Record{}
+	}
+	f.recs = f.recs[:0]
+	f.span = 0
+	sh.framePool = append(sh.framePool, f)
 }
 
 // Epoch returns the shipper's power epoch.
@@ -269,32 +415,106 @@ func (sh *Shipper) minAck() uint64 {
 }
 
 // Ship copies data (callers reuse their buffers) into a retained,
-// sequence-numbered record and transmits it to every replica. It never
+// sequence-numbered record and queues it for the next frame flush. It never
 // blocks — durability waiting is WaitQuorum's job — so it is safe on the
-// Logger's hot path and inside degraded pass-through.
+// Logger's hot path and inside degraded pass-through. Transmission is
+// frame-batched: the record rides the next frame the flusher builds, at the
+// same virtual timestamp as this call (signals do not advance time), so
+// batching adds zero latency; a full batch flushes synchronously right
+// here, so a producer that never yields still frames.
 func (sh *Shipper) Ship(lba int64, data []byte) uint64 {
 	if ss := sh.cfg.SectorSize; len(data) == 0 || len(data)%ss != 0 {
 		panic(fmt.Sprintf("replica: Ship(lba %d) payload of %d bytes is not a whole number of %d-byte sectors", lba, len(data), ss))
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
+	pb := sh.getPBuf(len(data))
+	copy(pb.data, data)
 	seq := sh.next
 	sh.next++
 	// The caller (the Logger's ship hook) plants the buffer-entry span as
 	// the implicit cause; the ship span bridges it to the wire.
 	span := sh.tr.NewSpan()
-	sh.tr.Emit(sh.s.Now().Duration(), obs.EvShip, span, sh.tr.TakeCause(), int64(seq), int64(len(cp)))
-	rec := Record{Epoch: sh.epoch, Seq: seq, Lba: lba, Data: cp, Span: span}
+	sh.tr.Emit(sh.s.Now().Duration(), obs.EvShip, span, sh.tr.TakeCause(), int64(seq), int64(len(data)))
+	rec := Record{Epoch: sh.epoch, Seq: seq, Lba: lba, Data: pb.data, Span: span, buf: pb}
 	sh.retained = append(sh.retained, shipRec{rec: rec, at: sh.s.Now()})
-	sh.retainedB.Add(int64(len(cp)))
+	sh.retainedB.Add(int64(len(data)))
 	sh.shipped.Inc()
-	sh.shippedB.Add(int64(len(cp)))
-	for _, r := range sh.reps {
-		sh.ep.SendCtx(r.name, len(cp)+recordOverhead, rec, span)
+	sh.shippedB.Add(int64(len(data)))
+	// The pending queue holds its own buffer reference: if an all-replicas-
+	// dead eviction truncates the stream past a record that has not framed
+	// yet, the retained reference dies but the buffer stays live until the
+	// frame that finally carries it does.
+	pb.refs++
+	sh.pending = append(sh.pending, rec)
+	sh.pendingBytes += len(data)
+	if len(sh.pending) >= sh.cfg.MaxFrameRecords || sh.pendingBytes >= sh.cfg.MaxFrameBytes {
+		sh.flushPending()
+	} else if len(sh.pending) == 1 {
+		sh.flushSig.Broadcast()
 	}
 	sh.updateLag()
 	sh.workSig.Broadcast()
 	return seq
+}
+
+// flushLoop is the frame flusher. It is woken by the first record of a
+// batch and runs the moment the producer yields — at the SAME virtual
+// timestamp as the Ship that woke it — so every record shipped in the
+// current instant coalesces into one frame per link with no added latency.
+func (sh *Shipper) flushLoop(p *sim.Proc) {
+	p.SetDaemon(true)
+	for {
+		for len(sh.pending) == 0 {
+			sh.flushSig.Wait(p)
+		}
+		sh.flushPending()
+	}
+}
+
+// flushPending cuts the pending queue into frames bounded by
+// MaxFrameRecords and MaxFrameBytes and broadcasts each. The cut>0 guard
+// lets a single record larger than MaxFrameBytes ship alone rather than
+// wedge the queue.
+func (sh *Shipper) flushPending() {
+	for len(sh.pending) > 0 {
+		cut, bytes := 0, 0
+		for cut < len(sh.pending) && cut < sh.cfg.MaxFrameRecords {
+			if cut > 0 && bytes+len(sh.pending[cut].Data) > sh.cfg.MaxFrameBytes {
+				break
+			}
+			bytes += len(sh.pending[cut].Data)
+			cut++
+		}
+		sh.sendFrame(sh.pending[:cut], bytes)
+		n := copy(sh.pending, sh.pending[cut:])
+		for i := n; i < len(sh.pending); i++ {
+			sh.pending[i] = Record{}
+		}
+		sh.pending = sh.pending[:n]
+	}
+	sh.pendingBytes = 0
+}
+
+// sendFrame broadcasts one pooled frame built from recs: one fabric send
+// per replica per frame instead of one per record. The frame inherits the
+// pending queue's payload-buffer references and starts with one frame
+// reference per replica — a copy the fabric drops is released synchronously
+// inside the send loop, so the frame must not be touched after it.
+func (sh *Shipper) sendFrame(recs []Record, payloadBytes int) {
+	f := sh.getFrame()
+	f.epoch = sh.epoch
+	f.recs = append(f.recs, recs...)
+	f.span = sh.tr.NewSpan()
+	wire := payloadBytes + len(recs)*recordOverhead + frameOverhead
+	sh.tr.Emit(sh.s.Now().Duration(), obs.EvFrame, f.span, 0, int64(len(recs)), int64(wire))
+	if len(sh.reps) == 0 {
+		f.refs = 1
+		f.Release()
+		return
+	}
+	f.refs = len(sh.reps)
+	for _, r := range sh.reps {
+		sh.ep.SendCtx(r.name, wire, f, f.span)
+	}
 }
 
 // QuorumSeq returns the highest sequence number held by at least k
@@ -390,10 +610,17 @@ func (sh *Shipper) truncate() {
 		n = len(sh.retained)
 	}
 	freed := int64(0)
-	for _, sr := range sh.retained[:n] {
-		freed += int64(len(sr.rec.Data))
+	for i := range sh.retained[:n] {
+		freed += int64(len(sh.retained[i].rec.Data))
+		sh.releasePBuf(sh.retained[i].rec.buf)
 	}
-	sh.retained = append(sh.retained[:0:0], sh.retained[n:]...)
+	// Shift in place: the old copy-on-trim reallocated the backing array on
+	// every ack round, which the steady-state zero-alloc discipline forbids.
+	m := copy(sh.retained, sh.retained[n:])
+	for i := m; i < len(sh.retained); i++ {
+		sh.retained[i] = shipRec{}
+	}
+	sh.retained = sh.retained[:m]
 	sh.base += uint64(n)
 	sh.retainedB.Add(-freed)
 	for _, r := range sh.reps {
@@ -569,10 +796,33 @@ func (sh *Shipper) resendWindow(r *repState) {
 	if hi < lo {
 		return
 	}
-	for seq := lo; seq <= hi; seq++ {
-		rec := sh.retained[int(seq-sh.base)].rec
-		sh.ep.SendCtx(r.name, len(rec.Data)+recordOverhead, rec, rec.Span)
-		sh.resends.Inc()
+	// Repair is frame-granular too: retained records are rebatched into
+	// frames of the same shape as fresh sends, unicast to the one replica
+	// being repaired (refs = 1). Each record in a repair frame takes its own
+	// payload-buffer reference, so a truncate racing the repair in virtual
+	// time cannot recycle a buffer the frame still carries.
+	sh.resends.Add(int64(hi - lo + 1))
+	for seq := lo; seq <= hi; {
+		f := sh.getFrame()
+		f.epoch = sh.epoch
+		bytes := 0
+		for seq <= hi && len(f.recs) < sh.cfg.MaxFrameRecords {
+			rec := sh.retained[int(seq-sh.base)].rec
+			if len(f.recs) > 0 && bytes+len(rec.Data) > sh.cfg.MaxFrameBytes {
+				break
+			}
+			if rec.buf != nil {
+				rec.buf.refs++
+			}
+			f.recs = append(f.recs, rec)
+			bytes += len(rec.Data)
+			seq++
+		}
+		f.span = sh.tr.NewSpan()
+		wire := bytes + len(f.recs)*recordOverhead + frameOverhead
+		sh.tr.Emit(now.Duration(), obs.EvFrame, f.span, 0, int64(len(f.recs)), int64(wire))
+		f.refs = 1
+		sh.ep.SendCtx(r.name, wire, f, f.span)
 	}
 	sh.tr.Emit(now.Duration(), obs.EvRepair, 0, 0, r.labelID, int64(hi-lo+1))
 	r.fillHi = hi
@@ -594,6 +844,7 @@ type Standby struct {
 	seen    map[int]uint64            // per-epoch highest seq ever received
 	ooo     map[int]map[uint64]Record // buffered out-of-order arrivals
 	log     []Record                  // applied records, in apply order
+	arena   []byte                    // append-only copy space for kept payloads
 
 	appliedC *metrics.Counter
 	dupC     *metrics.Counter
@@ -677,8 +928,14 @@ func (st *Standby) Restart() {
 	}
 	st.alive = true
 	for {
-		if _, ok := st.ep.TryRecv(); !ok {
+		m, ok := st.ep.TryRecv()
+		if !ok {
 			break
+		}
+		// The NIC queue dies with the node — but a discarded frame is still
+		// a reference the shipper's pool is waiting on.
+		if rc, ok := m.Payload.(netsim.Refcounted); ok {
+			rc.Release()
 		}
 	}
 	st.fab.Restore(st.name)
@@ -716,13 +973,46 @@ func (st *Standby) spawnReceiver() {
 	})
 }
 
-// handle processes one inbound record: apply in order, buffer ahead-of-
-// order arrivals, re-acknowledge duplicates.
+// handle dispatches one inbound message: a frame is applied record by
+// record in one pass and then released back to its shipper's pool; a bare
+// Record (older senders, tests) takes the same per-record path. Either way
+// the batch accounting in the receiver yields ONE cumulative ack per epoch
+// per wakeup — the ack-coalescing half of frame shipping.
 func (st *Standby) handle(m netsim.Message, epochs *[]int, applied *int) {
-	rec, ok := m.Payload.(Record)
-	if !ok {
-		return
+	switch pl := m.Payload.(type) {
+	case *frame:
+		for i := range pl.recs {
+			st.handleRec(pl.recs[i], epochs, applied)
+		}
+		pl.Release()
+	case Record:
+		st.handleRec(pl, epochs, applied)
 	}
+}
+
+// copyData copies a wire payload into the standby's append-only arena.
+// Anything the standby keeps — applied log entries and the out-of-order
+// stash alike — must be its own copy: the shipper's pooled buffers are
+// recycled once every reference dies, while a duplicate frame may still
+// deliver long after. Chunked growth amortises the copies to zero
+// allocations per record at steady state.
+func (st *Standby) copyData(d []byte) []byte {
+	const chunk = 256 << 10
+	if len(d) > cap(st.arena)-len(st.arena) {
+		sz := chunk
+		if len(d) > sz {
+			sz = len(d)
+		}
+		st.arena = make([]byte, 0, sz)
+	}
+	n := len(st.arena)
+	st.arena = append(st.arena, d...)
+	return st.arena[n : n+len(d) : n+len(d)]
+}
+
+// handleRec processes one inbound record: apply in order, buffer ahead-of-
+// order arrivals, re-acknowledge duplicates.
+func (st *Standby) handleRec(rec Record, epochs *[]int, applied *int) {
 	e := rec.Epoch
 	touched := false
 	for _, seen := range *epochs {
@@ -741,6 +1031,7 @@ func (st *Standby) handle(m netsim.Message, epochs *[]int, applied *int) {
 	case rec.Seq <= ap:
 		st.dupC.Inc() // duplicate or already-covered resend: just re-ack
 	case rec.Seq == ap+1:
+		rec.Data, rec.buf = st.copyData(rec.Data), nil
 		st.apply(rec)
 		*applied++
 		for {
@@ -757,6 +1048,7 @@ func (st *Standby) handle(m netsim.Message, epochs *[]int, applied *int) {
 			st.ooo[e] = make(map[uint64]Record)
 		}
 		if _, dup := st.ooo[e][rec.Seq]; !dup {
+			rec.Data, rec.buf = st.copyData(rec.Data), nil
 			st.ooo[e][rec.Seq] = rec
 			st.oooC.Inc()
 		}
