@@ -14,6 +14,7 @@
 //	rapilog-fault -mode rapilog -fault latency-storm -fault-window 500ms
 //	rapilog-fault -mode rapilog-replica -fault partition -then power-cut \
 //	    -break-dump -ack-policy quorum -quorum 1 -replicas 2 -trials 10
+//	rapilog-fault -shards 4 -fault power-cut -trials 50
 package main
 
 import (
@@ -26,7 +27,8 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "rapilog", "native-sync | native-async | virt-sync | rapilog | rapilog-replica")
+		mode      = flag.String("mode", "rapilog", "native-sync | native-async | virt-sync | rapilog | rapilog-replica | rapilog-sharded")
+		shards    = flag.Int("shards", 0, "independent log-domain shards on one machine (power-cut only; 0/1 = unsharded)")
 		engine    = flag.String("engine", "pg", "engine personality: pg | my | cx")
 		fault     = flag.String("fault", "power-cut", "power-cut | guest-crash | disk-error | latency-storm | partition | replica-crash")
 		trials    = flag.Int("trials", 20, "independent trials")
@@ -64,6 +66,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rapilog-fault: %v\n", err)
 		os.Exit(2)
 	}
+	if rapilog.Mode(*mode) == rapilog.ModeRapiLogSharded && *shards < 2 {
+		*shards = 2
+	}
+	if *shards > 1 && *mode == "rapilog" {
+		*mode = string(rapilog.ModeRapiLogSharded)
+	}
 	rigCfg := rapilog.Config{Seed: *seed, Mode: rapilog.Mode(*mode), Personality: pers,
 		Replicas: *replicas, AckPolicy: policy}
 	rigCfg.Net.Latency = *netLat
@@ -82,6 +90,7 @@ func main() {
 		PartitionWindow: *partWin,
 		CrashReplicas:   *crashReps,
 		BreakDump:       *breakDump,
+		Shards:          *shards,
 	}
 	if *wl == "stress" {
 		cfg.NewWorkload = func() rapilog.Workload { return &rapilog.Stress{} }
@@ -93,6 +102,9 @@ func main() {
 			n = 2
 		}
 		fmt.Printf("replication: %d standbys, ack policy %s\n", n, policy)
+	}
+	if *shards > 1 {
+		fmt.Printf("sharding: %d independent log domains, machine-wide plug-pull\n", *shards)
 	}
 	sum := rapilog.RunCampaign(cfg)
 	if *perTrial {

@@ -9,6 +9,7 @@
 //	rapilog-sim -mode native-sync -workload tpcb -trace
 //	rapilog-sim -commit-trace -trace-out trace.json -metrics-out metrics.json
 //	rapilog-sim -mode rapilog-replica -ack-policy quorum -quorum 1 -replicas 2
+//	rapilog-sim -shards 4 -workload tpcb -clients 4
 package main
 
 import (
@@ -24,7 +25,8 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "rapilog", "native-sync | native-async | virt-sync | rapilog | rapilog-replica")
+		mode     = flag.String("mode", "rapilog", "native-sync | native-async | virt-sync | rapilog | rapilog-replica | rapilog-sharded")
+		shards   = flag.Int("shards", 0, "independent log-domain shards on one machine (0/1 = unsharded; -clients is per shard)")
 		engine   = flag.String("engine", "pg", "engine personality: pg | my | cx")
 		diskKind = flag.String("disk", "hdd", "hdd | ssd | mem")
 		psu      = flag.String("psu", "measured", "atx-spec | typical | measured")
@@ -84,6 +86,16 @@ func main() {
 		Flight:        *flightOut != "",
 	}
 	cfg.Net.Latency = *netLat
+	if rapilog.Mode(*mode) == rapilog.ModeRapiLogSharded && *shards < 2 {
+		*shards = 2
+	}
+	if *shards > 1 {
+		if *commitTrace || *traceOut != "" || *flightOut != "" {
+			fatalf("tracing and the flight recorder are per log domain; not supported with -shards")
+		}
+		runSharded(cfg, *shards, *wl, *clients, *duration, *warmup, *metricsOut)
+		return
+	}
 	dep, err := rapilog.New(cfg)
 	if err != nil {
 		fatalf("%v", err)
@@ -208,6 +220,96 @@ func main() {
 	if *flightOut != "" {
 		dep.Flight.Freeze(dep.S.Now().Duration(), "run-end")
 		writeFileJSON(*flightOut, dep.Flight.Record().WriteJSON)
+	}
+}
+
+// runSharded drives an n-shard fleet: one client pool per shard over a
+// partitioned workload, then a fleet report with per-shard throughput and
+// rolled-up RapiLog counters.
+func runSharded(cfg rapilog.Config, n int, wl string, clients int, duration, warmup time.Duration, metricsOut string) {
+	sh, err := rapilog.NewSharded(cfg, n)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// Weak scaling: per-shard workload provisioning is constant, so the
+	// fleet's data set grows with the shard count.
+	ws := make([]rapilog.Workload, n)
+	switch wl {
+	case "tpcc":
+		parts, err := rapilog.PartitionTPCC(rapilog.TPCC{Warehouses: 4 * n, Districts: 10, Customers: 30, Items: 400}, sh.Router)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for i, p := range parts {
+			ws[i] = p
+		}
+	case "tpcb":
+		parts, err := rapilog.PartitionTPCB(rapilog.TPCB{Branches: 2 * n, Tellers: 10, Accounts: 1000}, sh.Router)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for i, p := range parts {
+			ws[i] = p
+		}
+	case "stress":
+		for i := range ws {
+			ws[i] = &rapilog.Stress{}
+		}
+	default:
+		fatalf("unknown workload %q", wl)
+	}
+
+	var res rapilog.ShardedResult
+	done := sh.S.NewEvent("done")
+	sh.S.Spawn(nil, "bench", func(p *rapilog.Proc) {
+		defer done.Fire()
+		engines, err := sh.BootAll(p)
+		if err != nil {
+			fatalf("boot: %v", err)
+		}
+		doms := make([]*rapilog.Domain, n)
+		for i, r := range sh.Shards {
+			doms[i] = r.Plat.Domain()
+			if err := ws[i].Load(p, engines[i]); err != nil {
+				fatalf("shard %d load: %v", i, err)
+			}
+		}
+		res, err = rapilog.RunShardedClients(p, doms, engines, ws, nil, rapilog.RunnerConfig{
+			Clients: clients, Duration: duration, Warmup: warmup,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	})
+	if err := sh.S.RunUntilEvent(done); err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("configuration:  mode=%s shards=%d clients=%d/shard workload=%s\n",
+		rapilog.ModeRapiLogSharded, n, clients, wl)
+	fmt.Printf("measured:       %v (after %v warmup)\n", res.Total.Duration, warmup)
+	fmt.Printf("fleet:          %.0f tps (%d committed, %d aborted)\n",
+		res.Total.TPS(), res.Total.Committed, res.Total.Aborted)
+	fmt.Printf("txn latency:    p50=%v p95=%v p99=%v\n",
+		res.Total.TxnLatency.Quantile(0.50).Round(time.Microsecond),
+		res.Total.TxnLatency.Quantile(0.95).Round(time.Microsecond),
+		res.Total.TxnLatency.Quantile(0.99).Round(time.Microsecond))
+	for i, r := range res.Shards {
+		fmt.Printf("shard %-2d        %.0f tps (%d committed), buffer bound %d KiB\n",
+			i, r.TPS(), r.Committed, sh.Shards[i].Logger.MaxBuffer()/1024)
+	}
+	reg := sh.Obs.Registry()
+	ack := rapilog.RollupHistogram(reg, n, "engine.commit.ack_latency")
+	fmt.Printf("rollup:         %d commits, %d rapilog writes, commit ack p50=%v p99=%v\n",
+		rapilog.RollupCounter(reg, n, "engine.commits"),
+		rapilog.RollupCounter(reg, n, "rapilog.writes"),
+		ack.Quantile(0.50).Round(time.Microsecond),
+		ack.Quantile(0.99).Round(time.Microsecond))
+
+	if metricsOut != "" {
+		snap := reg.Snapshot()
+		writeFileJSON(metricsOut, snap.WriteJSON)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/rig"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -41,6 +42,10 @@ type PerfCase struct {
 	// Replicated-path figures (commit_quorum1, ship_throughput).
 	QuorumP50Ns      float64 `json:"quorum_p50_ns,omitempty"`      // quorum-wait barrier p50
 	NetMsgsPerRecord float64 `json:"net_msgs_per_record,omitempty"` // fabric messages per shipped record
+	// Sharded-scaling figures (shard_scaling_N): the shard count and the
+	// fleet-wide commit-ack p50 (per-shard histograms merged).
+	Shards      int     `json:"shards,omitempty"`
+	CommitP50Ns float64 `json:"commit_p50_ns,omitempty"`
 }
 
 // PerfSuite is the serialised result of one suite run.
@@ -101,6 +106,15 @@ func RunPerfSuite(label string, quick bool, seed int64, progress io.Writer) (*Pe
 		{"tpcc_c8", func() (PerfCase, error) {
 			return perfWorkload("tpcc_c8", &workload.TPCC{Warehouses: 1, Customers: 10, Items: 200}, 8, dur, warmup, seed)
 		}},
+	}
+	// Weak-scaling sweep: per-shard provisioning is constant (4 cores, 4
+	// clients, 4 branches per shard), so ideal scaling is tps ∝ shards with
+	// a flat commit p50.
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		cases = append(cases, microCase{fmt.Sprintf("shard_scaling_%d", n), func() (PerfCase, error) {
+			return perfShardScaling(n, 4, dur, warmup, seed)
+		}})
 	}
 	for _, c := range cases {
 		pc, err := c.run()
@@ -383,6 +397,74 @@ func perfShipThroughput(seed int64) (PerfCase, error) {
 		pc.NetMsgsPerRecord = float64(netMsgs) / float64(res.N)
 	}
 	return pc, runErr
+}
+
+// perfShardScaling runs the weak-scaling point for one shard count: an
+// n-shard deployment provisioned per shard (4 cores, clientsPerShard
+// clients, 4 TPC-B branches each, its own spindle), driven by the
+// hash-partitioned workload. Reports fleet virtual TPS and the merged
+// commit-ack p50 — the pair the scaling claim is judged on.
+func perfShardScaling(shards, clientsPerShard int, dur, warmup time.Duration, seed int64) (PerfCase, error) {
+	// SSD shards: on the measured PSU the N-aware sizing rule rejects 8 HDD
+	// dump zones (2·8·~16ms of positioning overruns the ~250ms hold-up
+	// budget) — which is the rule doing its job, not a bench failure. SSDs
+	// are both the realistic scale-out hardware and well inside the budget.
+	sh, err := rig.NewSharded(rig.Config{Seed: seed, Cores: 4 * shards, Disk: rig.DiskSSD}, shards)
+	if err != nil {
+		return PerfCase{}, err
+	}
+	base := workload.TPCB{Branches: 4 * shards, Tellers: 4, Accounts: 200}
+	parts, err := workload.PartitionTPCB(base, sh.Router)
+	if err != nil {
+		return PerfCase{}, err
+	}
+	var res workload.ShardedResult
+	var runErr error
+	var events uint64
+	var wall time.Duration
+	done := sh.S.NewEvent("shard_scaling.done")
+	sh.S.Spawn(nil, "perf", func(p *sim.Proc) {
+		defer done.Fire()
+		engines, err := sh.BootAll(p)
+		if err != nil {
+			runErr = fmt.Errorf("boot: %w", err)
+			return
+		}
+		doms := make([]*sim.Domain, shards)
+		ws := make([]workload.Workload, shards)
+		for i, e := range engines {
+			if err := parts[i].Load(p, e); err != nil {
+				runErr = fmt.Errorf("shard %d load: %w", i, err)
+				return
+			}
+			doms[i] = sh.Shards[i].Plat.Domain()
+			ws[i] = parts[i]
+		}
+		d0 := sh.S.Dispatched()
+		start := time.Now()
+		res, runErr = workload.RunShardedClients(p, doms, engines, ws, nil, workload.RunnerConfig{
+			Clients: clientsPerShard, Duration: dur, Warmup: warmup,
+		})
+		wall = time.Since(start)
+		events = sh.S.Dispatched() - d0
+	})
+	if err := sh.S.RunUntilEvent(done); err != nil {
+		return PerfCase{}, err
+	}
+	if runErr != nil {
+		return PerfCase{}, runErr
+	}
+	pc := PerfCase{
+		Shards:     shards,
+		VirtualTPS: res.Total.TPS(),
+		Committed:  res.Total.Committed,
+	}
+	if wall > 0 {
+		pc.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	p50 := shard.RollupHistogram(sh.Obs.Registry(), shards, "engine.commit.ack_latency").Quantile(0.5)
+	pc.CommitP50Ns = float64(p50.Nanoseconds())
+	return pc, nil
 }
 
 // perfWorkload runs a closed-loop client pool for a fixed virtual duration

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShapeShardScaling locks in the tentpole scale-out claim: with
+// per-shard provisioning held constant, a 4-shard fleet commits at least
+// 2.5x the single-shard throughput while the commit-ack p50 stays within
+// 20%. Virtual-time figures are deterministic for a fixed seed, so this is
+// a regression lock, not a flaky perf assertion.
+func TestShapeShardScaling(t *testing.T) {
+	const dur, warmup = 500 * time.Millisecond, 50 * time.Millisecond
+	one, err := perfShardScaling(1, 4, dur, warmup, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := perfShardScaling(4, 4, dur, warmup, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.VirtualTPS <= 0 || four.VirtualTPS <= 0 {
+		t.Fatalf("no throughput: 1-shard %.0f tps, 4-shard %.0f tps", one.VirtualTPS, four.VirtualTPS)
+	}
+	if four.VirtualTPS < 2.5*one.VirtualTPS {
+		t.Fatalf("4-shard fleet at %.0f tps is under 2.5x the 1-shard %.0f tps", four.VirtualTPS, one.VirtualTPS)
+	}
+	lo, hi := 0.8*one.CommitP50Ns, 1.2*one.CommitP50Ns
+	if four.CommitP50Ns < lo || four.CommitP50Ns > hi {
+		t.Fatalf("4-shard commit p50 %.0fns drifted >20%% from 1-shard %.0fns", four.CommitP50Ns, one.CommitP50Ns)
+	}
+}

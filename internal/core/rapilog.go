@@ -250,7 +250,23 @@ type Logger struct {
 // write may have to wait out one in-flight disk operation before it can
 // even start seeking.
 func SafeBufferSize(m *power.Machine, dumpZone disk.Device) int64 {
-	budget := m.InterruptBudget() - 2*dumpZone.WorstCaseAccess()
+	return SafeBufferSizeShared(m, dumpZone, 1)
+}
+
+// SafeBufferSizeShared is the consolidated-deployment variant of the
+// sizing rule: sharers RapiLog instances on one machine, each dumping to
+// its own zone on its own spindle, race the same hold-up window. The
+// spindles stream independently, so sequential bandwidth is not divided —
+// but the positioning term is charged once per sharer: the power-fail
+// interrupt fans out to every instance on the same finite cores, and the
+// conservative budget assumes an emergency write may have to wait out one
+// in-flight operation per sharer before its own seek completes. With one
+// sharer this is exactly SafeBufferSize.
+func SafeBufferSizeShared(m *power.Machine, dumpZone disk.Device, sharers int) int64 {
+	if sharers < 1 {
+		sharers = 1
+	}
+	budget := m.InterruptBudget() - 2*time.Duration(sharers)*dumpZone.WorstCaseAccess()
 	if budget <= 0 {
 		return 0
 	}

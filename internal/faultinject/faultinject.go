@@ -95,6 +95,12 @@ type CampaignConfig struct {
 	// This is the "local durability domain is gone" half of the A9
 	// double-fault; only a remote policy survives it with data buffered.
 	BreakDump bool
+	// Shards, when > 1, runs every trial against a sharded deployment
+	// (rig.NewSharded): each shard gets its own workload copy, journal and
+	// client pool, the fault hits the whole machine, and recovery runs
+	// per-shard in parallel. PowerCut only — the plug-pull is the one fault
+	// that is machine-wide by nature.
+	Shards int
 	// Workload factory; default: a small TPC-C.
 	NewWorkload func() workload.Workload
 }
@@ -133,9 +139,24 @@ func (c *CampaignConfig) applyDefaults() {
 
 // validate rejects configurations that could never run a sane trial.
 func (c *CampaignConfig) validate() error {
+	if c.InjectAfterMin < 0 {
+		return fmt.Errorf("faultinject: negative InjectAfterMin %v", c.InjectAfterMin)
+	}
 	if c.InjectAfterMax < c.InjectAfterMin {
 		return fmt.Errorf("faultinject: InjectAfterMax %v < InjectAfterMin %v",
 			c.InjectAfterMax, c.InjectAfterMin)
+	}
+	// applyDefaults only replaces zero values, so an explicitly negative
+	// window reaches here; downstream it would silently collapse to a
+	// zero-length Sleep and a fault that "passes" without ever firing.
+	if c.FaultWindow <= 0 {
+		return fmt.Errorf("faultinject: FaultWindow %v is not a positive window", c.FaultWindow)
+	}
+	if c.PartitionWindow <= 0 {
+		return fmt.Errorf("faultinject: PartitionWindow %v is not a positive window", c.PartitionWindow)
+	}
+	if c.MediaErrProb < 0 || c.MediaErrProb > 1 {
+		return fmt.Errorf("faultinject: MediaErrProb %v outside [0, 1]", c.MediaErrProb)
 	}
 	switch c.Fault {
 	case GuestCrash, PowerCut, DiskError, LatencyStorm:
@@ -154,6 +175,15 @@ func (c *CampaignConfig) validate() error {
 		}
 	default:
 		return fmt.Errorf("faultinject: Compose must be %q or %q, got %q", PowerCut, GuestCrash, c.Compose)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("faultinject: negative shard count %d", c.Shards)
+	}
+	if c.Shards > 1 && c.Fault != PowerCut {
+		return fmt.Errorf("faultinject: sharded campaigns support %q only, not %q", PowerCut, c.Fault)
+	}
+	if c.Rig.Mode == rig.RapiLogSharded && c.Shards < 2 {
+		return fmt.Errorf("faultinject: mode %q needs Shards >= 2", rig.RapiLogSharded)
 	}
 	return nil
 }
@@ -339,6 +369,9 @@ func RunTrial(cfg CampaignConfig, seed int64) TrialResult {
 	if err := cfg.validate(); err != nil {
 		res.Err = err
 		return res
+	}
+	if cfg.Shards > 1 {
+		return runShardedTrial(cfg, seed)
 	}
 
 	rigCfg := cfg.Rig

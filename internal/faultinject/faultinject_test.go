@@ -55,6 +55,47 @@ func TestRapiLogSurvivesPowerCuts(t *testing.T) {
 	}
 }
 
+func TestShardedCampaignSurvivesPowerCuts(t *testing.T) {
+	cfg := quickCampaign(rig.RapiLogSharded, PowerCut, 3)
+	cfg.Shards = 2
+	sum := RunCampaign(cfg)
+	if sum.Errors > 0 {
+		t.Fatalf("campaign errors: %+v", sum.Trials)
+	}
+	if sum.TotalAcked == 0 {
+		t.Fatal("no transactions acked before faults")
+	}
+	if sum.Violations != 0 || sum.TotalLost != 0 {
+		t.Fatalf("sharded RapiLog lost acked commits on power cut: %s", sum)
+	}
+}
+
+func TestShardedCampaignRejectsNonPowerFaults(t *testing.T) {
+	cfg := quickCampaign(rig.RapiLogSharded, GuestCrash, 1)
+	cfg.Shards = 4
+	if res := RunTrial(cfg, 1); res.Err == nil {
+		t.Fatal("sharded guest-crash trial ran; want config error")
+	}
+	cfg.Fault = PowerCut
+	cfg.Shards = -2
+	if res := RunTrial(cfg, 1); res.Err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}
+
+func TestShardedTrialDeterminism(t *testing.T) {
+	cfg := quickCampaign(rig.RapiLogSharded, PowerCut, 1)
+	cfg.Shards = 2
+	a := RunTrial(cfg, 99)
+	b := RunTrial(cfg, 99)
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("trial errors: %v / %v", a.Err, b.Err)
+	}
+	if a.Acked != b.Acked || a.Missing != b.Missing || a.HadDump != b.HadDump {
+		t.Fatalf("sharded trials with one seed diverged: %+v vs %+v", a, b)
+	}
+}
+
 func TestNativeSyncSurvivesPowerCuts(t *testing.T) {
 	sum := RunCampaign(quickCampaign(rig.NativeSync, PowerCut, 2))
 	if sum.Errors > 0 {
@@ -183,6 +224,55 @@ func TestNegativeInjectSpanIsConfigError(t *testing.T) {
 	sum := RunCampaign(cfg)
 	if sum.Errors != 1 || len(sum.Trials) != 1 || sum.Trials[0].Err == nil {
 		t.Fatalf("RunCampaign on a negative span: %+v", sum)
+	}
+}
+
+// TestNegativeWindowsAreConfigErrors: applyDefaults only replaces zero
+// values, so an explicitly negative window used to sail through validation
+// and silently collapse to a zero-length Sleep — a campaign that "passes"
+// without its fault ever being active. Negative windows (and a negative
+// InjectAfterMin) must surface as config errors.
+func TestNegativeWindowsAreConfigErrors(t *testing.T) {
+	neg := quickCampaign(rig.RapiLog, DiskError, 1)
+	neg.FaultWindow = -300 * time.Millisecond
+	if res := RunTrial(neg, 1); res.Err == nil {
+		t.Fatal("RunTrial accepted a negative FaultWindow")
+	}
+	sum := RunCampaign(neg)
+	if sum.Errors != 1 || len(sum.Trials) != 1 || sum.Trials[0].Err == nil {
+		t.Fatalf("RunCampaign on a negative FaultWindow: %+v", sum)
+	}
+
+	part := quickCampaign(rig.RapiLogReplica, Partition, 1)
+	part.PartitionWindow = -time.Second
+	if res := RunTrial(part, 1); res.Err == nil {
+		t.Fatal("RunTrial accepted a negative PartitionWindow")
+	}
+
+	early := quickCampaign(rig.RapiLog, PowerCut, 1)
+	early.InjectAfterMin = -time.Second
+	if res := RunTrial(early, 1); res.Err == nil {
+		t.Fatal("RunTrial accepted a negative InjectAfterMin")
+	}
+}
+
+// TestZeroLengthInjectWindowRuns: InjectAfterMin == InjectAfterMax is a
+// legitimate pinned injection instant, and the span-zero path must skip
+// the jitter draw rather than hand rand.Int63n a zero argument (which
+// panics). A whole campaign at a pinned instant must complete cleanly.
+func TestZeroLengthInjectWindowRuns(t *testing.T) {
+	cfg := quickCampaign(rig.RapiLog, PowerCut, 2)
+	cfg.InjectAfterMin = 400 * time.Millisecond
+	cfg.InjectAfterMax = 400 * time.Millisecond
+	sum := RunCampaign(cfg)
+	if sum.Errors > 0 {
+		t.Fatalf("zero-length inject window errored: %+v", sum.Trials)
+	}
+	if sum.TotalAcked == 0 {
+		t.Fatal("no transactions acked before the pinned-instant fault")
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("violations at a pinned injection instant: %s", sum)
 	}
 }
 

@@ -141,6 +141,28 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
+// Merge folds other's observations into h. Every histogram shares the same
+// bucket layout, so counts, total, sum and min/max combine exactly:
+// quantiles of the merged histogram equal quantiles of the concatenated
+// observation streams up to the usual bucket quantisation. This is how
+// per-shard latency distributions roll up into one fleet-wide view.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // Reset clears all observations.
 func (h *Histogram) Reset() {
 	for i := range h.counts {

@@ -371,6 +371,14 @@ func (e *Endpoint) Name() string { return e.name }
 // Pending returns the number of undelivered messages in the inbox.
 func (e *Endpoint) Pending() int { return len(e.inbox) - e.head }
 
+// inboxCompactAt is the consumed-prefix length past which TryRecv slides
+// the unconsumed tail back to the front of the backing array. Without this
+// an endpoint whose inbox never fully drains (a steady producer one message
+// ahead of the consumer) appends forever: the consumed prefix is zeroed but
+// its slots are never reclaimed, so the backing array grows for the life of
+// the run.
+const inboxCompactAt = 64
+
 // TryRecv pops the oldest queued message without blocking.
 func (e *Endpoint) TryRecv() (Message, bool) {
 	if e.head == len(e.inbox) {
@@ -381,6 +389,11 @@ func (e *Endpoint) TryRecv() (Message, bool) {
 	e.head++
 	if e.head == len(e.inbox) {
 		e.inbox = e.inbox[:0]
+		e.head = 0
+	} else if e.head >= inboxCompactAt && e.head >= len(e.inbox)/2 {
+		n := copy(e.inbox, e.inbox[e.head:])
+		clear(e.inbox[n:])
+		e.inbox = e.inbox[:n]
 		e.head = 0
 	}
 	return m, true

@@ -179,6 +179,51 @@ func TestPartitionDropsAndHeal(t *testing.T) {
 	}
 }
 
+// TestInboxSteadyStateMemory: an endpoint whose inbox never fully drains —
+// a producer running one message ahead of its consumer for the whole run —
+// must not pin every consumed message for the life of the run. Before the
+// compaction fix, TryRecv only reclaimed the backing array on a full drain,
+// so the slice here grew with the total message count (~n slots); with
+// compaction it stays within a small constant of the pending count.
+func TestInboxSteadyStateMemory(t *testing.T) {
+	s := sim.New(1)
+	f := New(s, Config{Seed: 1, Link: LinkConfig{Jitter: time.Nanosecond}})
+	ep := f.Endpoint("dst")
+	const n = 2000
+	received := 0
+	s.Spawn(nil, "drive", func(p *sim.Proc) {
+		// Two messages of headroom so the consumer below never empties the
+		// inbox (the full-drain reset path would mask the leak).
+		f.Send("src", "dst", 64, -1)
+		f.Send("src", "dst", 64, -2)
+		p.Sleep(time.Millisecond)
+		for i := 0; i < n; i++ {
+			f.Send("src", "dst", 64, i)
+			p.Sleep(time.Millisecond) // let delivery land before consuming
+			if _, ok := ep.TryRecv(); !ok {
+				t.Fatalf("iteration %d: nothing to receive", i)
+			}
+			received++
+			if pend := ep.Pending(); pend == 0 {
+				t.Fatalf("iteration %d: inbox fully drained; test no longer exercises the steady-state path", i)
+			}
+		}
+	})
+	if err := s.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if received != n {
+		t.Fatalf("received %d/%d", received, n)
+	}
+	if len(ep.inbox) > 4*inboxCompactAt {
+		t.Fatalf("inbox backing holds %d slots for %d pending messages; consumed prefix never reclaimed",
+			len(ep.inbox), ep.Pending())
+	}
+	if c := cap(ep.inbox); c > 16*inboxCompactAt {
+		t.Fatalf("inbox backing array grew to %d slots over the run", c)
+	}
+}
+
 // TestInFlightDroppedWhenPortGoesDown: a message already on the wire to a
 // node that is isolated before delivery is dropped at the port.
 func TestInFlightDroppedWhenPortGoesDown(t *testing.T) {

@@ -69,3 +69,14 @@ func (o *Obs) Registry() *Registry {
 	}
 	return o.reg
 }
+
+// Sub returns a bundle whose registry prefixes every instrument name with
+// prefix (see Registry.Sub) while sharing the tracer. Sharded deployments
+// hand each shard Sub("shard.<i>") so one snapshot of the root registry
+// carries every shard's instruments under distinct names.
+func (o *Obs) Sub(prefix string) *Obs {
+	if o == nil {
+		return nil
+	}
+	return &Obs{trace: o.trace, reg: o.reg.Sub(prefix)}
+}

@@ -21,6 +21,9 @@ type Registry struct {
 	hists    map[string]*metrics.Histogram
 	gauges   map[string]*metrics.Gauge
 	series   map[string]*metrics.Series
+	// prefix is prepended to every name registered through this view; the
+	// root registry's prefix is empty. See Sub.
+	prefix string
 }
 
 // NewRegistry creates an empty registry.
@@ -33,12 +36,31 @@ func NewRegistry() *Registry {
 	}
 }
 
+// Sub returns a view of the registry that prepends prefix plus "." to
+// every instrument name: "engine.commits" registered through Sub("shard.0")
+// lands as "shard.0.engine.commits". Views share the underlying instrument
+// tables — a snapshot of the root sees every shard's instruments — and a
+// nil registry stays nil (unregistered instruments keep working).
+func (r *Registry) Sub(prefix string) *Registry {
+	if r == nil {
+		return nil
+	}
+	return &Registry{
+		counters: r.counters,
+		hists:    r.hists,
+		gauges:   r.gauges,
+		series:   r.series,
+		prefix:   r.prefix + prefix + ".",
+	}
+}
+
 // Counter returns the registered counter with the given name, creating it
 // if needed.
 func (r *Registry) Counter(name string) *metrics.Counter {
 	if r == nil {
 		return metrics.NewCounter(name)
 	}
+	name = r.prefix + name
 	if c, ok := r.counters[name]; ok {
 		return c
 	}
@@ -53,6 +75,7 @@ func (r *Registry) Histogram(name string) *metrics.Histogram {
 	if r == nil {
 		return metrics.NewHistogram(name)
 	}
+	name = r.prefix + name
 	if h, ok := r.hists[name]; ok {
 		return h
 	}
@@ -67,6 +90,7 @@ func (r *Registry) Gauge(name string) *metrics.Gauge {
 	if r == nil {
 		return metrics.NewGauge(name)
 	}
+	name = r.prefix + name
 	if g, ok := r.gauges[name]; ok {
 		return g
 	}
@@ -81,6 +105,7 @@ func (r *Registry) Series(name string) *metrics.Series {
 	if r == nil {
 		return metrics.NewSeries(name)
 	}
+	name = r.prefix + name
 	if s, ok := r.series[name]; ok {
 		return s
 	}

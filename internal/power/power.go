@@ -137,7 +137,14 @@ func (m *Machine) ACFailed() bool { return m.acFail }
 // Failures returns the number of completed power-loss events.
 func (m *Machine) Failures() int { return m.failures }
 
-// Holdups returns the hold-up durations sampled so far.
+// holdupsRetained bounds the hold-up sample history. Long campaigns cut
+// power thousands of times on one machine; retaining every sample grows
+// without limit for data nothing reads in aggregate. Failures() keeps the
+// exact event count; Holdups() keeps the most recent window.
+const holdupsRetained = 64
+
+// Holdups returns the most recent hold-up durations sampled, oldest first
+// (at most holdupsRetained; Failures counts every event).
 func (m *Machine) Holdups() []time.Duration { return m.holdups }
 
 // NewDomain creates a software crash domain that dies when machine power
@@ -187,6 +194,10 @@ func (m *Machine) CutPower() time.Duration {
 	holdup := m.psu.HoldupMin
 	if span > 0 {
 		holdup += time.Duration(m.s.Rand().Int63n(int64(span) + 1))
+	}
+	if len(m.holdups) == holdupsRetained {
+		copy(m.holdups, m.holdups[1:])
+		m.holdups = m.holdups[:holdupsRetained-1]
 	}
 	m.holdups = append(m.holdups, holdup)
 	m.s.Tracef("%s: AC lost; hold-up window %v", m.name, holdup)

@@ -230,6 +230,43 @@ func TestSetHandlerReplacesAll(t *testing.T) {
 	}
 }
 
+// TestHoldupHistoryBounded: a long campaign cutting power thousands of
+// times must not accumulate every sampled hold-up forever. The history is
+// a sliding window of the most recent samples; Failures() still counts
+// every event. Before the bound, len(Holdups()) here equalled the cycle
+// count.
+func TestHoldupHistoryBounded(t *testing.T) {
+	s, m, _ := testMachine(10, PSUTypical)
+	const cycles = 5 * holdupsRetained
+	var last time.Duration
+	s.Spawn(nil, "op", func(p *sim.Proc) {
+		for i := 0; i < cycles; i++ {
+			last = m.CutPower()
+			p.Sleep(PSUTypical.HoldupMax + time.Millisecond)
+			m.RestorePower()
+		}
+	})
+	if err := s.RunFor(cycles * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if m.Failures() != cycles {
+		t.Fatalf("failures = %d, want %d", m.Failures(), cycles)
+	}
+	h := m.Holdups()
+	if len(h) != holdupsRetained {
+		t.Fatalf("holdup history holds %d samples after %d cycles, want %d retained",
+			len(h), cycles, holdupsRetained)
+	}
+	if h[len(h)-1] != last {
+		t.Fatalf("newest retained sample %v, want the last cycle's %v", h[len(h)-1], last)
+	}
+	for i, v := range h {
+		if v < PSUTypical.HoldupMin || v > PSUTypical.HoldupMax {
+			t.Fatalf("retained sample %d = %v outside PSU range", i, v)
+		}
+	}
+}
+
 func TestRestoreClearsStaleHandlers(t *testing.T) {
 	s, m, _ := testMachine(9, PSUTypical)
 	var fires int

@@ -272,6 +272,7 @@ type Shipper struct {
 	base     uint64 // seq of retained[0]
 	retained []shipRec
 	reps     []*repState
+	allLost  bool // every replica lost for the epoch: retention is pointless
 
 	pending      []Record // shipped records awaiting the next frame flush
 	pendingBytes int
@@ -453,6 +454,14 @@ func (sh *Shipper) Ship(lba int64, data []byte) uint64 {
 	}
 	sh.updateLag()
 	sh.workSig.Broadcast()
+	// With every replica lost for the epoch, no retransmission can ever
+	// target this record and the probe that would otherwise trim is parked
+	// (anyBehind ignores lost replicas) — drop the retention immediately or
+	// it grows with every Ship until the next epoch. The pending queue's
+	// own buffer reference keeps the frame path safe (see above).
+	if sh.allLost {
+		sh.truncate()
+	}
 	return seq
 }
 
@@ -584,13 +593,65 @@ func (sh *Shipper) updateLag() {
 
 // retainMin is the truncation frontier: the slowest cumulative ack among
 // replicas still participating. Dead replicas are excluded — that is the
-// whole point of eviction — so trimming can pass them.
+// whole point of eviction — so trimming can pass them. When every replica
+// is dead there is no participant left to hold the frontier back, and
+// next-1 would drop the entire retained stream — permanently: revival
+// requires the stream to still reach a standby's first missing record, so
+// a full trim turns a transient all-standbys-stalled episode into
+// lost-for-epoch even for a standby that acks moments later. The frontier
+// instead falls back to a grace floor that trims only what RetainLimit
+// forces, keeping the newest retained suffix revivable.
 func (sh *Shipper) retainMin() uint64 {
 	m := sh.next - 1
+	alive := false
 	for _, r := range sh.reps {
-		if !r.dead && r.ack < m {
+		if r.dead {
+			continue
+		}
+		alive = true
+		if r.ack < m {
 			m = r.ack
 		}
+	}
+	if !alive && len(sh.reps) > 0 {
+		if sh.allLost {
+			return sh.next - 1 // no replica can ever be repaired this epoch
+		}
+		return sh.graceFloor()
+	}
+	return m
+}
+
+// graceRetainFactor scales RetainLimit into the hard retention cap that
+// applies while every replica is dead. Below the cap the stream holds at
+// the slowest replica's ack, so the probe can still repair any standby
+// that comes back; above it memory wins, the oldest records go, and the
+// replicas that needed them turn lost for the epoch.
+const graceRetainFactor = 4
+
+// graceFloor is the all-replicas-dead truncation frontier: the slowest
+// replica's cumulative ack (trimming past any replica's ack makes it
+// unrevivable), overridden by a byte floor once the retained suffix would
+// exceed graceRetainFactor × RetainLimit.
+func (sh *Shipper) graceFloor() uint64 {
+	m := sh.next - 1
+	for _, r := range sh.reps {
+		if r.ack < m {
+			m = r.ack
+		}
+	}
+	hard := graceRetainFactor * sh.cfg.RetainLimit
+	var kept int64
+	byteFloor := sh.base - 1
+	for i := len(sh.retained) - 1; i >= 0; i-- {
+		kept += int64(len(sh.retained[i].rec.Data))
+		if kept > hard {
+			byteFloor = sh.base + uint64(i)
+			break
+		}
+	}
+	if byteFloor > m {
+		return byteFloor
 	}
 	return m
 }
@@ -623,12 +684,18 @@ func (sh *Shipper) truncate() {
 	sh.retained = sh.retained[:m]
 	sh.base += uint64(n)
 	sh.retainedB.Add(-freed)
+	all := len(sh.reps) > 0
 	for _, r := range sh.reps {
 		if !r.lost && r.ack+1 < sh.base {
 			r.lost = true
 			sh.s.Tracef("repl: %s lost for epoch %d (ack %d, stream trimmed to %d)", r.name, sh.epoch, r.ack, sh.base)
 		}
+		all = all && r.lost
 	}
+	// Lost is terminal within an epoch (a lost replica's gap starts below
+	// base, and base never moves back), so all-lost latches until the next
+	// epoch's shipper.
+	sh.allLost = all
 }
 
 // reapStalled enforces RetainLimit: while retained bytes exceed the bound,
@@ -641,8 +708,10 @@ func (sh *Shipper) reapStalled(now sim.Time) {
 		return
 	}
 	evicted := false
+	allDead := len(sh.reps) > 0
 	for _, r := range sh.reps {
 		if r.dead || r.ack >= sh.next-1 {
+			allDead = allDead && r.dead
 			continue
 		}
 		if now.Sub(r.progressAt) >= sh.cfg.DeadAfter {
@@ -652,9 +721,15 @@ func (sh *Shipper) reapStalled(now sim.Time) {
 			sh.tr.Emit(now.Duration(), obs.EvEvict, 0, 0, r.labelID, sh.retainedB.Value())
 			sh.s.Tracef("repl: evicting %s (ack %d stalled %v, %d bytes retained)",
 				r.name, r.ack, now.Sub(r.progressAt), sh.retainedB.Value())
+		} else {
+			allDead = false
 		}
 	}
-	if evicted {
+	// With every replica dead no ack round will trim again, so keep calling
+	// truncate from here: the grace floor holds the stream at the slowest
+	// ack while it fits the hard cap and slides once it does not, keeping
+	// retention bounded while the primary keeps shipping.
+	if evicted || allDead {
 		sh.truncate()
 	}
 }

@@ -409,6 +409,110 @@ func TestStalledReplicaEvictionBoundsRetention(t *testing.T) {
 	checkPrefix(t, h.sts[1], 2, 5)
 }
 
+// TestAllReplicasDeadStreamStaysRevivable: when retention pressure evicts
+// every standby at once (a fleet-wide stall — one switch, one rack), the
+// trim frontier used to fall back to next-1 and drop the entire retained
+// stream, turning a transient outage into lost-for-epoch for every standby
+// even though the probe explicitly supports reviving dead replicas. The
+// fixed frontier holds at the slowest ack (within a hard cap), so healed
+// standbys are repaired and revived by the normal probe machinery.
+func TestAllReplicasDeadStreamStaysRevivable(t *testing.T) {
+	cfg := Config{RetainLimit: 64 << 10, DeadAfter: 20 * time.Millisecond}
+	h := newHarness(t, 22, 2, netsim.LinkConfig{}, cfg)
+	h.s.Spawn(nil, "writer", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ { // a healthy, fully acked prefix
+			h.sh.Ship(int64(i*8), payload(i, 512))
+			p.Sleep(100 * time.Microsecond)
+		}
+		p.Sleep(20 * time.Millisecond) // acks settle; retained drains
+		h.fab.Isolate("standby0", "standby1") // the whole fleet goes dark
+		for i := 50; i < 350; i++ { // 150 KB unacked: well past RetainLimit
+			h.sh.Ship(int64(i*8), payload(i, 512))
+			p.Sleep(100 * time.Microsecond)
+		}
+	})
+	if err := h.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if h.sh.evictions.Value() != 2 {
+		t.Fatalf("evictions = %d, want the whole fleet evicted", h.sh.evictions.Value())
+	}
+	for _, name := range []string{"standby0", "standby1"} {
+		r := h.sh.rep(name)
+		if !r.dead {
+			t.Fatalf("%s not dead after the fleet-wide stall", name)
+		}
+		if r.lost {
+			t.Fatalf("%s lost for the epoch: the all-dead trim dropped records it still needs", name)
+		}
+	}
+	if len(h.sh.retained) == 0 {
+		t.Fatal("retained stream empty after all-dead eviction; revival is impossible")
+	}
+	if h.sh.base != 51 {
+		t.Fatalf("stream base %d, want held at 51 (slowest ack + 1)", h.sh.base)
+	}
+	// The fleet comes back: the probe must repair both standbys from the
+	// held stream and their late acks must revive them.
+	h.fab.Heal()
+	if err := h.s.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range h.sts {
+		checkPrefix(t, st, 1, 350)
+	}
+	for _, name := range []string{"standby0", "standby1"} {
+		if r := h.sh.rep(name); r.dead || r.lost {
+			t.Fatalf("%s dead=%v lost=%v after heal and full repair", name, r.dead, r.lost)
+		}
+	}
+	if got := h.sh.retainedB.Value(); got != 0 {
+		t.Fatalf("retained %d bytes after both standbys acked everything", got)
+	}
+}
+
+// TestAllDeadRetentionHardCap: grace is not a blank cheque — with every
+// standby dead and the primary still writing, the retained stream slides
+// once it passes graceRetainFactor × RetainLimit, and replicas the slide
+// passed become lost for the epoch. (Before the fix this scenario was
+// unbounded the other way: after the all-dead wipe no ack round ever
+// called truncate again, so retention regrew with every Ship.)
+func TestAllDeadRetentionHardCap(t *testing.T) {
+	cfg := Config{RetainLimit: 16 << 10, DeadAfter: 10 * time.Millisecond}
+	h := newHarness(t, 23, 2, netsim.LinkConfig{}, cfg)
+	hard := int64(graceRetainFactor) * cfg.RetainLimit
+	var maxRetained int64
+	h.s.Spawn(nil, "writer", func(p *sim.Proc) {
+		h.fab.Isolate("standby0", "standby1")
+		for i := 0; i < 400; i++ { // 200 KB: past the 64 KB hard cap
+			h.sh.Ship(int64(i*8), payload(i, 512))
+			if got := h.sh.retainedB.Value(); got > maxRetained {
+				maxRetained = got
+			}
+			p.Sleep(100 * time.Microsecond)
+		}
+	})
+	if err := h.s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// One probe interval of writes can land between trims, so the bound is
+	// the hard cap plus that accumulation — far below the 200 KB shipped.
+	if maxRetained > 2*hard {
+		t.Fatalf("retention peaked at %d bytes with every replica dead, want ≤ ~%d (hard cap %d)",
+			maxRetained, 2*hard, hard)
+	}
+	for _, name := range []string{"standby0", "standby1"} {
+		if r := h.sh.rep(name); !r.lost {
+			t.Fatalf("%s still marked revivable though the hard cap trimmed past its ack", name)
+		}
+	}
+	// All-lost is terminal for the epoch: retention drains entirely rather
+	// than holding records nobody can ever be sent.
+	if got := h.sh.retainedB.Value(); got != 0 {
+		t.Fatalf("retained %d bytes with every replica lost for the epoch", got)
+	}
+}
+
 // TestShipRejectsUnalignedPayload: shipped records are sector images —
 // recovery folds them onto sector boundaries — so a payload that is not a
 // whole number of sectors is a caller bug Ship must refuse loudly.

@@ -42,6 +42,11 @@ const (
 	// standby replicas: every buffered write is shipped to the standbys and
 	// the ack policy decides which durability domain gates the commit.
 	RapiLogReplica Mode = "rapilog-replica"
+	// RapiLogSharded partitions commits across several fully independent
+	// RapiLog instances on one machine — per-shard disks, loggers, drain
+	// daemons and dump zones behind a key-hash router. Built with
+	// NewSharded, not New.
+	RapiLogSharded Mode = "rapilog-sharded"
 )
 
 // Modes lists the paper's four evaluation configurations in evaluation
@@ -50,7 +55,9 @@ const (
 var Modes = []Mode{NativeSync, NativeAsync, VirtSync, RapiLog}
 
 // Virtualised reports whether the mode runs under the hypervisor.
-func (m Mode) Virtualised() bool { return m == VirtSync || m == RapiLog || m == RapiLogReplica }
+func (m Mode) Virtualised() bool {
+	return m == VirtSync || m == RapiLog || m == RapiLogReplica || m == RapiLogSharded
+}
 
 // Replicated reports whether the mode ships the log to standby replicas.
 func (m Mode) Replicated() bool { return m == RapiLogReplica }
@@ -136,6 +143,14 @@ type Config struct {
 	// FlightSnapEvery overrides the recorder's metric-snapshot cadence
 	// (default 250ms of virtual time).
 	FlightSnapEvery time.Duration
+
+	// Sharded-deployment plumbing, set only by NewSharded: namePrefix
+	// distinguishes this shard's disks, guests and procs on the shared
+	// machine; sharers is the shard count feeding the N-aware sizing rule;
+	// sharedHV is the one hypervisor every shard's guest runs under.
+	namePrefix string
+	sharers    int
+	sharedHV   *hv.Hypervisor
 }
 
 func (c *Config) applyDefaults() {
@@ -225,7 +240,16 @@ func New(cfg Config) (*Rig, error) {
 	o := obs.New(obs.Config{TraceEnabled: cfg.Trace || cfg.Flight, TraceCapacity: cfg.TraceCapacity})
 	m := power.NewMachine(s, "machine", cfg.Cores, cfg.PSU)
 	m.SetObs(o)
+	return newOnSubstrate(cfg, s, m, o)
+}
 
+// newOnSubstrate builds a deployment's storage and platform stack on an
+// existing simulation/machine/observability substrate. New calls it with a
+// substrate of its own; NewSharded calls it once per shard with the shared
+// machine, a per-shard Obs view (metrics land under "shard.<i>.*"), and a
+// per-shard name prefix so every shard gets its own disks, partitions,
+// dump zone, guest and (in replicated modes) fabric + standby fleet.
+func newOnSubstrate(cfg Config, s *sim.Sim, m *power.Machine, o *obs.Obs) (*Rig, error) {
 	mkDisk := func(name string, kind DiskKind) (disk.Device, error) {
 		switch kind {
 		case DiskHDD:
@@ -317,6 +341,8 @@ func New(cfg Config) (*Rig, error) {
 		rc.SectorSize = r.LogDev.SectorSize()
 		rc.Trace = o.Tracer()
 		for i := 0; i < cfg.Replicas; i++ {
+			// Endpoint names are scoped to this rig's private fabric, so no
+			// prefix is needed for uniqueness — just for trace readability.
 			r.Standbys = append(r.Standbys, replica.NewStandby(s, r.Fabric, fmt.Sprintf("standby%d", i), rc))
 		}
 	}
@@ -334,6 +360,12 @@ func New(cfg Config) (*Rig, error) {
 func (r *Rig) setupVerification() {
 	tr := r.Obs.Tracer()
 	if !tr.Enabled() {
+		return
+	}
+	// Shards share one tracer, whose single observer slot can't feed N
+	// per-shard monitors; sharded deployments check the safety invariant
+	// per shard through SafeBound + dump accounting instead.
+	if r.Cfg.sharers > 1 {
 		return
 	}
 	mc := obs.MonitorConfig{
@@ -417,10 +449,16 @@ func (r *Rig) assemblePlatform() error {
 			r.HV = hv.New(r.Machine, hvCfg)
 		}
 		if r.Plat == nil {
-			r.Plat = r.HV.NewGuest("db", r.LogDev, r.DataPart)
+			r.Plat = r.HV.NewGuest(cfg.namePrefix+"db", r.LogDev, r.DataPart)
 		}
 		return nil
 	case RapiLog, RapiLogReplica:
+		if r.HV == nil {
+			// A sharded deployment runs every shard's guest under the one
+			// hypervisor the machine actually has; standalone rigs build
+			// their own.
+			r.HV = cfg.sharedHV
+		}
 		if r.HV == nil {
 			hvCfg := cfg.HV
 			hvCfg.Obs = r.Obs
@@ -428,6 +466,17 @@ func (r *Rig) assemblePlatform() error {
 		}
 		rlCfg := cfg.RapiLog
 		rlCfg.Obs = r.Obs
+		if cfg.sharers > 1 && rlCfg.MaxBuffer == 0 {
+			// N shards dump concurrently into the same hold-up window: size
+			// each buffer by the shared budget, not the whole one. (Metric
+			// names stay identical across shards — "rapilog.*" under each
+			// shard's Obs view — so fleet roll-ups can match by suffix.)
+			shared := core.SafeBufferSizeShared(r.Machine, r.DumpPart, cfg.sharers)
+			if shared <= 0 {
+				return fmt.Errorf("rig: no safe per-shard buffer for %d sharers on this PSU", cfg.sharers)
+			}
+			rlCfg.MaxBuffer = shared
+		}
 		if cfg.Mode.Replicated() {
 			// A new power epoch gets a new shipper: the stream restarts at
 			// seq 1 under the next epoch number and the standbys keep both
@@ -461,7 +510,7 @@ func (r *Rig) assemblePlatform() error {
 		}
 		r.Logger = logger
 		if r.Plat == nil {
-			r.Plat = r.HV.NewGuest("db", logger, r.DataPart)
+			r.Plat = r.HV.NewGuest(cfg.namePrefix+"db", logger, r.DataPart)
 		} else if g, ok := r.Plat.(*hv.Guest); ok {
 			g.SetLogBacking(logger)
 		}
@@ -484,14 +533,20 @@ func (r *Rig) EngineConfig() engine.Config {
 }
 
 // SafeBound returns the provable exposure limit for this deployment: the
-// lesser of the configured buffer bound and SafeBufferSize. Zero outside
-// RapiLog mode (nothing is ever exposed).
+// lesser of the configured buffer bound and SafeBufferSize — the N-sharer
+// variant when this rig is one shard of a sharded deployment, since all N
+// dumps share the hold-up window. Zero outside RapiLog mode (nothing is
+// ever exposed).
 func (r *Rig) SafeBound() int64 {
 	if r.Logger == nil {
 		return 0
 	}
+	sharers := r.Cfg.sharers
+	if sharers < 1 {
+		sharers = 1
+	}
 	bound := r.Logger.MaxBuffer()
-	if safe := core.SafeBufferSize(r.Machine, r.DumpPart); safe < bound {
+	if safe := core.SafeBufferSizeShared(r.Machine, r.DumpPart, sharers); safe < bound {
 		bound = safe
 	}
 	return bound
@@ -533,11 +588,20 @@ func (r *Rig) CutPower() time.Duration { return r.Machine.CutPower() }
 // replaying the RapiLog dump zone into the log partition before the guest
 // boots — exactly the order the real system recovers in. Call Boot next.
 func (r *Rig) RecoverAfterPower(p *sim.Proc) (core.RecoveryReport, error) {
-	var rep core.RecoveryReport
 	r.Machine.RestorePower()
 	if r.HV != nil {
 		r.HV.Reboot()
 	}
+	return r.recoverLogDomain(p)
+}
+
+// recoverLogDomain is the per-log-domain half of RecoverAfterPower: with
+// power already restored and the hypervisor rebooted, it replays this rig's
+// dump zone (and replica stream, when the policy calls for it) and rebuilds
+// its platform. A sharded deployment runs it once per shard, in parallel —
+// each shard's replay touches only that shard's spindle.
+func (r *Rig) recoverLogDomain(p *sim.Proc) (core.RecoveryReport, error) {
+	var rep core.RecoveryReport
 	r.Plat.Reboot()
 	if r.Cfg.Mode == RapiLog || r.Cfg.Mode.Replicated() {
 		var err error

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+	"repro/internal/sim"
+)
+
+// PartitionTPCC splits one TPC-C configuration into per-shard drivers:
+// shard i's clone owns exactly the warehouses the router hashes to i, so
+// Load populates disjoint row sets and Do never crosses a shard boundary.
+// Hash ownership can leave a shard empty when warehouses are few, which
+// would silently make that clone drive everything — so empty shards are
+// topped up by moving a warehouse from the fullest shard (deterministic,
+// still disjoint). Needs at least one warehouse per shard.
+func PartitionTPCC(base TPCC, router *shard.Router) ([]*TPCC, error) {
+	base.applyDefaults()
+	owned, err := partitionIDs(base.Warehouses, router, kWarehouse)
+	if err != nil {
+		return nil, fmt.Errorf("tpcc: %w", err)
+	}
+	out := make([]*TPCC, router.Shards())
+	for i := range out {
+		c := base
+		c.Owned = owned[i]
+		out[i] = &c
+	}
+	return out, nil
+}
+
+// PartitionTPCB splits one TPC-B configuration into per-shard drivers the
+// same way, partitioning by branch key.
+func PartitionTPCB(base TPCB, router *shard.Router) ([]*TPCB, error) {
+	base.applyDefaults()
+	owned, err := partitionIDs(base.Branches, router, kBranch)
+	if err != nil {
+		return nil, fmt.Errorf("tpcb: %w", err)
+	}
+	out := make([]*TPCB, router.Shards())
+	for i := range out {
+		c := base
+		c.Owned = owned[i]
+		out[i] = &c
+	}
+	return out, nil
+}
+
+// partitionIDs assigns entity ids 1..n to shards by key hash, then
+// rebalances so no shard is left empty.
+func partitionIDs(n int, router *shard.Router, key func(int) string) ([][]int, error) {
+	shards := router.Shards()
+	if n < shards {
+		return nil, fmt.Errorf("%d entities cannot cover %d shards", n, shards)
+	}
+	owned := make([][]int, shards)
+	for id := 1; id <= n; id++ {
+		i := router.ShardFor(key(id))
+		owned[i] = append(owned[i], id)
+	}
+	for i := range owned {
+		for len(owned[i]) == 0 {
+			donor, most := -1, 1
+			for j := range owned {
+				if len(owned[j]) > most {
+					donor, most = j, len(owned[j])
+				}
+			}
+			// n >= shards guarantees a donor with at least two entities.
+			last := len(owned[donor]) - 1
+			owned[i] = append(owned[i], owned[donor][last])
+			owned[donor] = owned[donor][:last]
+		}
+	}
+	return owned, nil
+}
+
+// ShardedResult is the outcome of a sharded client-pool run: one RunResult
+// per shard plus the fleet-wide merge.
+type ShardedResult struct {
+	Shards []RunResult
+	Total  RunResult
+}
+
+// MergeRunResults folds per-shard results into a fleet view: throughput
+// counts sum, the latency distributions merge exactly (shared bucket
+// layout), and the duration is the longest shard's measurement interval —
+// shards ran concurrently, so intervals overlap rather than add.
+func MergeRunResults(rs []RunResult) RunResult {
+	out := RunResult{TxnLatency: metrics.NewHistogram("sharded.txn")}
+	for _, r := range rs {
+		out.Committed += r.Committed
+		out.Aborted += r.Aborted
+		if r.Duration > out.Duration {
+			out.Duration = r.Duration
+		}
+		out.TxnLatency.Merge(r.TxnLatency)
+	}
+	return out
+}
+
+// RunShardedClients drives each shard's workload against its engine with an
+// independent closed-loop client pool, all shards in parallel, and blocks
+// until every pool's measurement interval ends. cfg.Clients is the pool
+// size per shard; cfg.Journal is ignored — pass journals (nil, or one per
+// shard) instead, since acked obligations must be verified against the
+// shard that acked them. doms holds each shard's platform domain: a shard's
+// clients die with that shard's guest, exactly like the single-rig runner.
+func RunShardedClients(p *sim.Proc, doms []*sim.Domain, engines []*engine.Engine, ws []Workload, journals []*Journal, cfg RunnerConfig) (ShardedResult, error) {
+	n := len(engines)
+	if len(ws) != n || len(doms) != n || (journals != nil && len(journals) != n) {
+		return ShardedResult{}, fmt.Errorf("workload: sharded run over %d engines got %d workloads, %d domains, %d journals",
+			n, len(ws), len(doms), len(journals))
+	}
+	cfg.applyDefaults()
+	res := ShardedResult{Shards: make([]RunResult, n)}
+	s := p.Sim()
+	done := s.NewEvent("sharded.run.done")
+	running := n
+	for i := 0; i < n; i++ {
+		i := i
+		scfg := cfg
+		scfg.Journal = nil
+		if journals != nil {
+			scfg.Journal = journals[i]
+		}
+		// The per-shard runner lives in the root domain so a guest crash
+		// kills only that shard's clients; RunClients already tolerates a
+		// dead client domain via its deadline.
+		s.Spawn(nil, fmt.Sprintf("shard%d.runner", i), func(rp *sim.Proc) {
+			res.Shards[i] = RunClients(rp, doms[i], engines[i], ws[i], scfg)
+			running--
+			if running == 0 {
+				done.Fire()
+			}
+		})
+	}
+	if !done.Fired() {
+		done.WaitTimeout(p, cfg.Warmup+cfg.Duration+2*time.Second)
+	}
+	res.Total = MergeRunResults(res.Shards)
+	return res, nil
+}

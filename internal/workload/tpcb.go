@@ -17,8 +17,23 @@ type TPCB struct {
 	Tellers   int // per branch; default 10
 	Accounts  int // per branch; default 1000
 	RowFiller int // default 60
+	// Owned, when set, restricts this instance to exactly these branch ids
+	// (see TPCC.Owned — the same sharded-deployment partitioning).
+	Owned []int
 
 	hist uint64
+}
+
+// ownedBranches returns the branch ids this instance drives.
+func (w *TPCB) ownedBranches() []int {
+	if len(w.Owned) > 0 {
+		return w.Owned
+	}
+	ids := make([]int, w.Branches)
+	for i := range ids {
+		ids[i] = i + 1
+	}
+	return ids
 }
 
 func (w *TPCB) applyDefaults() {
@@ -47,7 +62,7 @@ func kBHistory(id uint64) string { return fmt.Sprintf("bh:%d", id) }
 // Load populates branches, tellers and accounts.
 func (w *TPCB) Load(p *sim.Proc, e *engine.Engine) error {
 	w.applyDefaults()
-	for b := 1; b <= w.Branches; b++ {
+	for _, b := range w.ownedBranches() {
 		tx := e.Begin(p)
 		if err := tx.Put(kBranch(b), []byte(fmt.Sprintf("0|%s", filler(w.RowFiller)))); err != nil {
 			return err
@@ -84,6 +99,9 @@ func (w *TPCB) Do(p *sim.Proc, e *engine.Engine, j *Journal) error {
 	w.applyDefaults()
 	r := p.Sim().Rand()
 	b := 1 + r.Intn(w.Branches)
+	if len(w.Owned) > 0 {
+		b = w.Owned[r.Intn(len(w.Owned))]
+	}
 	t := 1 + r.Intn(w.Tellers)
 	a := 1 + r.Intn(w.Accounts)
 	delta := r.Intn(2000) - 1000

@@ -21,8 +21,25 @@ type TPCC struct {
 	Customers  int // per district; default 30
 	Items      int // global; default 1000
 	RowFiller  int // padding bytes per row to mimic real row widths; default 60
+	// Owned, when set, restricts this instance to exactly these warehouse
+	// ids: Load populates only them and Do only drives them. A sharded
+	// deployment gives each shard a clone owning a disjoint subset (see
+	// PartitionTPCC), so shards never touch each other's rows.
+	Owned []int
 
 	hist uint64 // history row id source (harness-side uniqueness)
+}
+
+// ownedWarehouses returns the warehouse ids this instance drives.
+func (w *TPCC) ownedWarehouses() []int {
+	if len(w.Owned) > 0 {
+		return w.Owned
+	}
+	ids := make([]int, w.Warehouses)
+	for i := range ids {
+		ids[i] = i + 1
+	}
+	return ids
 }
 
 func (w *TPCC) applyDefaults() {
@@ -91,7 +108,7 @@ func (w *TPCC) Load(p *sim.Proc, e *engine.Engine) error {
 		return err
 	}
 
-	for wid := 1; wid <= w.Warehouses; wid++ {
+	for _, wid := range w.ownedWarehouses() {
 		tx := e.Begin(p)
 		if err := put(tx, kWarehouse(wid), []byte(fmt.Sprintf("0|%s", filler(w.RowFiller)))); err != nil {
 			return err
@@ -158,6 +175,9 @@ func (w *TPCC) Do(p *sim.Proc, e *engine.Engine, j *Journal) error {
 
 func (w *TPCC) pick(p *sim.Proc) (wid, did int) {
 	r := p.Sim().Rand()
+	if len(w.Owned) > 0 {
+		return w.Owned[r.Intn(len(w.Owned))], 1 + r.Intn(w.Districts)
+	}
 	return 1 + r.Intn(w.Warehouses), 1 + r.Intn(w.Districts)
 }
 

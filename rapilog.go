@@ -35,11 +35,13 @@ import (
 	"repro/internal/disk"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/power"
 	"repro/internal/rig"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -61,13 +63,15 @@ type (
 // New assembles a deployment.
 func New(cfg Config) (*Deployment, error) { return rig.New(cfg) }
 
-// The four evaluation configurations, plus the replicated extension.
+// The four evaluation configurations, plus the replicated and sharded
+// extensions.
 const (
 	ModeNativeSync     = rig.NativeSync
 	ModeNativeAsync    = rig.NativeAsync
 	ModeVirtSync       = rig.VirtSync
 	ModeRapiLog        = rig.RapiLog
 	ModeRapiLogReplica = rig.RapiLogReplica
+	ModeRapiLogSharded = rig.RapiLogSharded
 )
 
 // Modes lists the paper's four evaluation configurations in evaluation
@@ -217,6 +221,59 @@ func RunClients(p *Proc, dom *Domain, e *Engine, w Workload, cfg RunnerConfig) R
 	return workload.RunClients(p, dom, e, w, cfg)
 }
 
+// Sharded scale-out: N fully independent log domains on one machine behind
+// a hash router, with per-shard emergency dumps sized against the shared
+// PSU hold-up budget and parallel per-shard recovery.
+type (
+	// ShardedDeployment is a fleet of independent RapiLog shards sharing
+	// one machine, PSU and hypervisor.
+	ShardedDeployment = rig.Sharded
+	// ShardRouter hash-partitions transaction keys across shards.
+	ShardRouter = shard.Router
+	// ShardedRecovery is a fleet recovery report with per-shard sections.
+	ShardedRecovery = shard.Recovery
+	// ShardedResult aggregates per-shard client-pool runs.
+	ShardedResult = workload.ShardedResult
+)
+
+// NewSharded assembles an n-shard fleet from a base configuration.
+func NewSharded(cfg Config, n int) (*ShardedDeployment, error) { return rig.NewSharded(cfg, n) }
+
+// NewShardRouter creates a hash router over n shards.
+func NewShardRouter(n int) *ShardRouter { return shard.NewRouter(n) }
+
+// ShardPrefix is the metrics-registry prefix for shard i ("shard.<i>");
+// every shard-local instrument lands under it with an identical suffix.
+func ShardPrefix(i int) string { return shard.Prefix(i) }
+
+// RollupCounter sums a counter ("rapilog.writes", say) across all n shards.
+func RollupCounter(reg *MetricsRegistry, n int, name string) int64 {
+	return shard.RollupCounter(reg, n, name)
+}
+
+// RollupHistogram merges a histogram across all n shards into a fleet view.
+func RollupHistogram(reg *MetricsRegistry, n int, name string) *Histogram {
+	return shard.RollupHistogram(reg, n, name)
+}
+
+// PartitionTPCC splits a TPC-C workload into per-shard clones owning
+// disjoint warehouse subsets, assigned by the router.
+func PartitionTPCC(base TPCC, r *ShardRouter) ([]*TPCC, error) {
+	return workload.PartitionTPCC(base, r)
+}
+
+// PartitionTPCB splits a TPC-B workload into per-shard clones owning
+// disjoint branch subsets, assigned by the router.
+func PartitionTPCB(base TPCB, r *ShardRouter) ([]*TPCB, error) {
+	return workload.PartitionTPCB(base, r)
+}
+
+// RunShardedClients drives one client pool per shard concurrently and
+// merges the results.
+func RunShardedClients(p *Proc, doms []*Domain, engines []*Engine, ws []Workload, journals []*Journal, cfg RunnerConfig) (ShardedResult, error) {
+	return workload.RunShardedClients(p, doms, engines, ws, journals, cfg)
+}
+
 // Observability: commit-lifecycle tracing, the unified metrics registry,
 // and the durability-exposure audit. Enable tracing with Config.Trace; a
 // deployment's bundle is at Deployment.Obs.
@@ -229,6 +286,9 @@ type (
 	TraceEvent = obs.Event
 	// MetricsRegistry owns every instrument in a deployment by name.
 	MetricsRegistry = obs.Registry
+	// Histogram is the fixed-bucket latency/size distribution every
+	// instrumented stage records into.
+	Histogram = metrics.Histogram
 	// MetricsSnapshot is a JSON-serialisable copy of every instrument.
 	MetricsSnapshot = obs.Snapshot
 	// ExposureReport is the durability-exposure audit's result.
