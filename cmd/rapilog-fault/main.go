@@ -15,12 +15,14 @@
 //	rapilog-fault -mode rapilog-replica -fault partition -then power-cut \
 //	    -break-dump -ack-policy quorum -quorum 1 -replicas 2 -trials 10
 //	rapilog-fault -shards 4 -fault power-cut -trials 50
+//	rapilog-fault -exp a11 -trials 5 -parallel 3 -trace-out trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro"
 )
@@ -53,6 +55,8 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the retained trial's causal trace dump (JSON) to this file")
 		metricsOut = flag.String("metrics-out", "", "write the retained trial's metrics snapshot (JSON) to this file")
 		flightOut  = flag.String("flight-out", "", "arm the flight recorder and write the retained trial's frozen record (JSON) to this file")
+		// High-availability campaigns (3-node epoch-fenced cluster).
+		exp = flag.String("exp", "", "run a canned HA experiment instead of a single-rig campaign: a11 (leader-loss failover; honours -trials, -clients, -parallel, -seed, -quorum and the artifact flags)")
 	)
 	flag.Parse()
 
@@ -60,6 +64,19 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "rapilog-fault: unknown engine %q\n", *engine)
 		os.Exit(2)
+	}
+	if err := rapilog.ValidateQuorumFlags(*quorum, *replicas); err != nil {
+		fmt.Fprintf(os.Stderr, "rapilog-fault: %v\n", err)
+		os.Exit(2)
+	}
+	if *exp != "" {
+		if *exp != "a11" {
+			fmt.Fprintf(os.Stderr, "rapilog-fault: unknown experiment %q for -exp (supported: a11)\n", *exp)
+			os.Exit(2)
+		}
+		runFailoverExp(*trials, *clients, *parallel, *seed, *quorum, *perTrial,
+			*traceOut, *metricsOut, *flightOut)
+		return
 	}
 	policy, err := rapilog.ParseAckPolicy(*ackPolicy, *quorum)
 	if err != nil {
@@ -133,6 +150,78 @@ func main() {
 	if sum.Violations > 0 || sum.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// runFailoverExp drives the A11 leader-loss campaigns: plug-pull, isolation
+// and a composed coordinator-crash+plug-pull against a fresh 3-node
+// epoch-fenced cluster per trial, auditing zero acked-quorum loss and zero
+// split-brain. Forensic artifacts retain the first bad trial across all
+// three campaigns (else the last clean one).
+func runFailoverExp(trials, clients, parallel int, seed int64, quorum int, perTrial bool,
+	traceOut, metricsOut, flightOut string) {
+	k := quorum
+	if k == 0 {
+		k = 1
+	}
+	campaigns := []struct {
+		label string
+		fault rapilog.FailoverFault
+	}{
+		{"power-cut", rapilog.FaultLeaderPowerCut},
+		{"isolation", rapilog.FaultLeaderIsolation},
+		{"coordinator+power-cut", rapilog.FaultCoordAndLeader},
+	}
+	fmt.Printf("ha: 3-node cluster, ack policy quorum(%d), %d trials per campaign\n", k, trials)
+
+	exit := 0
+	var retained *rapilog.CampaignArtifacts
+	retainedBad := false
+	for _, c := range campaigns {
+		sum := rapilog.RunFailoverCampaign(rapilog.FailoverConfig{
+			Cluster: rapilog.ClusterConfig{
+				Nodes: 3,
+				Rig:   rapilog.Config{Seed: seed, AckPolicy: rapilog.AckQuorum(k)},
+			},
+			Fault:      c.fault,
+			Trials:     trials,
+			Clients:    clients,
+			Parallel:   parallel,
+			SessionFor: 20 * time.Second,
+		})
+		if perTrial {
+			fmt.Printf("%-6s %-12s %-8s %-6s %-10s %-12s %-12s %-8s\n",
+				"trial", "seed", "acked", "lost", "failovers", "split-brain", "unavail", "err")
+			for i, tr := range sum.Trials {
+				errStr := "-"
+				if tr.Err != nil {
+					errStr = tr.Err.Error()
+				}
+				fmt.Printf("%-6d %-12d %-8d %-6d %-10d %-12d %-12v %-8s\n",
+					i, tr.Seed, tr.Acked, tr.Missing, tr.Failovers, tr.SplitBrain,
+					tr.Unavailable.Round(time.Millisecond), errStr)
+			}
+		}
+		fmt.Println(sum)
+		bad := sum.Violations > 0 || sum.SplitBrains > 0 || sum.Incomplete > 0 || sum.Errors > 0
+		if bad {
+			exit = 1
+		}
+		if sum.Artifacts != nil && !retainedBad {
+			retained = sum.Artifacts
+			retainedBad = bad
+		}
+	}
+	if retained != nil {
+		fmt.Printf("artifacts: trial %d (seed %d)\n", retained.Trial, retained.Seed)
+		writeArtifact(traceOut, "trace", func(f *os.File) error { return retained.Trace.WriteJSON(f) })
+		if retained.Metrics != nil {
+			writeArtifact(metricsOut, "metrics", func(f *os.File) error { return retained.Metrics.WriteJSON(f) })
+		}
+		if retained.Flight != nil {
+			writeArtifact(flightOut, "flight record", func(f *os.File) error { return retained.Flight.WriteJSON(f) })
+		}
+	}
+	os.Exit(exit)
 }
 
 // writeArtifact writes one JSON artifact to path (no-op when path is empty).

@@ -69,6 +69,9 @@ func main() {
 		fatalf("unknown psu %q", *psu)
 	}
 
+	if err := rapilog.ValidateQuorumFlags(*quorum, *replicas); err != nil {
+		fatalf("%v", err)
+	}
 	policy, err := rapilog.ParseAckPolicy(*ackPolicy, *quorum)
 	if err != nil {
 		fatalf("%v", err)

@@ -96,6 +96,7 @@ var All = []Experiment{
 	{"a7", "recovery time vs checkpoint age", runA7},
 	{"a8", "media faults under load: retry, degrade, lose nothing", runA8},
 	{"a9", "replicated durability: quorum acks under partition + power-fail", runA9},
+	{"a11", "high availability: epoch-fenced standby promotion", runA11},
 }
 
 // ByID returns the experiment with the given id, or nil.

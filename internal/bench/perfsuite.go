@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/replica"
@@ -40,12 +41,16 @@ type PerfCase struct {
 	Committed   int64   `json:"committed,omitempty"`
 	AllocsPerTx float64 `json:"allocs_per_tx,omitempty"`
 	// Replicated-path figures (commit_quorum1, ship_throughput).
-	QuorumP50Ns      float64 `json:"quorum_p50_ns,omitempty"`      // quorum-wait barrier p50
+	QuorumP50Ns      float64 `json:"quorum_p50_ns,omitempty"`       // quorum-wait barrier p50
 	NetMsgsPerRecord float64 `json:"net_msgs_per_record,omitempty"` // fabric messages per shipped record
 	// Sharded-scaling figures (shard_scaling_N): the shard count and the
 	// fleet-wide commit-ack p50 (per-shard histograms merged).
 	Shards      int     `json:"shards,omitempty"`
 	CommitP50Ns float64 `json:"commit_p50_ns,omitempty"`
+	// Failover figure (failover_takeover): the client-visible takeover
+	// window in virtual time (leader loss → first commit on the promoted
+	// leader).
+	TakeoverNs float64 `json:"takeover_ns,omitempty"`
 }
 
 // PerfSuite is the serialised result of one suite run.
@@ -107,6 +112,9 @@ func RunPerfSuite(label string, quick bool, seed int64, progress io.Writer) (*Pe
 			return perfWorkload("tpcc_c8", &workload.TPCC{Warehouses: 1, Customers: 10, Items: 200}, 8, dur, warmup, seed)
 		}},
 	}
+	cases = append(cases, microCase{"failover_takeover", func() (PerfCase, error) {
+		return perfFailoverTakeover(seed, quick)
+	}})
 	// Weak-scaling sweep: per-shard provisioning is constant (4 cores, 4
 	// clients, 4 branches per shard), so ideal scaling is tps ∝ shards with
 	// a flat commit p50.
@@ -521,6 +529,82 @@ func perfWorkload(name string, wl workload.Workload, clients int, dur, warmup ti
 	}
 	if res.Committed > 0 {
 		pc.AllocsPerTx = float64(mallocs) / float64(res.Committed)
+	}
+	return pc, nil
+}
+
+// perfFailoverTakeover measures the HA takeover path end to end: one
+// 3-node cluster under session load, the leader's plug pulled, the
+// coordinator fencing and promoting a standby. Reports the client-visible
+// takeover window (virtual time) and the simulator's event throughput
+// while running the full cluster — the cost of the HA machinery itself.
+func perfFailoverTakeover(seed int64, quick bool) (PerfCase, error) {
+	c, err := rig.NewCluster(rig.ClusterConfig{
+		Nodes: 3,
+		Rig:   rig.Config{Seed: seed, AckPolicy: core.AckQuorum(1)},
+	})
+	if err != nil {
+		return PerfCase{}, err
+	}
+	s := c.S
+	dir := workload.NewDirectory()
+	c.OnPromote = func(gen int, name string, e *engine.Engine, dom *sim.Domain) {
+		dir.Update(gen, name, e, dom)
+	}
+	w := &workload.Stress{ValueSize: 1000}
+	var runErr error
+	var cutAt time.Duration
+	s.Spawn(c.LeaderRig().Plat.Domain(), "db", func(p *sim.Proc) {
+		e, err := c.LeaderRig().Boot(p)
+		if err != nil {
+			runErr = err
+			return
+		}
+		dir.Update(1, c.LeaderName(), e, c.LeaderRig().Plat.Domain())
+	})
+	// Sessions run "forever"; the case ends at the first commit against the
+	// promoted leader (the takeover window is the measurement, and it is
+	// dominated by WAL redo on the promoted node, which scales with the
+	// pre-cut load).
+	s.Spawn(nil, "sessions", func(p *sim.Proc) {
+		workload.RunSessions(p, dir, w, workload.SessionConfig{
+			Clients: 4, Duration: 10 * time.Minute,
+			Reg: c.Obs.Registry(), Trace: c.Obs.Tracer(),
+		})
+	})
+	done := s.NewEvent("perf.failover.done")
+	s.Spawn(nil, "operator", func(p *sim.Proc) {
+		p.Sleep(500 * time.Millisecond)
+		cutAt = p.Now().Duration()
+		c.CutLeaderPower()
+		deadline := p.Now().Add(3 * time.Minute)
+		for p.Now() < deadline {
+			if _, ok := dir.FirstSuccess(2); ok {
+				break
+			}
+			p.Sleep(50 * time.Millisecond)
+		}
+		done.Fire()
+	})
+
+	d0 := s.Dispatched()
+	start := time.Now()
+	if err := s.RunUntilEvent(done); err != nil {
+		return PerfCase{}, err
+	}
+	wall := time.Since(start)
+	events := s.Dispatched() - d0
+	if runErr != nil {
+		return PerfCase{}, runErr
+	}
+	first, ok := dir.FirstSuccess(2)
+	if !ok || first <= cutAt {
+		return PerfCase{}, fmt.Errorf("failover_takeover: no commit on the promoted leader (failovers %d, err %v)",
+			c.Coord.Failovers(), c.Coord.LastErr())
+	}
+	pc := PerfCase{TakeoverNs: float64((first - cutAt).Nanoseconds())}
+	if wall > 0 {
+		pc.EventsPerSec = float64(events) / wall.Seconds()
 	}
 	return pc, nil
 }

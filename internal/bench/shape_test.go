@@ -213,7 +213,7 @@ func TestShapeA3SizingRuleMatters(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(All) != 19 {
+	if len(All) != 20 {
 		t.Fatalf("experiment count %d", len(All))
 	}
 	seen := map[string]bool{}
@@ -358,5 +358,37 @@ func TestShapeA9Replication(t *testing.T) {
 	}
 	if quorum <= local {
 		t.Errorf("quorum p50 %.0fµs not above local p50 %.0fµs — no replication cost visible", quorum, local)
+	}
+}
+
+func TestShapeA11Failover(t *testing.T) {
+	rep := runExp(t, "a11")
+	for _, label := range []string{"power-cut", "isolation", "coordinator+power-cut"} {
+		if v(t, rep, label+"/acked") == 0 {
+			t.Errorf("%s: no commits acked, campaign proves nothing", label)
+		}
+		// The headline claims: zero acked-quorum loss, zero split-brain,
+		// every trial a single complete takeover.
+		if lost := v(t, rep, label+"/lost"); lost != 0 {
+			t.Errorf("%s: %.0f acked commits lost across takeover", label, lost)
+		}
+		if sb := v(t, rep, label+"/split_brain"); sb != 0 {
+			t.Errorf("%s: single-writer invariant fired in %.0f trials", label, sb)
+		}
+		if inc := v(t, rep, label+"/incomplete"); inc != 0 {
+			t.Errorf("%s: %.0f trials without a single clean takeover", label, inc)
+		}
+		// A takeover that cost no downtime would mean the fault never bit.
+		if v(t, rep, label+"/unavail_p50_ms") == 0 {
+			t.Errorf("%s: zero unavailability window", label)
+		}
+		// Clients must have followed the promotion, not reconnected by luck.
+		if v(t, rep, label+"/redirects") == 0 {
+			t.Errorf("%s: no session ever redirected", label)
+		}
+	}
+	// Only the healed partition replays a deposed epoch into fenced stores.
+	if v(t, rep, "isolation/fence_rejections") == 0 {
+		t.Error("isolation: healed deposed leader produced no fence rejections")
 	}
 }

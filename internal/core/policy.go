@@ -77,6 +77,31 @@ func (a AckPolicy) String() string {
 // Remote reports whether the policy involves replicas at all.
 func (a AckPolicy) Remote() bool { return a.Kind != AckKindLocal }
 
+// DefaultReplicas is the standby count a replicated deployment gets when
+// none is configured.
+const DefaultReplicas = 2
+
+// ValidateQuorumFlags vets raw -quorum/-replicas CLI values before any
+// deployment is constructed, so an unsatisfiable configuration fails with a
+// usage error instead of a deep rig-construction failure. replicas == 0
+// means the deployment default (DefaultReplicas).
+func ValidateQuorumFlags(quorum, replicas int) error {
+	if quorum < 0 {
+		return fmt.Errorf("rapilog: -quorum %d: a commit cannot wait for a negative number of replicas", quorum)
+	}
+	if replicas < 0 {
+		return fmt.Errorf("rapilog: -replicas %d: the standby count cannot be negative", replicas)
+	}
+	n := replicas
+	if n == 0 {
+		n = DefaultReplicas
+	}
+	if quorum > n {
+		return fmt.Errorf("rapilog: -quorum %d exceeds the %d configured standbys: such a commit could never be acknowledged (lower -quorum or raise -replicas)", quorum, n)
+	}
+	return nil
+}
+
 // Replicator is the Logger's hook into log shipping. The Logger calls Ship
 // for every byte it intends to make durable — buffered inserts, absorbed
 // rewrites, and degraded pass-through writes alike — and WaitQuorum on the

@@ -236,3 +236,36 @@ func TestQuorumPolicyRejectsOverlargeK(t *testing.T) {
 		t.Fatalf("k within the replica set rejected: %v", err)
 	}
 }
+
+// TestValidateQuorumFlags: CLI quorum/replica combinations are vetted
+// before any deployment is constructed — an unsatisfiable quorum or a
+// negative count must fail as a usage error, not a deep rig failure.
+func TestValidateQuorumFlags(t *testing.T) {
+	cases := []struct {
+		quorum, replicas int
+		wantErr          string // substring; "" means accepted
+	}{
+		{0, 0, ""},
+		{1, 0, ""}, // default replica pool of 2
+		{2, 0, ""},
+		{2, 2, ""},
+		{3, 3, ""},
+		{-1, 0, "negative"},
+		{0, -2, "negative"},
+		{3, 0, "exceeds"}, // over the default pool
+		{3, 2, "exceeds"},
+	}
+	for _, c := range cases {
+		err := ValidateQuorumFlags(c.quorum, c.replicas)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Fatalf("ValidateQuorumFlags(%d, %d): %v", c.quorum, c.replicas, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("ValidateQuorumFlags(%d, %d) = %v, want error containing %q",
+				c.quorum, c.replicas, err, c.wantErr)
+		}
+	}
+}

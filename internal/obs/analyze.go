@@ -59,12 +59,13 @@ type TimelineBucket struct {
 	Power      int
 	Degraded   int
 	Violations int
+	Failovers  int // elect/fence/promote/redirect activity
 }
 
 func (b TimelineBucket) empty() bool {
 	return b.Ships == 0 && b.Acks == 0 && b.Drops == 0 && b.Dups == 0 &&
 		b.Repairs == 0 && b.Evictions == 0 && b.Epochs == 0 &&
-		b.Power == 0 && b.Degraded == 0 && b.Violations == 0
+		b.Power == 0 && b.Degraded == 0 && b.Violations == 0 && b.Failovers == 0
 }
 
 type shipInfo struct {
@@ -412,6 +413,8 @@ func (a *Analysis) buildTimeline(buckets int) {
 			b.Degraded++
 		case EvViolation:
 			b.Violations++
+		case EvElect, EvFence, EvPromote, EvRedirect:
+			b.Failovers++
 		}
 	}
 	a.Timeline = bs
@@ -452,7 +455,7 @@ func (a *Analysis) CriticalTable() *metrics.Table {
 // TimelineTable renders the drop/resend/repair timeline, skipping slices
 // where nothing notable happened.
 func (a *Analysis) TimelineTable() *metrics.Table {
-	t := metrics.NewTable("window", "ships", "acks", "drops", "dups", "repairs", "resent", "evict", "epoch", "power", "degr", "viol")
+	t := metrics.NewTable("window", "ships", "acks", "drops", "dups", "repairs", "resent", "evict", "epoch", "power", "degr", "viol", "ha")
 	n := func(v int) string {
 		if v == 0 {
 			return "."
@@ -465,7 +468,7 @@ func (a *Analysis) TimelineTable() *metrics.Table {
 		}
 		t.AddRow(fmt.Sprintf("%v–%v", b.Start.Round(time.Millisecond), b.End.Round(time.Millisecond)),
 			n(b.Ships), n(b.Acks), n(b.Drops), n(b.Dups), n(b.Repairs), n(b.Resent),
-			n(b.Evictions), n(b.Epochs), n(b.Power), n(b.Degraded), n(b.Violations))
+			n(b.Evictions), n(b.Epochs), n(b.Power), n(b.Degraded), n(b.Violations), n(b.Failovers))
 	}
 	return t
 }
@@ -566,7 +569,8 @@ func (a *Analysis) WriteChromeTrace(w io.Writer) error {
 		case EvNetDrop, EvNetDup, EvRepair, EvEvict, EvEpoch:
 			name, tid = e.Kind.String(), chromeTidShip
 		case EvPowerFail, EvPowerDC, EvPowerRestore, EvDegraded, EvRestored,
-			EvDumpStart, EvDumpDone, EvViolation:
+			EvDumpStart, EvDumpDone, EvViolation,
+			EvElect, EvFence, EvPromote, EvRedirect:
 			name = e.Kind.String()
 		default:
 			continue

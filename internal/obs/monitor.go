@@ -30,15 +30,21 @@ const (
 	// InvAckMonotone: each replica's cumulative ack sequence must never
 	// regress.
 	InvAckMonotone
+	// InvSingleWriter: shipper epochs must be strictly increasing — at most
+	// one epoch is ever live, so a second writer starting at an old or equal
+	// epoch (a split brain: a deposed primary still committing) is a
+	// violation.
+	InvSingleWriter
 
 	invCount
 )
 
 var invariantNames = [invCount]string{
-	InvExposure:    "exposure_bound",
-	InvAckEvidence: "ack_without_evidence",
-	InvRetention:   "retention_bound",
-	InvAckMonotone: "ack_monotonicity",
+	InvExposure:     "exposure_bound",
+	InvAckEvidence:  "ack_without_evidence",
+	InvRetention:    "retention_bound",
+	InvAckMonotone:  "ack_monotonicity",
+	InvSingleWriter: "single_writer_epoch",
 }
 
 // String returns the invariant's stable wire name.
@@ -151,6 +157,9 @@ type Monitor struct {
 
 	// Ack-monotonicity tracking (InvAckMonotone).
 	repAck map[int64]uint64 // replica label id → highest acked seq
+
+	// Single-writer tracking (InvSingleWriter).
+	lastEpoch int64
 
 	// Retention tracking (InvRetention).
 	retainGauge *metrics.Gauge
@@ -289,6 +298,16 @@ func (m *Monitor) Consume(e Event) {
 		}
 
 	case EvEpoch:
+		// Single-writer-per-epoch: a shipper starting at an epoch at or
+		// below one already seen means two streams could gather quorum
+		// evidence concurrently — the split-brain the fencing protocol
+		// exists to prevent.
+		if e.Arg1 <= m.lastEpoch {
+			m.violate(InvSingleWriter, e.At,
+				fmt.Sprintf("shipper epoch %d began after epoch %d", e.Arg1, m.lastEpoch))
+		} else {
+			m.lastEpoch = e.Arg1
+		}
 		// A new shipper stream: sequence numbers restart, so every
 		// seq-indexed fact is stale.
 		m.repAck = make(map[int64]uint64)

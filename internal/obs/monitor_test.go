@@ -308,3 +308,27 @@ func TestSnapshotMarshalIsByteStable(t *testing.T) {
 		t.Fatalf("registration order changed the bytes:\n%s\n%s", a, c)
 	}
 }
+
+func TestMonitorDetectsSplitBrainEpoch(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	// Epochs must be strictly increasing: a second writer starting at an
+	// old (or equal) epoch is a split brain.
+	events := []Event{
+		ev(ms(1), EvEpoch, 0, 0, 1, 2),
+		ev(ms(2), EvEpoch, 0, 0, 3, 2), // fenced takeover skipping 2: fine
+		ev(ms(3), EvEpoch, 0, 0, 3, 2), // duplicate epoch: split brain
+		ev(ms(4), EvEpoch, 0, 0, 2, 2), // regression: split brain
+	}
+	rep := RunMonitor(events, MonitorConfig{})
+	if rep.ByKind[InvSingleWriter.String()] != 2 {
+		t.Fatalf("split-brain epochs not flagged: %+v", rep)
+	}
+	// Monotone epochs are clean.
+	clean := []Event{
+		ev(ms(1), EvEpoch, 0, 0, 1, 2),
+		ev(ms(2), EvEpoch, 0, 0, 2, 2),
+	}
+	if rep := RunMonitor(clean, MonitorConfig{}); rep.Total != 0 {
+		t.Fatalf("monotone epochs flagged: %+v", rep)
+	}
+}

@@ -119,6 +119,25 @@ const (
 	// Arg1 = invariant ordinal (see monitor.go), Arg2 = violation count so
 	// far for that invariant.
 	EvViolation
+	// EvElect: the HA coordinator elected a takeover candidate — the node
+	// with the highest quorum-covered (epoch, seq) prefix among reachable
+	// standbys. Span = failover span, Arg1 = winner label id, Arg2 = the
+	// winner's applied seq in its newest epoch.
+	EvElect
+	// EvFence: the coordinator fenced the cluster at a new epoch; stale-
+	// epoch records and acks are rejected everywhere from this point.
+	// Parent = failover span, Arg1 = fenced epoch, Arg2 = fence acks
+	// collected.
+	EvFence
+	// EvPromote: the elected standby finished promotion — its applied prefix
+	// is replayed into a fresh engine/WAL stack and a new shipper serves the
+	// fenced epoch. Parent = failover span, Arg1 = new leader label id,
+	// Arg2 = replayed bytes.
+	EvPromote
+	// EvRedirect: a client session chased the leadership change — its op hit
+	// a dead or deposed leader and was retried against the directory's new
+	// one. Arg1 = new leader label id, Arg2 = session retry count.
+	EvRedirect
 )
 
 var kindNames = map[Kind]string{
@@ -154,6 +173,10 @@ var kindNames = map[Kind]string{
 	EvEvict:        "evict",
 	EvEpoch:        "epoch",
 	EvViolation:    "violation",
+	EvElect:        "elect",
+	EvFence:        "fence",
+	EvPromote:      "promote",
+	EvRedirect:     "redirect",
 }
 
 // kindByName is the inverse of kindNames, for decoding trace JSON.

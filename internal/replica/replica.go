@@ -238,6 +238,39 @@ type ackMsg struct {
 	From  string
 }
 
+// FenceMsg raises a recipient's fence to Epoch: from its arrival onward,
+// records and acks carrying an epoch below the fence are rejected. The HA
+// coordinator broadcasts it before promoting a standby, so a deposed
+// primary's stream can never commit into a fenced cluster.
+type FenceMsg struct {
+	Epoch int
+	From  string // endpoint to send the FenceAck back to
+}
+
+// FenceAck confirms a standby's fence is at least Epoch.
+type FenceAck struct {
+	Epoch int
+	From  string
+}
+
+// StateReq asks a standby for its replication state (election evidence).
+type StateReq struct {
+	From string // endpoint to send the StateResp back to
+}
+
+// StateResp reports a standby's per-epoch contiguous applied prefixes and
+// its current fence. Applied is a copy: the payload crosses the fabric by
+// reference and must not alias the standby's live map.
+type StateResp struct {
+	From    string
+	Applied map[int]uint64
+	Fenced  int
+}
+
+// fenceMsgBytes is the wire size of fence/state-query control messages —
+// small fixed-format datagrams like acks.
+const fenceMsgBytes = ackBytes
+
 // shipRec is a retained record plus its ship time (for ack latency).
 type shipRec struct {
 	rec Record
@@ -277,6 +310,10 @@ type Shipper struct {
 	pending      []Record // shipped records awaiting the next frame flush
 	pendingBytes int
 
+	daemons []*sim.Proc // ack/probe/flush procs, retained so Stop can kill them
+	stopped bool
+	fenced  bool // a FenceMsg for a later epoch arrived: this shipper is deposed
+
 	quorumSig *sim.Signal // broadcast whenever any replica's ack advances
 	workSig   *sim.Signal // wakes the probe when records are outstanding
 	flushSig  *sim.Signal // wakes the flusher on the 0→1 pending transition
@@ -293,6 +330,7 @@ type Shipper struct {
 	shippedB  *metrics.Counter
 	resends   *metrics.Counter
 	evictions *metrics.Counter
+	fenceRej  *metrics.Counter // stale-epoch acks/messages rejected
 }
 
 // NewShipper creates the primary side for one power epoch and starts its
@@ -320,6 +358,7 @@ func NewShipper(s *sim.Sim, fab *netsim.Fabric, dom *sim.Domain, epoch int, repl
 		shippedB:  reg.Counter("repl.shipped_bytes"),
 		resends:   reg.Counter("repl.resends"),
 		evictions: reg.Counter("repl.evictions"),
+		fenceRej:  reg.Counter("ha.fence_rejections"),
 	}
 	for _, name := range replicas {
 		sh.reps = append(sh.reps, &repState{
@@ -335,11 +374,55 @@ func NewShipper(s *sim.Sim, fab *netsim.Fabric, dom *sim.Domain, epoch int, repl
 	// (peaks are preserved by the registry).
 	sh.lag.Set(0)
 	sh.retainedB.Set(0)
-	s.Spawn(dom, fmt.Sprintf("repl.ack.e%d", epoch), sh.ackLoop)
-	s.Spawn(dom, fmt.Sprintf("repl.probe.e%d", epoch), sh.probeLoop)
-	s.Spawn(dom, fmt.Sprintf("repl.flush.e%d", epoch), sh.flushLoop)
+	sh.daemons = []*sim.Proc{
+		s.Spawn(dom, fmt.Sprintf("repl.ack.e%d", epoch), sh.ackLoop),
+		s.Spawn(dom, fmt.Sprintf("repl.probe.e%d", epoch), sh.probeLoop),
+		s.Spawn(dom, fmt.Sprintf("repl.flush.e%d", epoch), sh.flushLoop),
+	}
 	return sh
 }
+
+// Stop shuts the shipper down in place: its ack/probe/flush daemons are
+// killed (the domain stays live — this is a demotion, not a crash) and every
+// payload-buffer reference the shipper itself holds, across the retained
+// stream and the unflushed pending queue, is released back to the pools.
+// Frames still in flight hold their own references and release themselves on
+// delivery or drop, so Stop is safe while the fabric is busy. Stopping a
+// shipper whose domain already died is a no-op kill (the daemons are gone)
+// plus the same buffer release. Ship must not be called after Stop.
+func (sh *Shipper) Stop() {
+	if sh.stopped {
+		return
+	}
+	sh.stopped = true
+	for _, d := range sh.daemons {
+		d.Kill()
+	}
+	for i := range sh.pending {
+		sh.releasePBuf(sh.pending[i].buf)
+		sh.pending[i] = Record{}
+	}
+	sh.pending = sh.pending[:0]
+	sh.pendingBytes = 0
+	freed := int64(0)
+	for i := range sh.retained {
+		freed += int64(len(sh.retained[i].rec.Data))
+		sh.releasePBuf(sh.retained[i].rec.buf)
+		sh.retained[i] = shipRec{}
+	}
+	sh.retained = sh.retained[:0]
+	sh.base = sh.next
+	sh.retainedB.Add(-freed)
+	sh.lag.Set(0)
+	sh.s.Tracef("repl: shipper epoch %d stopped (%d bytes released)", sh.epoch, freed)
+}
+
+// Stopped reports whether Stop has run.
+func (sh *Shipper) Stopped() bool { return sh.stopped }
+
+// Fenced reports whether a fence for a later epoch has reached this shipper:
+// it has been deposed and its acks are being rejected cluster-wide.
+func (sh *Shipper) Fenced() bool { return sh.fenced }
 
 // getPBuf takes a payload buffer from the size-class pool (or grows one),
 // already holding the retained stream's reference.
@@ -740,9 +823,28 @@ func (sh *Shipper) ackLoop(p *sim.Proc) {
 	p.SetDaemon(true)
 	for {
 		m := sh.ep.Recv(p)
+		if fm, ok := m.Payload.(FenceMsg); ok {
+			// The cluster has fenced a later epoch: this shipper is deposed.
+			// Acknowledge (so the coordinator's fence wait can complete even
+			// with the old primary alive) and stop counting acks toward
+			// quorum — a deposed stream must never commit.
+			if fm.Epoch > sh.epoch {
+				sh.fenced = true
+				sh.ep.Send(fm.From, fenceMsgBytes, FenceAck{Epoch: fm.Epoch, From: sh.cfg.PrimaryName})
+			}
+			continue
+		}
 		am, ok := m.Payload.(ackMsg)
-		if !ok || am.Epoch != sh.epoch {
+		if !ok {
+			continue
+		}
+		if am.Epoch != sh.epoch {
+			sh.fenceRej.Inc()
 			continue // stale epoch: a standby acking a dead shipper's stream
+		}
+		if sh.fenced {
+			sh.fenceRej.Inc()
+			continue // deposed: acks no longer advance quorum
 		}
 		r := sh.rep(am.From)
 		if r == nil {
@@ -915,6 +1017,7 @@ type Standby struct {
 	ep   *netsim.Endpoint
 
 	alive   bool
+	fenced  int                       // lowest epoch still accepted; below it everything is rejected
 	applied map[int]uint64            // per-epoch contiguous applied prefix
 	seen    map[int]uint64            // per-epoch highest seq ever received
 	ooo     map[int]map[uint64]Record // buffered out-of-order arrivals
@@ -924,6 +1027,7 @@ type Standby struct {
 	appliedC *metrics.Counter
 	dupC     *metrics.Counter
 	oooC     *metrics.Counter
+	fenceRej *metrics.Counter
 
 	tr      *obs.Tracer
 	labelID int64
@@ -949,6 +1053,7 @@ func NewStandby(s *sim.Sim, fab *netsim.Fabric, name string, cfg Config) *Standb
 		appliedC: reg.Counter("repl." + name + ".applied"),
 		dupC:     reg.Counter("repl." + name + ".dups"),
 		oooC:     reg.Counter("repl." + name + ".out_of_order"),
+		fenceRej: reg.Counter("ha.fence_rejections"),
 		tr:       cfg.Trace,
 		labelID:  cfg.Trace.Label(name),
 	}
@@ -1025,22 +1130,30 @@ func (st *Standby) spawnReceiver() {
 		for {
 			m := st.ep.Recv(p)
 			var epochs []int
+			ackTo := make(map[int]string)
 			applied := 0
-			st.handle(m, &epochs, &applied)
+			st.handle(m, &epochs, ackTo, &applied)
 			for {
 				m2, ok := st.ep.TryRecv()
 				if !ok {
 					break
 				}
-				st.handle(m2, &epochs, &applied)
+				st.handle(m2, &epochs, ackTo, &applied)
 			}
 			if applied > 0 && st.cfg.ApplyDelay > 0 {
 				p.Sleep(time.Duration(applied) * st.cfg.ApplyDelay)
 			}
-			// One cumulative ack per epoch touched in this batch.
+			// One cumulative ack per epoch touched in this batch, addressed
+			// to whichever shipper carried that epoch's frames: a standby
+			// outlives leaders, so the ack target is the stream's sender,
+			// not a fixed endpoint.
 			sort.Ints(epochs)
 			for _, e := range epochs {
-				st.ep.Send(st.cfg.PrimaryName, ackBytes, ackMsg{
+				to := ackTo[e]
+				if to == "" {
+					to = st.cfg.PrimaryName
+				}
+				st.ep.Send(to, ackBytes, ackMsg{
 					Epoch: e, Seq: st.applied[e], Seen: st.maxSeen(e), From: st.name,
 				})
 			}
@@ -1053,17 +1166,41 @@ func (st *Standby) spawnReceiver() {
 // Record (older senders, tests) takes the same per-record path. Either way
 // the batch accounting in the receiver yields ONE cumulative ack per epoch
 // per wakeup — the ack-coalescing half of frame shipping.
-func (st *Standby) handle(m netsim.Message, epochs *[]int, applied *int) {
+func (st *Standby) handle(m netsim.Message, epochs *[]int, ackTo map[int]string, applied *int) {
 	switch pl := m.Payload.(type) {
 	case *frame:
 		for i := range pl.recs {
-			st.handleRec(pl.recs[i], epochs, applied)
+			st.handleRec(pl.recs[i], m.From, epochs, ackTo, applied)
 		}
 		pl.Release()
 	case Record:
-		st.handleRec(pl, epochs, applied)
+		st.handleRec(pl, m.From, epochs, ackTo, applied)
+	case FenceMsg:
+		// Fencing is monotone: the fence only ever rises. The ack always
+		// reports the current fence so a duplicate or stale fence still
+		// completes the coordinator's wait.
+		if pl.Epoch > st.fenced {
+			st.fenced = pl.Epoch
+			st.s.Tracef("replica %s: fenced at epoch %d", st.name, pl.Epoch)
+		}
+		st.ep.Send(pl.From, fenceMsgBytes, FenceAck{Epoch: st.fenced, From: st.name})
+	case StateReq:
+		st.ep.Send(pl.From, fenceMsgBytes, st.stateResp())
 	}
 }
+
+// stateResp snapshots the standby's election evidence. The applied map is
+// copied: the response crosses the fabric by reference.
+func (st *Standby) stateResp() StateResp {
+	ap := make(map[int]uint64, len(st.applied))
+	for e, seq := range st.applied {
+		ap[e] = seq
+	}
+	return StateResp{From: st.name, Applied: ap, Fenced: st.fenced}
+}
+
+// Fenced returns the standby's current fence epoch.
+func (st *Standby) Fenced() int { return st.fenced }
 
 // copyData copies a wire payload into the standby's append-only arena.
 // Anything the standby keeps — applied log entries and the out-of-order
@@ -1087,8 +1224,14 @@ func (st *Standby) copyData(d []byte) []byte {
 
 // handleRec processes one inbound record: apply in order, buffer ahead-of-
 // order arrivals, re-acknowledge duplicates.
-func (st *Standby) handleRec(rec Record, epochs *[]int, applied *int) {
+func (st *Standby) handleRec(rec Record, from string, epochs *[]int, ackTo map[int]string, applied *int) {
 	e := rec.Epoch
+	if e < st.fenced {
+		// A deposed shipper's stream: reject without applying or acking, so
+		// the stale epoch can never gather quorum evidence after promotion.
+		st.fenceRej.Inc()
+		return
+	}
 	touched := false
 	for _, seen := range *epochs {
 		if seen == e {
@@ -1099,6 +1242,7 @@ func (st *Standby) handleRec(rec Record, epochs *[]int, applied *int) {
 	if !touched {
 		*epochs = append(*epochs, e)
 	}
+	ackTo[e] = from
 	if rec.Seq > st.seen[e] {
 		st.seen[e] = rec.Seq
 	}

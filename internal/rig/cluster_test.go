@@ -1,0 +1,262 @@
+package rig
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Nodes: 1}); err == nil {
+		t.Fatal("1-node cluster accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Nodes: 3, Rig: Config{AckPolicy: core.AckQuorum(3)}}); err == nil {
+		t.Fatal("quorum larger than peer set accepted")
+	}
+	c, err := NewCluster(ClusterConfig{Nodes: 3, Rig: Config{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AckLocal is indistinguishable from unset and must be forced up: a
+	// local-ack cluster has no census that intersects its (empty) ack
+	// quorums, so takeover could lose acked commits.
+	if !c.Cfg.Rig.AckPolicy.Remote() {
+		t.Fatalf("cluster kept non-remote ack policy %v", c.Cfg.Rig.AckPolicy)
+	}
+	if got := c.Quorum(); got != 2 {
+		t.Fatalf("census quorum = %d for 3 nodes / AckQuorum(1), want 2", got)
+	}
+	if c.LeaderName() != "node0" || c.Generation() != 1 {
+		t.Fatalf("initial leadership = %s gen %d", c.LeaderName(), c.Generation())
+	}
+	if c.Store(0).Alive() {
+		t.Fatal("leader's own store must be crashed while it leads")
+	}
+}
+
+// TestClusterFailoverPowerCut is the end-to-end tentpole smoke: boot a
+// 3-node cluster, drive redirect-aware sessions through it, pull the
+// leader's plug mid-run, and require that the coordinator promotes a
+// standby, the sessions commit against the new leader, every op acked
+// before or after the takeover is durable on the new leader, the deposed
+// node rejoins as a fenced standby, and the single-writer invariant never
+// fires.
+func TestClusterFailoverPowerCut(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Nodes: 3,
+		Rig:   Config{Seed: 42, AckPolicy: core.AckQuorum(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := workload.NewDirectory()
+	c.OnPromote = func(gen int, name string, e *engine.Engine, dom *sim.Domain) {
+		dir.Update(gen, name, e, dom)
+	}
+	j := workload.NewJournal()
+	w := &workload.Stress{ValueSize: 2000}
+	exLeader := c.LeaderName()
+
+	c.S.Spawn(c.LeaderRig().Plat.Domain(), "db", func(p *sim.Proc) {
+		e, err := c.LeaderRig().Boot(p)
+		if err != nil {
+			t.Errorf("boot: %v", err)
+			return
+		}
+		dir.Update(1, c.LeaderName(), e, c.LeaderRig().Plat.Domain())
+	})
+
+	var (
+		res        workload.RunResult
+		audit      workload.VerifyResult
+		auditErr   error
+		cutAt      time.Duration
+		ackedAtCut int
+	)
+	c.S.Spawn(nil, "sessions", func(p *sim.Proc) {
+		res = workload.RunSessions(p, dir, w, workload.SessionConfig{
+			Clients:  4,
+			Duration: 45 * time.Second,
+			Journal:  j,
+			Reg:      c.Obs.Registry(),
+			Trace:    c.Obs.Tracer(),
+		})
+		// Sessions are done; audit the full journal against whoever leads
+		// now. Every acked op — quorum-acked under gen 1 or committed on
+		// the promoted leader — must be present and correct.
+		ld := dir.Leader()
+		if ld.Gen != 2 {
+			t.Errorf("final generation = %d, want 2", ld.Gen)
+			return
+		}
+		vdone := p.Sim().NewEvent("audit.done")
+		p.Sim().Spawn(ld.Dom, "audit", func(vp *sim.Proc) {
+			audit, auditErr = j.Verify(vp, ld.Eng)
+			vdone.Fire()
+		})
+		vdone.Wait(p)
+	})
+	c.S.Spawn(nil, "operator", func(p *sim.Proc) {
+		p.Sleep(1500 * time.Millisecond)
+		ackedAtCut = j.Len()
+		cutAt = p.Now().Duration()
+		c.CutLeaderPower()
+		for c.Coord.Failovers() == 0 {
+			p.Sleep(10 * time.Millisecond)
+		}
+		if err := c.RejoinAsStandby(p, exLeader); err != nil {
+			t.Errorf("rejoin: %v", err)
+		}
+	})
+
+	if err := c.S.RunFor(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if c.Coord.Failovers() != 1 {
+		t.Fatalf("failovers = %d (lastErr %v), want exactly 1", c.Coord.Failovers(), c.Coord.LastErr())
+	}
+	if c.Coord.LastErr() != nil {
+		t.Fatalf("coordinator error: %v", c.Coord.LastErr())
+	}
+	if c.Generation() != 2 || c.LeaderName() == exLeader {
+		t.Fatalf("leadership after takeover: %s gen %d", c.LeaderName(), c.Generation())
+	}
+	if ackedAtCut == 0 {
+		t.Fatal("no ops acked before the cut — test proves nothing")
+	}
+	if res.Committed == 0 {
+		t.Fatal("sessions never committed")
+	}
+	if auditErr != nil {
+		t.Fatalf("audit: %v", auditErr)
+	}
+	if !audit.Ok() {
+		t.Fatalf("acked-op loss across takeover: %v (acked at cut %d, total %d)", audit, ackedAtCut, j.Len())
+	}
+
+	// The client-visible outage: first gen-2 commit minus the cut.
+	firstOK, ok := dir.FirstSuccess(2)
+	if !ok {
+		t.Fatal("no session ever committed against the promoted leader")
+	}
+	if firstOK <= cutAt {
+		t.Fatalf("gen-2 first success %v precedes the cut %v", firstOK, cutAt)
+	}
+	t.Logf("unavailability window: %v; replay %d bytes / %d entries from %s",
+		firstOK-cutAt, c.LastReplay.Bytes, c.LastReplay.Entries, c.LastReplay.From)
+
+	// The deposed node must have rejoined fenced at the new epoch and
+	// caught up from the live stream.
+	ex := c.Store(0)
+	if !ex.Alive() {
+		t.Fatal("ex-leader store not restarted")
+	}
+	if ex.Fenced() < c.epoch {
+		t.Fatalf("ex-leader store fenced at %d, cluster epoch %d", ex.Fenced(), c.epoch)
+	}
+	if ex.AppliedSeq(c.epoch) == 0 {
+		t.Fatalf("ex-leader store never caught up on epoch %d", c.epoch)
+	}
+
+	rep := c.Monitor.Report()
+	if rep.ByKind["single_writer_epoch"] != 0 {
+		t.Fatalf("split-brain: single_writer_epoch fired %d times", rep.ByKind["single_writer_epoch"])
+	}
+	if rep.Total != 0 {
+		t.Fatalf("monitor violations during clean failover: %+v", rep)
+	}
+}
+
+// TestClusterFailoverIsolation exercises the partition path: the leader
+// stays powered but unreachable, so its in-flight commits stall un-acked
+// (AckQuorum needs a remote ack) while the coordinator fences and promotes
+// a standby. After healing, the deposed node rejoins; no acked op may be
+// lost and both writers must never be acked in one epoch.
+func TestClusterFailoverIsolation(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Nodes: 3,
+		Rig:   Config{Seed: 7, AckPolicy: core.AckQuorum(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := workload.NewDirectory()
+	c.OnPromote = func(gen int, name string, e *engine.Engine, dom *sim.Domain) {
+		dir.Update(gen, name, e, dom)
+	}
+	j := workload.NewJournal()
+	w := &workload.Stress{ValueSize: 2000}
+	exLeader := c.LeaderName()
+
+	c.S.Spawn(c.LeaderRig().Plat.Domain(), "db", func(p *sim.Proc) {
+		e, err := c.LeaderRig().Boot(p)
+		if err != nil {
+			t.Errorf("boot: %v", err)
+			return
+		}
+		dir.Update(1, c.LeaderName(), e, c.LeaderRig().Plat.Domain())
+	})
+
+	var audit workload.VerifyResult
+	var auditErr error
+	c.S.Spawn(nil, "sessions", func(p *sim.Proc) {
+		workload.RunSessions(p, dir, w, workload.SessionConfig{
+			Clients:  4,
+			Duration: 45 * time.Second,
+			Journal:  j,
+			Reg:      c.Obs.Registry(),
+			Trace:    c.Obs.Tracer(),
+		})
+		ld := dir.Leader()
+		if ld.Gen != 2 {
+			t.Errorf("final generation = %d, want 2", ld.Gen)
+			return
+		}
+		vdone := p.Sim().NewEvent("audit.done")
+		p.Sim().Spawn(ld.Dom, "audit", func(vp *sim.Proc) {
+			audit, auditErr = j.Verify(vp, ld.Eng)
+			vdone.Fire()
+		})
+		vdone.Wait(p)
+	})
+	c.S.Spawn(nil, "operator", func(p *sim.Proc) {
+		p.Sleep(1500 * time.Millisecond)
+		c.IsolateLeader()
+		for c.Coord.Failovers() == 0 {
+			p.Sleep(10 * time.Millisecond)
+		}
+		// Heal the partition only after the takeover: the deposed shipper's
+		// retransmits come back to a fenced cluster and must be rejected.
+		p.Sleep(100 * time.Millisecond)
+		c.HealNode(exLeader)
+		if err := c.RejoinAsStandby(p, exLeader); err != nil {
+			t.Errorf("rejoin: %v", err)
+		}
+	})
+
+	if err := c.S.RunFor(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if c.Coord.Failovers() != 1 || c.Coord.LastErr() != nil {
+		t.Fatalf("failovers = %d, lastErr = %v", c.Coord.Failovers(), c.Coord.LastErr())
+	}
+	if auditErr != nil {
+		t.Fatalf("audit: %v", auditErr)
+	}
+	if !audit.Ok() {
+		t.Fatalf("acked-op loss across partition takeover: %v", audit)
+	}
+	rep := c.Monitor.Report()
+	if rep.ByKind["single_writer_epoch"] != 0 {
+		t.Fatalf("split-brain under partition: %d", rep.ByKind["single_writer_epoch"])
+	}
+	// The deposed leader's stale-epoch retransmits after the heal must show
+	// up as fencing rejections, not as applied entries.
+	if ex := c.Store(0); ex.Fenced() < c.epoch {
+		t.Fatalf("ex-leader store fenced at %d, cluster epoch %d", ex.Fenced(), c.epoch)
+	}
+}

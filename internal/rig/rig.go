@@ -151,6 +151,28 @@ type Config struct {
 	namePrefix string
 	sharers    int
 	sharedHV   *hv.Hypervisor
+
+	// HA-cluster plumbing, set only by NewCluster and Cluster promotion:
+	// primaryName gives this node's shipper its own fabric endpoint (the
+	// node name, not the global "primary"); extFabric/extStandbys graft the
+	// rig onto the cluster's shared fabric and peer stores instead of
+	// building a private fleet; startEpoch makes a promoted rig continue
+	// the cluster's monotone epoch sequence; deferPlatform leaves platform
+	// assembly (and monitor arming) to the cluster, which must replay the
+	// winner's prefix into the log partition before the logger exists.
+	primaryName   string
+	extFabric     *netsim.Fabric
+	extStandbys   []*replica.Standby
+	startEpoch    int
+	deferPlatform bool
+}
+
+// primary returns the fabric endpoint this rig's shipper answers on.
+func (c *Config) primary() string {
+	if c.primaryName != "" {
+		return c.primaryName
+	}
+	return PrimaryEndpoint
 }
 
 func (c *Config) applyDefaults() {
@@ -334,17 +356,28 @@ func newOnSubstrate(cfg Config, s *sim.Sim, m *power.Machine, o *obs.Obs) (*Rig,
 		if k := cfg.AckPolicy.K; k > cfg.Replicas {
 			return nil, fmt.Errorf("rig: ack policy %v needs %d replicas, have %d", cfg.AckPolicy, k, cfg.Replicas)
 		}
-		r.Fabric = netsim.New(s, netsim.Config{Seed: cfg.NetSeed, Link: cfg.Net, Reg: o.Registry(), Trace: o.Tracer()})
-		rc := cfg.Replica
-		rc.PrimaryName = PrimaryEndpoint
-		rc.Reg = o.Registry()
-		rc.SectorSize = r.LogDev.SectorSize()
-		rc.Trace = o.Tracer()
-		for i := 0; i < cfg.Replicas; i++ {
-			// Endpoint names are scoped to this rig's private fabric, so no
-			// prefix is needed for uniqueness — just for trace readability.
-			r.Standbys = append(r.Standbys, replica.NewStandby(s, r.Fabric, fmt.Sprintf("standby%d", i), rc))
+		if cfg.extFabric != nil {
+			// A cluster node rig ships to the cluster's shared peer stores
+			// over the shared fabric; it owns neither.
+			r.Fabric = cfg.extFabric
+			r.Standbys = cfg.extStandbys
+		} else {
+			r.Fabric = netsim.New(s, netsim.Config{Seed: cfg.NetSeed, Link: cfg.Net, Reg: o.Registry(), Trace: o.Tracer()})
+			rc := cfg.Replica
+			rc.PrimaryName = cfg.primary()
+			rc.Reg = o.Registry()
+			rc.SectorSize = r.LogDev.SectorSize()
+			rc.Trace = o.Tracer()
+			for i := 0; i < cfg.Replicas; i++ {
+				// Endpoint names are scoped to this rig's private fabric, so no
+				// prefix is needed for uniqueness — just for trace readability.
+				r.Standbys = append(r.Standbys, replica.NewStandby(s, r.Fabric, fmt.Sprintf("standby%d", i), rc))
+			}
 		}
+	}
+	r.epoch = cfg.startEpoch
+	if cfg.deferPlatform {
+		return r, nil
 	}
 	if err := r.assemblePlatform(); err != nil {
 		return nil, err
@@ -489,7 +522,7 @@ func (r *Rig) assemblePlatform() error {
 				names[i] = st.Name()
 			}
 			rc := cfg.Replica
-			rc.PrimaryName = PrimaryEndpoint
+			rc.PrimaryName = cfg.primary()
 			rc.Reg = r.Obs.Registry()
 			rc.SectorSize = r.LogDev.SectorSize()
 			rc.Trace = r.Obs.Tracer()

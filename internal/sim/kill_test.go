@@ -296,3 +296,72 @@ func TestKillAtRandomTimesProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestProcKillUnwindsOneProc: Proc.Kill stops a single process — deferred
+// functions run, the domain stays live, siblings keep running.
+func TestProcKillUnwindsOneProc(t *testing.T) {
+	s := New(1)
+	dom := s.NewDomain("hv")
+	var cleaned, after, siblingDone bool
+	victim := s.Spawn(dom, "victim", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Sleep(time.Hour)
+		after = true
+	})
+	s.Spawn(dom, "sibling", func(p *Proc) {
+		p.Sleep(ms(20))
+		siblingDone = true
+	})
+	s.After(ms(5), victim.Kill)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run on Proc.Kill")
+	}
+	if after {
+		t.Fatal("proc continued past kill point")
+	}
+	if !siblingDone {
+		t.Fatal("sibling in the same domain did not survive")
+	}
+	if dom.Dead() {
+		t.Fatal("Proc.Kill killed the domain")
+	}
+}
+
+// TestProcKillSelf: a process killing itself unwinds at the call.
+func TestProcKillSelf(t *testing.T) {
+	s := New(1)
+	var cleaned, after bool
+	s.Spawn(nil, "suicidal", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Kill()
+		after = true
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cleaned || after {
+		t.Fatalf("cleaned=%v after=%v, want unwound at the Kill call", cleaned, after)
+	}
+}
+
+// TestProcKillIdempotentAndAfterDone: killing a finished or already-killed
+// proc is a no-op.
+func TestProcKillIdempotentAndAfterDone(t *testing.T) {
+	s := New(1)
+	quick := s.Spawn(nil, "quick", func(p *Proc) {})
+	slow := s.Spawn(nil, "slow", func(p *Proc) { p.Sleep(time.Hour) })
+	s.After(ms(5), func() {
+		quick.Kill() // already done
+		slow.Kill()
+		slow.Kill() // already killed
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !slow.Done() {
+		t.Fatal("killed proc not done")
+	}
+}

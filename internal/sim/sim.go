@@ -536,6 +536,29 @@ func (p *Proc) Sleep(d time.Duration) {
 // resuming.
 func (p *Proc) Yield() { p.Sleep(0) }
 
+// Kill unwinds this one process at its current blocking point — deferred
+// functions run — without touching its domain, which stays live. This models
+// stopping a single service (a daemon being shut down) rather than a crash.
+// It may be called from scheduler context or from another process; a process
+// killing itself unwinds immediately. Killing a finished or already-killed
+// process is a no-op.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	s := p.sim
+	s.Tracef("proc %s(%d) killed", p.name, p.id)
+	if p == s.running {
+		panic(killPanic{p})
+	}
+	// Parked procs resume with the kill signal; spawned-but-unstarted procs
+	// are handled by their start event, which observes killed.
+	if p.parked {
+		s.atKill(p)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Domain
 // ---------------------------------------------------------------------------

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Directory is the client-side cluster map: which engine is the leader,
+// in which domain, under which leadership generation. It is plain harness
+// memory — the simulated DNS/config service clients consult between
+// retries — updated by the cluster's promotion hook and read by every
+// session. The per-generation first-success timestamps are the raw
+// material of the unavailability-window measurement: the window a client
+// actually saw runs from fault injection to the first commit the new
+// generation served.
+type Directory struct {
+	gen     int
+	name    string
+	eng     *engine.Engine
+	dom     *sim.Domain
+	firstOK map[int]time.Duration
+}
+
+// LeaderInfo is one consistent read of the directory.
+type LeaderInfo struct {
+	Gen  int
+	Name string
+	Eng  *engine.Engine
+	Dom  *sim.Domain
+}
+
+// NewDirectory creates an empty directory; Update installs the first
+// leader.
+func NewDirectory() *Directory {
+	return &Directory{firstOK: make(map[int]time.Duration)}
+}
+
+// Update publishes a new leadership generation. Generations must rise.
+func (d *Directory) Update(gen int, name string, e *engine.Engine, dom *sim.Domain) {
+	if gen <= d.gen && d.gen != 0 {
+		return
+	}
+	d.gen, d.name, d.eng, d.dom = gen, name, e, dom
+}
+
+// Leader returns the current leadership record.
+func (d *Directory) Leader() LeaderInfo {
+	return LeaderInfo{Gen: d.gen, Name: d.name, Eng: d.eng, Dom: d.dom}
+}
+
+// FirstSuccess returns when the first session commit of generation gen
+// completed (virtual time), if any has.
+func (d *Directory) FirstSuccess(gen int) (time.Duration, bool) {
+	t, ok := d.firstOK[gen]
+	return t, ok
+}
+
+func (d *Directory) noteSuccess(gen int, at time.Duration) {
+	if _, ok := d.firstOK[gen]; !ok {
+		d.firstOK[gen] = at
+	}
+}
+
+// SessionConfig parameterises a failover-aware client pool.
+type SessionConfig struct {
+	Clients  int           // default 1
+	Duration time.Duration // virtual time; default 10s
+	Warmup   time.Duration // excluded from stats; default 0
+	// OpTimeout bounds one attempt against the current leader before the
+	// session abandons it and re-consults the directory; default 150ms.
+	OpTimeout time.Duration
+	// MaxAttempts bounds attempts (timeouts, redirects, retries) per
+	// operation before it counts as aborted; default 60.
+	MaxAttempts int
+	// RetryBackoff is the pause between attempts while the cluster has no
+	// reachable leader; default 20ms.
+	RetryBackoff time.Duration
+	// Journal, if non-nil, records acked obligations for the audit.
+	Journal *Journal
+	// Reg hosts the ha.redirects counter; Trace carries EvRedirect marks.
+	Reg   *obs.Registry
+	Trace *obs.Tracer
+}
+
+func (c *SessionConfig) applyDefaults() {
+	if c.Clients == 0 {
+		c.Clients = 1
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.OpTimeout == 0 {
+		c.OpTimeout = 150 * time.Millisecond
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 60
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 20 * time.Millisecond
+	}
+}
+
+// RunSessions drives w through a pool of redirect-aware sessions. Unlike
+// RunClients, the clients live outside every crash domain: each operation
+// is proxied to a worker process inside the current leader's guest
+// domain, and a leader that dies mid-operation just costs the session a
+// timeout, after which it re-reads the directory and retries — against
+// the new leader once a promotion publishes one. An attempt that times
+// out is killed before it can be observed to succeed, so an operation is
+// journaled exactly when its client saw the ack.
+func RunSessions(p *sim.Proc, dir *Directory, w Workload, cfg SessionConfig) RunResult {
+	cfg.applyDefaults()
+	s := p.Sim()
+	res := RunResult{TxnLatency: metrics.NewHistogram(w.Name() + ".session.txn")}
+	redirects := cfg.Reg.Counter("ha.redirects")
+	measureStart := s.Now().Add(cfg.Warmup)
+	deadline := measureStart.Add(cfg.Duration)
+	done := s.NewEvent(w.Name() + ".sessions.done")
+	running := cfg.Clients
+
+	for c := 0; c < cfg.Clients; c++ {
+		client := c
+		sess := &session{dir: dir, w: w, cfg: cfg, client: client, redirects: redirects}
+		s.Spawn(nil, fmt.Sprintf("session%d", client), func(cp *sim.Proc) {
+			defer func() {
+				running--
+				if running == 0 {
+					done.Fire()
+				}
+			}()
+			for cp.Now() < deadline {
+				start := cp.Now()
+				err := sess.do(cp)
+				measured := start >= measureStart
+				if err != nil {
+					if measured {
+						res.Aborted++
+					}
+					continue
+				}
+				if measured {
+					res.Committed++
+					res.TxnLatency.Observe(cp.Now().Sub(start))
+				}
+			}
+		})
+	}
+	done.WaitTimeout(p, cfg.Warmup+cfg.Duration+time.Minute)
+	end := s.Now()
+	if end > deadline {
+		end = deadline
+	}
+	if end > measureStart {
+		res.Duration = end.Sub(measureStart)
+	}
+	return res
+}
+
+// session is one client's failover-aware connection state.
+type session struct {
+	dir       *Directory
+	w         Workload
+	cfg       SessionConfig
+	client    int
+	redirects *metrics.Counter
+	gen       int // last generation this session talked to
+}
+
+// do runs one operation to completion or MaxAttempts.
+func (se *session) do(cp *sim.Proc) error {
+	s := cp.Sim()
+	var lastErr error
+	for attempt := 0; attempt < se.cfg.MaxAttempts; attempt++ {
+		ld := se.dir.Leader()
+		if ld.Eng == nil || ld.Dom == nil || ld.Dom.Dead() {
+			// No reachable leader: the unavailability window as a client
+			// experiences it. Back off and re-consult the directory.
+			lastErr = fmt.Errorf("session: no reachable leader (gen %d)", ld.Gen)
+			cp.Sleep(se.cfg.RetryBackoff)
+			continue
+		}
+		if ld.Gen != se.gen {
+			if se.gen != 0 {
+				se.redirects.Inc()
+				tr := se.cfg.Trace
+				tr.Emit(cp.Now().Duration(), obs.EvRedirect, 0, 0, tr.Label(ld.Name), int64(attempt))
+			}
+			se.gen = ld.Gen
+		}
+
+		// Proxy the op into the leader's guest domain: if the leader dies
+		// mid-op the worker dies with it and the timeout fires; a timed-out
+		// worker is killed so it cannot ack after the session gave up on it.
+		opDone := s.NewEvent("session.op")
+		var opErr error
+		worker := s.Spawn(ld.Dom, fmt.Sprintf("session%d.op", se.client), func(wp *sim.Proc) {
+			if st, ok := se.w.(*Stress); ok {
+				opErr = st.DoAs(wp, ld.Eng, se.cfg.Journal, se.client)
+			} else {
+				opErr = se.w.Do(wp, ld.Eng, se.cfg.Journal)
+			}
+			opDone.Fire()
+		})
+		opDone.WaitTimeout(cp, se.cfg.OpTimeout)
+		if !opDone.Fired() {
+			worker.Kill()
+			lastErr = fmt.Errorf("session: op timeout against %s (gen %d)", ld.Name, ld.Gen)
+			cp.Sleep(se.cfg.RetryBackoff)
+			continue
+		}
+		if opErr == nil {
+			se.dir.noteSuccess(ld.Gen, cp.Now().Duration())
+			return nil
+		}
+		lastErr = opErr
+		if errors.Is(opErr, engine.ErrLockTimeout) || errors.Is(opErr, engine.ErrDeadlock) {
+			// Contention, not failure: brief jittered backoff.
+			cp.Sleep(time.Duration(100+s.Rand().Intn(900)) * time.Microsecond)
+			continue
+		}
+		// Anything else — the engine died under us, I/O failed — is worth
+		// a directory re-read after a backoff.
+		cp.Sleep(se.cfg.RetryBackoff)
+	}
+	return lastErr
+}

@@ -66,7 +66,7 @@ func TestQuickstart(t *testing.T) {
 }
 
 func TestFacadeSurface(t *testing.T) {
-	if len(Modes) != 4 || len(Experiments) != 19 {
+	if len(Modes) != 4 || len(Experiments) != 20 {
 		t.Fatalf("facade lists: %d modes, %d experiments", len(Modes), len(Experiments))
 	}
 	for _, m := range Modes {
